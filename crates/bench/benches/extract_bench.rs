@@ -1,0 +1,61 @@
+//! Criterion: dK-distribution extraction cost vs d and graph size.
+//!
+//! The paper's complexity story is that extraction/generation cost grows
+//! sharply with d (§6); this bench quantifies it on the HOT-scale input
+//! and on a mid-size AS-like input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dk_core::dist::{Dist0K, Dist1K, Dist2K, Dist3K};
+use dk_topologies::hot_like::{hot_like, HotLikeParams};
+use dk_topologies::{as_like, ba};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn inputs() -> Vec<(&'static str, dk_graph::Graph)> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let hot = hot_like(&HotLikeParams::default(), &mut rng);
+    let as_small = as_like::skitter_like(
+        &as_like::AsLikeParams {
+            nodes: 2000,
+            anneal_attempts: 100_000,
+            ..as_like::AsLikeParams::small()
+        },
+        &mut rng,
+    );
+    let ba = ba::barabasi_albert(
+        &ba::BaParams {
+            nodes: 2000,
+            edges_per_node: 3,
+            seed_nodes: 4,
+        },
+        &mut rng,
+    );
+    vec![("hot939", hot), ("as2000", as_small), ("ba2000", ba)]
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let graphs = inputs();
+    let mut group = c.benchmark_group("extract");
+    for (name, g) in &graphs {
+        group.bench_with_input(BenchmarkId::new("0K", name), g, |b, g| {
+            b.iter(|| Dist0K::from_graph(g))
+        });
+        group.bench_with_input(BenchmarkId::new("1K", name), g, |b, g| {
+            b.iter(|| Dist1K::from_graph(g))
+        });
+        group.bench_with_input(BenchmarkId::new("2K", name), g, |b, g| {
+            b.iter(|| Dist2K::from_graph(g))
+        });
+        group.bench_with_input(BenchmarkId::new("3K", name), g, |b, g| {
+            b.iter(|| Dist3K::from_graph(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_extraction
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion: 2K construction cost per algorithm family
+//! (stochastic vs pseudograph vs matching vs targeting chain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dk_core::dist::Dist2K;
+use dk_core::generate::target::{generate_2k_random, Bootstrap, TargetOptions};
+use dk_core::generate::{matching, pseudograph, stochastic};
+use dk_topologies::hot_like::{hot_like, HotLikeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let hot = hot_like(&HotLikeParams::default(), &mut rng);
+    let jdd = Dist2K::from_graph(&hot);
+    let mut group = c.benchmark_group("generate_2k");
+
+    group.bench_with_input(BenchmarkId::new("stochastic", "hot939"), &jdd, |b, jdd| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| stochastic::generate_2k(jdd, &mut rng).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_with_input(BenchmarkId::new("pseudograph", "hot939"), &jdd, |b, jdd| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| pseudograph::generate_2k(jdd, &mut rng).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_with_input(BenchmarkId::new("matching", "hot939"), &jdd, |b, jdd| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| matching::generate_2k(jdd, &mut rng).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let topts = TargetOptions {
+        max_attempts: 300_000,
+        patience: Some(60_000),
+        ..Default::default()
+    };
+    group.bench_with_input(BenchmarkId::new("targeting", "hot939"), &jdd, |b, jdd| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| generate_2k_random(jdd, Bootstrap::Matching, &topts, &mut rng).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion: metric-suite costs (the per-ensemble-member price of every
+//! reproduction table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dk_topologies::hot_like::{hot_like, HotLikeParams};
+use dk_topologies::{as_like, er};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn inputs() -> Vec<(&'static str, dk_graph::Graph)> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let hot = hot_like(&HotLikeParams::default(), &mut rng);
+    let as_small = as_like::skitter_like(
+        &as_like::AsLikeParams {
+            nodes: 2000,
+            anneal_attempts: 0,
+            ..as_like::AsLikeParams::small()
+        },
+        &mut rng,
+    );
+    let er = er::gnm(2000, 6000, &mut rng);
+    vec![("hot939", hot), ("as2000", as_small), ("er2000", er)]
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let graphs = inputs();
+    let mut group = c.benchmark_group("metrics");
+    for (name, g) in &graphs {
+        group.bench_with_input(BenchmarkId::new("distance_distribution", name), g, |b, g| {
+            b.iter(|| dk_metrics::distance::DistanceDistribution::from_graph(g))
+        });
+        group.bench_with_input(BenchmarkId::new("betweenness", name), g, |b, g| {
+            b.iter(|| dk_metrics::betweenness::node_betweenness(g))
+        });
+        group.bench_with_input(BenchmarkId::new("clustering", name), g, |b, g| {
+            b.iter(|| dk_metrics::clustering::mean_clustering(g))
+        });
+        group.bench_with_input(BenchmarkId::new("assortativity", name), g, |b, g| {
+            b.iter(|| dk_metrics::jdd::assortativity(g))
+        });
+        group.bench_with_input(BenchmarkId::new("spectral_extremes", name), g, |b, g| {
+            let (gcc, _) = dk_graph::giant_component(g);
+            b.iter(|| dk_metrics::spectral::spectral_extremes(&gcc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_metrics
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: dK-randomizing rewiring throughput per d.
+//!
+//! Measures attempted-swap throughput at fixed budget on the HOT-scale
+//! graph — the d = 3 line shows the price of exact wedge/triangle
+//! preservation (tentative apply + revert per candidate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dk_core::generate::rewire::{randomize, RewireOptions, SwapBudget};
+use dk_topologies::hot_like::{hot_like, HotLikeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_rewiring(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let hot = hot_like(&HotLikeParams::default(), &mut rng);
+    const ATTEMPTS: u64 = 5_000;
+    let opts = RewireOptions {
+        budget: SwapBudget::Attempts(ATTEMPTS),
+    };
+    let mut group = c.benchmark_group("randomizing_rewiring");
+    group.throughput(Throughput::Elements(ATTEMPTS));
+    for d in 0..=3u8 {
+        group.bench_with_input(BenchmarkId::new("hot939", format!("d{d}")), &d, |b, &d| {
+            b.iter_batched(
+                || (hot.clone(), StdRng::seed_from_u64(7)),
+                |(mut g, mut rng)| randomize(&mut g, d, &opts, &mut rng),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rewiring
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! **Figure 5** — comparison of 2K- and 3K-graph-constructing algorithms:
+//!
+//! * (a) clustering `C(k)` in skitter for the five 2K algorithms,
+//! * (b) distance distribution in HOT for the five 2K algorithms,
+//! * (c) distance distribution in HOT for 3K randomizing vs targeting.
+//!
+//! ```text
+//! cargo run -p dk-bench --release --bin fig5 -- [--seeds N] [--full]
+//! # → results/fig5{a,b,c}.csv
+//! ```
+
+use dk_bench::csv::SeriesSet;
+use dk_bench::ensemble::{clustering_series, distance_series, SeriesAccumulator};
+use dk_bench::inputs::{self, Input};
+use dk_bench::variants::{build_2k, build_3k, Algo2K};
+use dk_bench::Config;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = Config::from_args();
+    let skitter = inputs::load(&cfg, Input::SkitterLike);
+    let hot = inputs::load(&cfg, Input::HotLike);
+
+    // (a) clustering in skitter per 2K algorithm
+    let mut a = SeriesSet::new();
+    for algo in Algo2K::ALL {
+        let mut acc = SeriesAccumulator::new();
+        for i in 0..cfg.seeds {
+            let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
+            acc.add(&clustering_series(&build_2k(&skitter, algo, &mut rng)));
+        }
+        a.push(algo.label(), acc.mean());
+    }
+    a.push("skitter", clustering_series(&skitter));
+    let path = cfg.out_dir.join("fig5a.csv");
+    a.write(&path, "degree").expect("write fig5a");
+    println!("wrote {}", path.display());
+
+    // (b) distance distribution in HOT per 2K algorithm
+    let mut b = SeriesSet::new();
+    for algo in Algo2K::ALL {
+        let mut acc = SeriesAccumulator::new();
+        for i in 0..cfg.seeds {
+            let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
+            acc.add(&distance_series(&build_2k(&hot, algo, &mut rng)));
+        }
+        b.push(algo.label(), acc.mean());
+    }
+    b.push("origHOT", distance_series(&hot));
+    let path = cfg.out_dir.join("fig5b.csv");
+    b.write(&path, "distance").expect("write fig5b");
+    println!("wrote {}", path.display());
+
+    // (c) distance distribution in HOT, 3K randomizing vs targeting
+    let mut c = SeriesSet::new();
+    for (name, randomizing) in [("3K-rand", true), ("3K-targ", false)] {
+        let mut acc = SeriesAccumulator::new();
+        for i in 0..cfg.seeds {
+            let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
+            acc.add(&distance_series(&build_3k(&hot, randomizing, &mut rng)));
+        }
+        c.push(name, acc.mean());
+    }
+    c.push("origHOT", distance_series(&hot));
+    let path = cfg.out_dir.join("fig5c.csv");
+    c.write(&path, "distance").expect("write fig5c");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,36 @@
+//! **Table 4** — scalar metrics for 3K-random HOT graphs:
+//! 3K-randomizing rewiring vs 3K-targeting rewiring vs original.
+//!
+//! ```text
+//! cargo run -p dk-bench --release --bin table4 -- [--seeds N]
+//! ```
+
+use dk_bench::ensemble::scalar_ensemble;
+use dk_bench::inputs::{self, Input};
+use dk_bench::table::MetricTable;
+use dk_bench::variants::build_3k;
+use dk_bench::Config;
+use dk_metrics::report::{MetricReport, ReportOptions};
+
+fn main() {
+    let cfg = Config::from_args();
+    let hot = inputs::load(&cfg, Input::HotLike);
+    let opts = ReportOptions {
+        spectral: false,
+        distances: true,
+        betweenness: false,
+        lanczos_iter: 0,
+    };
+    let mut table = MetricTable::new();
+    let rand = scalar_ensemble(&cfg, &opts, |rng| build_3k(&hot, true, rng));
+    table.push("3K-rand", rand.mean);
+    let targ = scalar_ensemble(&cfg, &opts, |rng| build_3k(&hot, false, rng));
+    table.push("3K-targ", targ.mean);
+    table.push("origHOT", MetricReport::compute_with(&hot, &opts));
+
+    println!("Table 4: scalar metrics for 3K-random HOT-like graphs ({} seeds)", cfg.seeds);
+    println!("{}", table.render());
+    let out = cfg.out_dir.join("table4.csv");
+    std::fs::write(&out, table.to_csv()).expect("write table4.csv");
+    println!("wrote {}", out.display());
+}

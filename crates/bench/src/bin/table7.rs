@@ -1,0 +1,86 @@
+//! **Table 7** — 2K-space explorations for skitter: columns are
+//! clustering-minimized, clustering-maximized, S2-minimized,
+//! S2-maximized, 2K-random, and the original; plus the `S2/S2max` row.
+//!
+//! `S2max` is, as in the paper's normalization, the largest S2 observed
+//! across all columns (attained by the Max-S2 exploration).
+//!
+//! ```text
+//! cargo run -p dk-bench --release --bin table7 -- [--full]
+//! ```
+
+use dk_bench::inputs::{self, Input};
+use dk_bench::table::MetricTable;
+use dk_bench::variants::dk_random;
+use dk_bench::Config;
+use dk_core::explore::{explore_2k, Direction, ExploreOptions, Objective2K};
+use dk_metrics::report::{MetricReport, ReportOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = Config::from_args();
+    let skitter = inputs::load(&cfg, Input::SkitterLike);
+    let opts = ReportOptions::default();
+    let explore_opts = ExploreOptions {
+        max_attempts: if cfg.full { 3_000_000 } else { 600_000 },
+        patience: Some(if cfg.full { 400_000 } else { 120_000 }),
+    };
+
+    // exploration columns are single runs (they are deterministic hill
+    // climbs, not random ensembles — the paper reports one per direction)
+    let mut cols: Vec<(String, MetricReport, f64)> = Vec::new();
+    let runs: [(&str, Objective2K, Direction); 4] = [
+        ("minC", Objective2K::MeanClustering, Direction::Minimize),
+        ("maxC", Objective2K::MeanClustering, Direction::Maximize),
+        ("minS2", Objective2K::SecondOrderLikelihood, Direction::Minimize),
+        ("maxS2", Objective2K::SecondOrderLikelihood, Direction::Maximize),
+    ];
+    for (name, objective, dir) in runs {
+        let mut g = skitter.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.run_seed(hash_name(name)));
+        let stats = explore_2k(&mut g, objective, dir, &explore_opts, &mut rng);
+        eprintln!(
+            "{name}: {} → {} ({} accepted / {} attempts)",
+            stats.initial_value, stats.final_value, stats.accepted, stats.attempts
+        );
+        let rep = MetricReport::compute_with(&g, &opts);
+        let s2 = rep.likelihood_s2;
+        cols.push((name.to_string(), rep, s2));
+    }
+    // 2K-random column
+    let mut rng = StdRng::seed_from_u64(cfg.run_seed(999));
+    let rep2k = MetricReport::compute_with(&dk_random(&skitter, 2, &mut rng), &opts);
+    let s2_rand = rep2k.likelihood_s2;
+    cols.push(("2K-rand".into(), rep2k, s2_rand));
+    // original
+    let rep_orig = MetricReport::compute_with(&skitter, &opts);
+    let s2_orig = rep_orig.likelihood_s2;
+    cols.push(("skitter".into(), rep_orig, s2_orig));
+
+    let s2_max = cols
+        .iter()
+        .map(|&(_, _, s2)| s2)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut table = MetricTable::new();
+    let ratios: Vec<Option<f64>> = cols.iter().map(|&(_, _, s2)| Some(s2 / s2_max)).collect();
+    for (name, rep, _) in cols {
+        table.push(name, rep);
+    }
+    table.push_row("S2/S2max", ratios);
+
+    println!(
+        "Table 7: 2K-space explorations for skitter-like (n = {}, m = {})",
+        skitter.node_count(),
+        skitter.edge_count()
+    );
+    println!("{}", table.render());
+    let out = cfg.out_dir.join("table7.csv");
+    std::fs::write(&out, table.to_csv()).expect("write table7.csv");
+    println!("wrote {}", out.display());
+}
+
+/// Stable small hash so every exploration column gets its own seed lane.
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(7u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+}

@@ -1,0 +1,36 @@
+//! **Table 8** — scalar metrics for dK-random (d = 0..3) vs the HOT
+//! graph (the paper's hard case: slow dK convergence).
+//!
+//! ```text
+//! cargo run -p dk-bench --release --bin table8 -- [--seeds N]
+//! ```
+
+use dk_bench::ensemble::scalar_ensemble;
+use dk_bench::inputs::{self, Input};
+use dk_bench::table::MetricTable;
+use dk_bench::variants::dk_random;
+use dk_bench::Config;
+use dk_metrics::report::{MetricReport, ReportOptions};
+
+fn main() {
+    let cfg = Config::from_args();
+    let hot = inputs::load(&cfg, Input::HotLike);
+    let opts = ReportOptions::default();
+    let mut table = MetricTable::new();
+    for d in 0..=3u8 {
+        let rep = scalar_ensemble(&cfg, &opts, |rng| dk_random(&hot, d, rng));
+        table.push(format!("{d}K"), rep.mean);
+    }
+    table.push("origHOT", MetricReport::compute_with(&hot, &opts));
+
+    println!(
+        "Table 8: dK-random vs HOT-like (n = {}, m = {}, {} seeds)",
+        hot.node_count(),
+        hot.edge_count(),
+        cfg.seeds
+    );
+    println!("{}", table.render());
+    let out = cfg.out_dir.join("table8.csv");
+    std::fs::write(&out, table.to_csv()).expect("write table8.csv");
+    println!("wrote {}", out.display());
+}

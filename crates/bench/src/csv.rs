@@ -1,0 +1,96 @@
+//! CSV series output for figures.
+//!
+//! Every figure binary writes one CSV per panel: first column is the
+//! x-value (degree or distance), remaining columns are one series per
+//! graph variant, empty where a variant has no value at that x.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A named collection of `(x, y)` series sharing an x-axis.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesSet {
+    names: Vec<String>,
+    series: Vec<Vec<(usize, f64)>>,
+}
+
+impl SeriesSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named series.
+    pub fn push(&mut self, name: impl Into<String>, s: Vec<(usize, f64)>) {
+        self.names.push(name.into());
+        self.series.push(s);
+    }
+
+    /// Renders as CSV with a union x-axis.
+    pub fn to_csv(&self, x_label: &str) -> String {
+        let mut xs: Vec<usize> = self
+            .series
+            .iter()
+            .flat_map(|s| s.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_unstable();
+        xs.dedup();
+        let mut out = String::new();
+        out.push_str(x_label);
+        for n in &self.names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&x.to_string());
+            for s in &self.series {
+                out.push(',');
+                if let Ok(i) = s.binary_search_by_key(&x, |&(xx, _)| xx) {
+                    out.push_str(&format!("{}", s[i].1));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to `path` (creating parent dirs).
+    pub fn write(&self, path: &Path, x_label: &str) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv(x_label).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_axis_and_gaps() {
+        let mut s = SeriesSet::new();
+        s.push("a", vec![(1, 0.5), (3, 0.25)]);
+        s.push("b", vec![(2, 1.0)]);
+        let csv = s.to_csv("x");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,0.5,");
+        assert_eq!(lines[2], "2,,1");
+        assert_eq!(lines[3], "3,0.25,");
+    }
+
+    #[test]
+    fn write_creates_dirs() {
+        let dir = std::env::temp_dir().join("dk_bench_csv_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("deep").join("out.csv");
+        let mut s = SeriesSet::new();
+        s.push("y", vec![(0, 1.0)]);
+        s.write(&path, "x").unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

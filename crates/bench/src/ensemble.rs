@@ -1,0 +1,199 @@
+//! Ensemble execution: run a graph-producing closure across seeds and
+//! average the results (scalars, degree-indexed series,
+//! distance-indexed series).
+//!
+//! "Our results represent averages over 100 graphs generated with a
+//! different random seed in each case" (paper §5).
+
+use crate::Config;
+use dk_graph::{traversal, Graph};
+use dk_metrics::report::{MetricReport, ReportOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Averaged scalar battery over an ensemble.
+#[derive(Clone, Debug)]
+pub struct EnsembleReport {
+    /// Mean of each scalar over the ensemble (missing values skipped).
+    pub mean: MetricReport,
+    /// Number of ensemble members.
+    pub runs: usize,
+}
+
+/// Runs `make` once per seed and averages the full scalar battery.
+///
+/// `make` receives a seeded RNG and returns the graph to measure (GCC
+/// extraction happens inside the metric battery).
+pub fn scalar_ensemble<F>(cfg: &Config, opts: &ReportOptions, mut make: F) -> EnsembleReport
+where
+    F: FnMut(&mut StdRng) -> Graph,
+{
+    let mut reports = Vec::with_capacity(cfg.seeds as usize);
+    for i in 0..cfg.seeds {
+        let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
+        let g = make(&mut rng);
+        reports.push(MetricReport::compute_with(&g, opts));
+    }
+    EnsembleReport {
+        mean: average_reports(&reports),
+        runs: reports.len(),
+    }
+}
+
+fn avg(items: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = items.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn avg_opt(items: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+    let v: Vec<f64> = items.flatten().collect();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+}
+
+/// Field-wise mean of metric reports.
+pub fn average_reports(reports: &[MetricReport]) -> MetricReport {
+    assert!(!reports.is_empty(), "cannot average an empty ensemble");
+    MetricReport {
+        nodes: (avg(reports.iter().map(|r| r.nodes as f64))).round() as usize,
+        edges: (avg(reports.iter().map(|r| r.edges as f64))).round() as usize,
+        gcc_fraction: avg(reports.iter().map(|r| r.gcc_fraction)),
+        k_avg: avg(reports.iter().map(|r| r.k_avg)),
+        assortativity: avg(reports.iter().map(|r| r.assortativity)),
+        mean_clustering: avg(reports.iter().map(|r| r.mean_clustering)),
+        avg_distance: avg_opt(reports.iter().map(|r| r.avg_distance)),
+        distance_std: avg_opt(reports.iter().map(|r| r.distance_std)),
+        likelihood_s: avg(reports.iter().map(|r| r.likelihood_s)),
+        likelihood_s2: avg(reports.iter().map(|r| r.likelihood_s2)),
+        lambda1: avg_opt(reports.iter().map(|r| r.lambda1)),
+        lambda_max: avg_opt(reports.iter().map(|r| r.lambda_max)),
+        max_betweenness: avg_opt(reports.iter().map(|r| r.max_betweenness)),
+    }
+}
+
+/// Averaged `(x, y)` series where x is an integer key (degree or hop
+/// count): y values are averaged per key over ensemble members that
+/// define the key.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesAccumulator {
+    sums: std::collections::BTreeMap<usize, (f64, usize)>,
+}
+
+impl SeriesAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one member's series.
+    pub fn add(&mut self, series: &[(usize, f64)]) {
+        for &(x, y) in series {
+            let e = self.sums.entry(x).or_insert((0.0, 0));
+            e.0 += y;
+            e.1 += 1;
+        }
+    }
+
+    /// Per-key means.
+    pub fn mean(&self) -> Vec<(usize, f64)> {
+        self.sums
+            .iter()
+            .map(|(&x, &(sum, n))| (x, sum / n as f64))
+            .collect()
+    }
+}
+
+/// Distance-distribution PDF of the GCC as an integer-keyed series
+/// (positive distances, paper figure convention).
+pub fn distance_series(g: &Graph) -> Vec<(usize, f64)> {
+    let (gcc, _) = traversal::giant_component(g);
+    let dd = dk_metrics::distance::DistanceDistribution::from_graph(&gcc);
+    dd.pdf_positive()
+        .into_iter()
+        .enumerate()
+        .skip(1)
+        .collect()
+}
+
+/// Mean normalized betweenness per degree, of the GCC.
+pub fn betweenness_series(g: &Graph) -> Vec<(usize, f64)> {
+    let (gcc, _) = traversal::giant_component(g);
+    dk_metrics::betweenness::betweenness_by_degree(&gcc)
+}
+
+/// Mean clustering per degree, of the GCC.
+pub fn clustering_series(g: &Graph) -> Vec<(usize, f64)> {
+    let (gcc, _) = traversal::giant_component(g);
+    dk_metrics::clustering::clustering_by_degree(&gcc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+
+    #[test]
+    fn averaging_identical_reports_is_identity() {
+        let r = MetricReport::compute_cheap(&builders::karate_club());
+        let mean = average_reports(&[r.clone(), r.clone(), r.clone()]);
+        assert_eq!(mean.nodes, r.nodes);
+        assert!((mean.k_avg - r.k_avg).abs() < 1e-12);
+        assert!((mean.assortativity - r.assortativity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optional_fields_skip_missing() {
+        let a = MetricReport::compute_cheap(&builders::karate_club()); // no distances
+        let mut b = a.clone();
+        b.avg_distance = Some(4.0);
+        let mean = average_reports(&[a, b]);
+        assert_eq!(mean.avg_distance, Some(4.0)); // only one defined value
+    }
+
+    #[test]
+    fn series_accumulator_averages_per_key() {
+        let mut acc = SeriesAccumulator::new();
+        acc.add(&[(1, 1.0), (2, 4.0)]);
+        acc.add(&[(1, 3.0)]);
+        assert_eq!(acc.mean(), vec![(1, 2.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn ensemble_runs_with_config_seeds() {
+        let cfg = crate::Config {
+            seeds: 3,
+            out_dir: std::env::temp_dir(),
+            ..Default::default()
+        };
+        let rep = scalar_ensemble(
+            &cfg,
+            &dk_metrics::report::ReportOptions {
+                spectral: false,
+                distances: false,
+                betweenness: false,
+                lanczos_iter: 0,
+            },
+            |rng| dk_topologies::er::gnm(50, 100, rng),
+        );
+        assert_eq!(rep.runs, 3);
+        assert!(rep.mean.k_avg > 0.0);
+    }
+
+    #[test]
+    fn series_helpers_on_karate() {
+        let g = builders::karate_club();
+        let d = distance_series(&g);
+        assert_eq!(d[0].0, 1);
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(!betweenness_series(&g).is_empty());
+        assert!(!clustering_series(&g).is_empty());
+    }
+}

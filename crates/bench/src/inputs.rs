@@ -1,0 +1,119 @@
+//! Evaluation inputs: the skitter-like and HOT-like graphs, disk-cached.
+//!
+//! Generating the full-scale skitter substitute involves a multi-million
+//! step clustering anneal; caching the generated edge list under
+//! `results/cache/` makes every experiment binary start from the *same*
+//! input instantly (and makes the inputs inspectable with external
+//! tools).
+
+use crate::Config;
+use dk_graph::{io, Graph};
+use dk_topologies::{as_like, hot_like};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Which evaluation input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Input {
+    /// Skitter-like AS topology (paper's measured extreme).
+    SkitterLike,
+    /// HOT-like router topology (paper's designed extreme).
+    HotLike,
+}
+
+impl Input {
+    fn tag(self) -> &'static str {
+        match self {
+            Input::SkitterLike => "skitter_like",
+            Input::HotLike => "hot_like",
+        }
+    }
+}
+
+fn cache_path(cfg: &Config, input: Input) -> PathBuf {
+    let scale = if cfg.full { "full" } else { "ci" };
+    cfg.out_dir.join("cache").join(format!(
+        "{}_{}_{:x}.edges",
+        input.tag(),
+        scale,
+        cfg.master_seed
+    ))
+}
+
+/// Loads (or generates and caches) an evaluation input.
+///
+/// The input's generation seed is derived from the master seed but *not*
+/// from the per-run seeds, so all ensemble members rewire the same input
+/// — matching the paper's protocol of 100 random graphs per one original.
+pub fn load(cfg: &Config, input: Input) -> Graph {
+    let path = cache_path(cfg, input);
+    if let Ok(g) = io::load_edge_list(&path) {
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.master_seed ^ 0xd15c_0b01);
+    let g = match (input, cfg.full) {
+        (Input::SkitterLike, true) => as_like::skitter_like(&as_like::AsLikeParams::default(), &mut rng),
+        (Input::SkitterLike, false) => {
+            as_like::skitter_like(&as_like::AsLikeParams::small(), &mut rng)
+        }
+        // HOT is small by nature; "full" and CI use the published scale
+        (Input::HotLike, true) => hot_like::hot_like(&hot_like::HotLikeParams::default(), &mut rng),
+        (Input::HotLike, false) => {
+            hot_like::hot_like(&hot_like::HotLikeParams::default(), &mut rng)
+        }
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = io::save_edge_list(&g, &path) {
+        eprintln!("warning: could not cache input at {}: {e}", path.display());
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg(name: &str) -> Config {
+        Config {
+            out_dir: std::env::temp_dir().join("dk_bench_inputs_test").join(name),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn hot_like_loads_and_caches() {
+        let cfg = test_cfg("hot");
+        let a = load(&cfg, Input::HotLike);
+        assert_eq!(a.node_count(), 939);
+        // second load hits the cache and is identical
+        let b = load(&cfg, Input::HotLike);
+        assert_eq!(a, b);
+        assert!(cache_path(&cfg, Input::HotLike).exists());
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+
+    #[test]
+    fn cache_paths_distinguish_scale_and_seed() {
+        let ci = test_cfg("x");
+        let full = Config {
+            full: true,
+            ..ci.clone()
+        };
+        let other_seed = Config {
+            master_seed: 42,
+            ..ci.clone()
+        };
+        assert_ne!(cache_path(&ci, Input::SkitterLike), cache_path(&full, Input::SkitterLike));
+        assert_ne!(
+            cache_path(&ci, Input::SkitterLike),
+            cache_path(&other_seed, Input::SkitterLike)
+        );
+        assert_ne!(
+            cache_path(&ci, Input::SkitterLike),
+            cache_path(&ci, Input::HotLike)
+        );
+    }
+}

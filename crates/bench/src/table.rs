@@ -1,0 +1,184 @@
+//! Paper-style table rendering.
+//!
+//! Every reproduction binary prints a table whose rows are metrics
+//! (Table 2 notation) and whose columns are graph variants — the same
+//! layout as the paper's Tables 3, 4, 6, 7, 8.
+
+use dk_metrics::MetricReport;
+
+/// A metric-rows × variant-columns table.
+#[derive(Clone, Debug, Default)]
+pub struct MetricTable {
+    columns: Vec<(String, MetricReport)>,
+    /// Extra custom rows: (label, per-column values).
+    extra_rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+impl MetricTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a variant column.
+    pub fn push(&mut self, name: impl Into<String>, report: MetricReport) {
+        self.columns.push((name.into(), report));
+    }
+
+    /// Appends a custom row (must supply one value per existing column).
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(values.len(), self.columns.len(), "one value per column");
+        self.extra_rows.push((label.into(), values));
+    }
+
+    /// Renders the table (fixed metric rows, then custom rows).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = 12usize;
+        let fmt_opt = |v: Option<f64>| -> String {
+            match v {
+                None => "-".to_string(),
+                Some(x) if x.abs() >= 1000.0 => format!("{x:.0}"),
+                Some(x) => format!("{x:.3}"),
+            }
+        };
+        // header
+        out.push_str(&format!("{:<10}", "metric"));
+        for (name, _) in &self.columns {
+            out.push_str(&format!("{name:>width$}"));
+        }
+        out.push('\n');
+        let rows: Vec<(&str, Box<dyn Fn(&MetricReport) -> Option<f64>>)> = vec![
+            ("n", Box::new(|r: &MetricReport| Some(r.nodes as f64))),
+            ("m", Box::new(|r: &MetricReport| Some(r.edges as f64))),
+            ("k_avg", Box::new(|r: &MetricReport| Some(r.k_avg))),
+            ("r", Box::new(|r: &MetricReport| Some(r.assortativity))),
+            ("C_mean", Box::new(|r: &MetricReport| Some(r.mean_clustering))),
+            ("d_avg", Box::new(|r: &MetricReport| r.avg_distance)),
+            ("d_std", Box::new(|r: &MetricReport| r.distance_std)),
+            ("lambda1", Box::new(|r: &MetricReport| r.lambda1)),
+            ("lambdaN", Box::new(|r: &MetricReport| r.lambda_max)),
+        ];
+        for (label, getter) in rows {
+            out.push_str(&format!("{label:<10}"));
+            for (_, rep) in &self.columns {
+                out.push_str(&format!("{:>width$}", fmt_opt(getter(rep))));
+            }
+            out.push('\n');
+        }
+        for (label, values) in &self.extra_rows {
+            out.push_str(&format!("{label:<10}"));
+            for v in values {
+                out.push_str(&format!("{:>width$}", fmt_opt(*v)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV (metric, col1, col2, …).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("metric");
+        for (name, _) in &self.columns {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        let emit = |out: &mut String, label: &str, vals: Vec<Option<f64>>| {
+            out.push_str(label);
+            for v in vals {
+                out.push(',');
+                if let Some(x) = v {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            out.push('\n');
+        };
+        emit(
+            &mut out,
+            "n",
+            self.columns.iter().map(|(_, r)| Some(r.nodes as f64)).collect(),
+        );
+        emit(
+            &mut out,
+            "m",
+            self.columns.iter().map(|(_, r)| Some(r.edges as f64)).collect(),
+        );
+        emit(
+            &mut out,
+            "k_avg",
+            self.columns.iter().map(|(_, r)| Some(r.k_avg)).collect(),
+        );
+        emit(
+            &mut out,
+            "r",
+            self.columns
+                .iter()
+                .map(|(_, r)| Some(r.assortativity))
+                .collect(),
+        );
+        emit(
+            &mut out,
+            "C_mean",
+            self.columns
+                .iter()
+                .map(|(_, r)| Some(r.mean_clustering))
+                .collect(),
+        );
+        emit(
+            &mut out,
+            "d_avg",
+            self.columns.iter().map(|(_, r)| r.avg_distance).collect(),
+        );
+        emit(
+            &mut out,
+            "d_std",
+            self.columns.iter().map(|(_, r)| r.distance_std).collect(),
+        );
+        emit(
+            &mut out,
+            "lambda1",
+            self.columns.iter().map(|(_, r)| r.lambda1).collect(),
+        );
+        emit(
+            &mut out,
+            "lambdaN",
+            self.columns.iter().map(|(_, r)| r.lambda_max).collect(),
+        );
+        for (label, values) in &self.extra_rows {
+            emit(&mut out, label, values.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+
+    #[test]
+    fn render_contains_all_columns_and_rows() {
+        let mut t = MetricTable::new();
+        t.push("orig", MetricReport::compute_cheap(&builders::karate_club()));
+        t.push("rand", MetricReport::compute_cheap(&builders::petersen()));
+        t.push_row("S2/S2max", vec![Some(0.95), Some(1.0)]);
+        let s = t.render();
+        assert!(s.contains("orig") && s.contains("rand"));
+        assert!(s.contains("k_avg") && s.contains("S2/S2max"));
+        // dashes for skipped metrics
+        assert!(s.contains('-'));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("metric,orig,rand"));
+        assert_eq!(csv.lines().count(), 1 + 9 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per column")]
+    fn row_arity_checked() {
+        let mut t = MetricTable::new();
+        t.push("a", MetricReport::compute_cheap(&builders::path(3)));
+        t.push_row("bad", vec![]);
+    }
+}

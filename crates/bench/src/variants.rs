@@ -1,0 +1,153 @@
+//! Graph-variant constructors shared by the table/figure binaries.
+//!
+//! Each experiment compares an *original* (skitter-like or HOT-like)
+//! against dK-random counterparts produced by the §4.1 algorithm
+//! families; this module wires the `dk-core` generators into one-call
+//! constructors with the experiment-appropriate defaults.
+
+use dk_core::dist::{Dist2K, Dist3K};
+use dk_core::generate::rewire::{randomize, RewireOptions};
+use dk_core::generate::target::{
+    generate_2k_random, generate_3k_random, Bootstrap, TargetOptions,
+};
+use dk_core::generate::{matching, pseudograph, stochastic};
+use dk_graph::Graph;
+use rand::Rng;
+
+/// The five 2K construction algorithms of the paper's §5.1 comparison
+/// (Table 3, Figure 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo2K {
+    /// §4.1.1 stochastic (hidden-variable block model).
+    Stochastic,
+    /// §4.1.2 pseudograph with cleanup.
+    Pseudograph,
+    /// §4.1.3 matching.
+    Matching,
+    /// §4.1.4 2K-randomizing rewiring of the original.
+    Randomizing,
+    /// §4.1.4 2K-targeting 1K-preserving rewiring from a 1K bootstrap.
+    Targeting,
+}
+
+impl Algo2K {
+    /// All five, in the paper's column order.
+    pub const ALL: [Algo2K; 5] = [
+        Algo2K::Stochastic,
+        Algo2K::Pseudograph,
+        Algo2K::Matching,
+        Algo2K::Randomizing,
+        Algo2K::Targeting,
+    ];
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo2K::Stochastic => "stochastic",
+            Algo2K::Pseudograph => "pseudogr",
+            Algo2K::Matching => "matching",
+            Algo2K::Randomizing => "2K-rand",
+            Algo2K::Targeting => "2K-targ",
+        }
+    }
+}
+
+/// Default targeting options for experiment runs.
+pub fn targeting_opts() -> TargetOptions {
+    TargetOptions {
+        max_attempts: 3_000_000,
+        patience: Some(300_000),
+        ..Default::default()
+    }
+}
+
+/// Builds a 2K-graph of `original`'s JDD with the chosen algorithm.
+pub fn build_2k<R: Rng + ?Sized>(original: &Graph, algo: Algo2K, rng: &mut R) -> Graph {
+    let jdd = Dist2K::from_graph(original);
+    match algo {
+        Algo2K::Stochastic => stochastic::generate_2k(&jdd, rng)
+            .expect("JDD extracted from a graph is consistent")
+            .graph,
+        Algo2K::Pseudograph => pseudograph::generate_2k(&jdd, rng)
+            .expect("JDD extracted from a graph is consistent")
+            .graph,
+        Algo2K::Matching => matching::generate_2k(&jdd, rng)
+            .expect("JDD extracted from a graph is realizable")
+            .graph,
+        Algo2K::Randomizing => {
+            let mut g = original.clone();
+            randomize(&mut g, 2, &RewireOptions::default(), rng);
+            g
+        }
+        Algo2K::Targeting => {
+            generate_2k_random(&jdd, Bootstrap::Matching, &targeting_opts(), rng)
+                .expect("JDD extracted from a graph is realizable")
+                .0
+        }
+    }
+}
+
+/// Builds a 3K-graph of `original` via randomizing (`true`) or the
+/// targeting chain (`false`) — Table 4 / Figure 5(c).
+pub fn build_3k<R: Rng + ?Sized>(original: &Graph, randomizing: bool, rng: &mut R) -> Graph {
+    if randomizing {
+        let mut g = original.clone();
+        randomize(&mut g, 3, &RewireOptions::default(), rng);
+        g
+    } else {
+        let d3 = Dist3K::from_graph(original);
+        generate_3k_random(&d3, Bootstrap::Matching, &targeting_opts(), rng)
+            .expect("3K extracted from a graph is realizable")
+            .0
+    }
+}
+
+/// dK-random counterpart of `original` via dK-randomizing rewiring —
+/// "the simplest one" the paper picks for its §5.2 topology comparisons.
+pub fn dk_random<R: Rng + ?Sized>(original: &Graph, d: u8, rng: &mut R) -> Graph {
+    let mut g = original.clone();
+    randomize(&mut g, d, &RewireOptions::default(), rng);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_2k_algorithms_produce_graphs() {
+        let original = builders::karate_club();
+        let target = Dist2K::from_graph(&original);
+        for algo in Algo2K::ALL {
+            let mut rng = StdRng::seed_from_u64(1);
+            let g = build_2k(&original, algo, &mut rng);
+            assert!(g.node_count() > 0, "{algo:?}");
+            // exact-JDD families must match exactly
+            if matches!(algo, Algo2K::Matching | Algo2K::Randomizing) {
+                assert_eq!(Dist2K::from_graph(&g), target, "{algo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_k_variants() {
+        let original = builders::karate_club();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = build_3k(&original, true, &mut rng);
+        assert_eq!(Dist3K::from_graph(&a), Dist3K::from_graph(&original));
+        let b = build_3k(&original, false, &mut rng);
+        assert_eq!(b.edge_count(), original.edge_count());
+    }
+
+    #[test]
+    fn dk_random_changes_graph_but_keeps_level() {
+        let original = builders::karate_club();
+        let mut rng = StdRng::seed_from_u64(3);
+        let g1 = dk_random(&original, 1, &mut rng);
+        assert_eq!(g1.degrees(), original.degrees());
+        assert_ne!(g1, original);
+    }
+}

@@ -1,0 +1,438 @@
+//! # dk-cli — command implementations for the `dk` tool
+//!
+//! The paper announces the release of "source code for our analysis tools
+//! to measure an input graph's dK-distribution and our generator able to
+//! produce random graphs possessing properties `P_d` for d < 4" — the
+//! Orbis tool chain. This crate is that interface:
+//!
+//! ```text
+//! dk extract  <d> <graph.edges> -o <dist.dk>      measure a dK-distribution
+//! dk generate <d> <dist.dk>     -o <out.edges>    construct a dK-graph
+//! dk rewire   <d> <graph.edges> -o <out.edges>    dK-randomizing rewiring
+//! dk explore  <s|s2|c> <min|max> <graph.edges> -o <out.edges>
+//! dk metrics  <graph.edges>                       Table 2 battery
+//! dk compare  <a.edges> <b.edges>                 D1/D2/D3 distances
+//! dk census   <graph.edges>                       Table 5 census
+//! dk viz      <graph.edges>     -o <out.svg>      layout + SVG
+//! ```
+//!
+//! All logic lives here (testable, returns `Result`); `main.rs` only
+//! parses arguments and prints errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dk_core::dist::{Dist1K, Dist2K, Dist3K};
+use dk_core::explore::{
+    explore_1k_likelihood, explore_2k, Direction, ExploreOptions, Objective2K,
+};
+use dk_core::generate::rewire::{randomize, RewireOptions, SwapBudget};
+use dk_core::generate::target::{generate_2k_random, generate_3k_random, Bootstrap, TargetOptions};
+use dk_core::generate::{matching, pseudograph, stochastic};
+use dk_core::{census, io as dist_io};
+use dk_graph::{io as graph_io, GraphError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+/// Construction algorithm selector for `dk generate`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenAlgo {
+    /// Stub/edge-end based exact construction with cleanup (default).
+    Pseudograph,
+    /// Loop-avoiding exact construction.
+    Matching,
+    /// Expected-value construction (high variance).
+    Stochastic,
+    /// Bootstrap + targeting rewiring chain (required for d = 3).
+    Targeting,
+}
+
+impl std::str::FromStr for GenAlgo {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "pseudograph" => Ok(GenAlgo::Pseudograph),
+            "matching" => Ok(GenAlgo::Matching),
+            "stochastic" => Ok(GenAlgo::Stochastic),
+            "targeting" => Ok(GenAlgo::Targeting),
+            other => Err(format!(
+                "unknown algorithm {other:?} (pseudograph|matching|stochastic|targeting)"
+            )),
+        }
+    }
+}
+
+/// `dk extract`: writes the dK-distribution of a graph to a text file.
+pub fn cmd_extract(d: u8, graph_path: &Path, out: &Path) -> Result<String, GraphError> {
+    let g = graph_io::load_edge_list(graph_path)?;
+    let mut buf = Vec::new();
+    let what = match d {
+        1 => {
+            dist_io::write_1k(&Dist1K::from_graph(&g), &mut buf)?;
+            "1K (degree distribution)"
+        }
+        2 => {
+            dist_io::write_2k(&Dist2K::from_graph(&g), &mut buf)?;
+            "2K (joint degree distribution)"
+        }
+        3 => {
+            dist_io::write_3k(&Dist3K::from_graph(&g), &mut buf)?;
+            "3K (wedge + triangle distributions)"
+        }
+        other => {
+            return Err(GraphError::ConstructionFailed(format!(
+                "extract supports d in 1..=3, got {other}"
+            )))
+        }
+    };
+    std::fs::write(out, &buf)?;
+    Ok(format!(
+        "extracted {what} of {} (n = {}, m = {}) -> {}",
+        graph_path.display(),
+        g.node_count(),
+        g.edge_count(),
+        out.display()
+    ))
+}
+
+/// `dk generate`: constructs a dK-graph from a distribution file.
+pub fn cmd_generate(
+    d: u8,
+    dist_path: &Path,
+    out: &Path,
+    algo: GenAlgo,
+    seed: u64,
+) -> Result<String, GraphError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let file = std::fs::File::open(dist_path)?;
+    let g = match (d, algo) {
+        (1, GenAlgo::Pseudograph) => {
+            pseudograph::generate_1k(&dist_io::read_1k(file)?, &mut rng)?.graph
+        }
+        (1, GenAlgo::Matching) => matching::generate_1k(&dist_io::read_1k(file)?, &mut rng)?.graph,
+        (1, GenAlgo::Stochastic) => {
+            stochastic::generate_1k(&dist_io::read_1k(file)?, &mut rng)?.graph
+        }
+        (2, GenAlgo::Pseudograph) => {
+            pseudograph::generate_2k(&dist_io::read_2k(file)?, &mut rng)?.graph
+        }
+        (2, GenAlgo::Matching) => matching::generate_2k(&dist_io::read_2k(file)?, &mut rng)?.graph,
+        (2, GenAlgo::Stochastic) => {
+            stochastic::generate_2k(&dist_io::read_2k(file)?, &mut rng)?.graph
+        }
+        (2, GenAlgo::Targeting) => {
+            generate_2k_random(
+                &dist_io::read_2k(file)?,
+                Bootstrap::Matching,
+                &TargetOptions::default(),
+                &mut rng,
+            )?
+            .0
+        }
+        (3, GenAlgo::Targeting) => {
+            generate_3k_random(
+                &dist_io::read_3k(file)?,
+                Bootstrap::Matching,
+                &TargetOptions::default(),
+                &mut rng,
+            )?
+            .0
+        }
+        (3, other) => {
+            return Err(GraphError::ConstructionFailed(format!(
+                "d = 3 generation requires --algo targeting (got {other:?}); \
+                 pseudograph/matching do not generalize past d = 2 (paper §4.1.2)"
+            )))
+        }
+        (1, GenAlgo::Targeting) => {
+            return Err(GraphError::ConstructionFailed(
+                "d = 1 targeting is pointless: pseudograph/matching are exact".into(),
+            ))
+        }
+        (other, _) => {
+            return Err(GraphError::ConstructionFailed(format!(
+                "generate supports d in 1..=3, got {other}"
+            )))
+        }
+    };
+    graph_io::save_edge_list(&g, out)?;
+    Ok(format!(
+        "generated {d}K-graph via {algo:?}: n = {}, m = {} -> {}",
+        g.node_count(),
+        g.edge_count(),
+        out.display()
+    ))
+}
+
+/// `dk rewire`: dK-randomizing rewiring of a graph.
+pub fn cmd_rewire(
+    d: u8,
+    graph_path: &Path,
+    out: &Path,
+    attempts: Option<u64>,
+    seed: u64,
+) -> Result<String, GraphError> {
+    let mut g = graph_io::load_edge_list(graph_path)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let opts = RewireOptions {
+        budget: attempts.map_or(SwapBudget::AttemptsPerEdge(50.0), SwapBudget::Attempts),
+    };
+    let stats = randomize(&mut g, d, &opts, &mut rng);
+    graph_io::save_edge_list(&g, out)?;
+    Ok(format!(
+        "{d}K-randomized: {} accepted / {} attempted swaps -> {}",
+        stats.accepted,
+        stats.attempts,
+        out.display()
+    ))
+}
+
+/// `dk explore`: drive S, S2, or C̄ to an extreme.
+pub fn cmd_explore(
+    objective: &str,
+    direction: &str,
+    graph_path: &Path,
+    out: &Path,
+    seed: u64,
+) -> Result<String, GraphError> {
+    let mut g = graph_io::load_edge_list(graph_path)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dir = match direction {
+        "min" => Direction::Minimize,
+        "max" => Direction::Maximize,
+        other => {
+            return Err(GraphError::ConstructionFailed(format!(
+                "direction must be min or max, got {other:?}"
+            )))
+        }
+    };
+    let opts = ExploreOptions::default();
+    let stats = match objective {
+        "s" => explore_1k_likelihood(&mut g, dir, &opts, &mut rng),
+        "s2" => explore_2k(
+            &mut g,
+            Objective2K::SecondOrderLikelihood,
+            dir,
+            &opts,
+            &mut rng,
+        ),
+        "c" => explore_2k(&mut g, Objective2K::MeanClustering, dir, &opts, &mut rng),
+        other => {
+            return Err(GraphError::ConstructionFailed(format!(
+                "objective must be s, s2, or c, got {other:?}"
+            )))
+        }
+    };
+    graph_io::save_edge_list(&g, out)?;
+    Ok(format!(
+        "explored {objective} {direction}: {} -> {} ({} accepted moves) -> {}",
+        stats.initial_value,
+        stats.final_value,
+        stats.accepted,
+        out.display()
+    ))
+}
+
+/// `dk compare`: the paper's abstract promises we "can quantitatively
+/// measure the distance between two graphs" — this prints `D_1`, `D_2`,
+/// `D_3` between two edge lists, plus their scalar batteries.
+pub fn cmd_compare(a_path: &Path, b_path: &Path) -> Result<String, GraphError> {
+    let a = graph_io::load_edge_list(a_path)?;
+    let b = graph_io::load_edge_list(b_path)?;
+    let d1 = Dist1K::from_graph(&a).distance_sq(&Dist1K::from_graph(&b));
+    let d2 = Dist2K::from_graph(&a).distance_sq(&Dist2K::from_graph(&b));
+    let d3 = Dist3K::from_graph(&a).distance_sq(&Dist3K::from_graph(&b));
+    let ra = dk_metrics::MetricReport::compute_cheap(&a);
+    let rb = dk_metrics::MetricReport::compute_cheap(&b);
+    Ok(format!(
+        "dK distances (sums of squared count differences; 0 = same distribution):\n\
+         D1 = {d1}\nD2 = {d2}\nD3 = {d3}\n\n\
+         {:<14}{}\n{:<14}{}\n{:<14}{}",
+        "",
+        dk_metrics::MetricReport::table_header(),
+        a_path.display(),
+        ra.table_row(),
+        b_path.display(),
+        rb.table_row()
+    ))
+}
+
+/// `dk metrics`: prints the Table 2 battery of a graph (GCC).
+pub fn cmd_metrics(graph_path: &Path) -> Result<String, GraphError> {
+    let g = graph_io::load_edge_list(graph_path)?;
+    let rep = dk_metrics::MetricReport::compute(&g);
+    Ok(format!(
+        "{}\nn = {}, m = {}, GCC fraction = {:.3}, S = {:.0}, S2 = {:.0}\n{}\n{}",
+        graph_path.display(),
+        rep.nodes,
+        rep.edges,
+        rep.gcc_fraction,
+        rep.likelihood_s,
+        rep.likelihood_s2,
+        dk_metrics::MetricReport::table_header(),
+        rep.table_row()
+    ))
+}
+
+/// `dk census`: prints the Table 5 rewiring census.
+pub fn cmd_census(graph_path: &Path, max_d: u8) -> Result<String, GraphError> {
+    let g = graph_io::load_edge_list(graph_path)?;
+    let mut out = format!(
+        "rewiring census of {} (n = {}, m = {}):\n{:>3} {:>16} {:>22}\n",
+        graph_path.display(),
+        g.node_count(),
+        g.edge_count(),
+        "d",
+        "possible",
+        "minus obvious isos"
+    );
+    for d in 0..=max_d.min(3) {
+        let c = census::count_initial_rewirings(&g, d);
+        out.push_str(&format!(
+            "{d:>3} {:>16} {:>22}\n",
+            c.total,
+            c.excluding_obvious_isomorphic
+                .map_or("-".to_string(), |v| v.to_string())
+        ));
+    }
+    Ok(out)
+}
+
+/// `dk viz`: force-directed layout to SVG.
+pub fn cmd_viz(graph_path: &Path, out: &Path, seed: u64) -> Result<String, GraphError> {
+    let g = graph_io::load_edge_list(graph_path)?;
+    let (gcc, _) = dk_graph::giant_component(&g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let layout_opts = dk_graph::layout::LayoutOptions {
+        repulsion_sample: if gcc.node_count() > 2500 { Some(32) } else { None },
+        ..Default::default()
+    };
+    let pos = dk_graph::layout::fruchterman_reingold(&gcc, &layout_opts, &mut rng);
+    let svg = dk_graph::svg::render_svg(
+        &gcc,
+        &pos,
+        &dk_graph::svg::SvgOptions {
+            title: graph_path.display().to_string(),
+            ..Default::default()
+        },
+    );
+    std::fs::write(out, svg)?;
+    Ok(format!(
+        "rendered GCC (n = {}) -> {}",
+        gcc.node_count(),
+        out.display()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dk_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_karate() -> std::path::PathBuf {
+        let p = tmp("karate.edges");
+        graph_io::save_edge_list(&builders::karate_club(), &p).unwrap();
+        p
+    }
+
+    #[test]
+    fn extract_generate_roundtrip_2k() {
+        let graph = write_karate();
+        let dist = tmp("karate.2k");
+        let out = tmp("karate_2k.edges");
+        cmd_extract(2, &graph, &dist).unwrap();
+        let msg = cmd_generate(2, &dist, &out, GenAlgo::Matching, 7).unwrap();
+        assert!(msg.contains("m = 78"), "{msg}");
+        let g = graph_io::load_edge_list(&out).unwrap();
+        assert_eq!(
+            Dist2K::from_graph(&g),
+            Dist2K::from_graph(&builders::karate_club())
+        );
+    }
+
+    #[test]
+    fn extract_rejects_bad_d() {
+        let graph = write_karate();
+        assert!(cmd_extract(0, &graph, &tmp("x.dk")).is_err());
+        assert!(cmd_extract(4, &graph, &tmp("x.dk")).is_err());
+    }
+
+    #[test]
+    fn generate_3k_requires_targeting() {
+        let graph = write_karate();
+        let dist = tmp("karate.3k");
+        cmd_extract(3, &graph, &dist).unwrap();
+        let err = cmd_generate(3, &dist, &tmp("y.edges"), GenAlgo::Matching, 1).unwrap_err();
+        assert!(err.to_string().contains("targeting"), "{err}");
+    }
+
+    #[test]
+    fn rewire_preserves_level() {
+        let graph = write_karate();
+        let out = tmp("karate_rw.edges");
+        let msg = cmd_rewire(2, &graph, &out, Some(2000), 3).unwrap();
+        assert!(msg.contains("accepted"), "{msg}");
+        let g = graph_io::load_edge_list(&out).unwrap();
+        assert_eq!(
+            Dist2K::from_graph(&g),
+            Dist2K::from_graph(&builders::karate_club())
+        );
+    }
+
+    #[test]
+    fn explore_moves_objective() {
+        let graph = write_karate();
+        let out = tmp("karate_maxs.edges");
+        let msg = cmd_explore("s", "max", &graph, &out, 5).unwrap();
+        assert!(msg.contains("accepted moves"), "{msg}");
+        assert!(cmd_explore("bogus", "max", &graph, &out, 5).is_err());
+        assert!(cmd_explore("s", "sideways", &graph, &out, 5).is_err());
+    }
+
+    #[test]
+    fn compare_zero_on_identical_graphs() {
+        let graph = write_karate();
+        let out = cmd_compare(&graph, &graph).unwrap();
+        assert!(out.contains("D1 = 0"), "{out}");
+        assert!(out.contains("D2 = 0"));
+        assert!(out.contains("D3 = 0"));
+        // and nonzero against a rewired version
+        let rw = tmp("karate_cmp.edges");
+        cmd_rewire(1, &graph, &rw, Some(2000), 9).unwrap();
+        let out = cmd_compare(&graph, &rw).unwrap();
+        assert!(out.contains("D1 = 0"), "1K preserved: {out}");
+        assert!(!out.contains("D2 = 0"), "JDD should differ: {out}");
+    }
+
+    #[test]
+    fn metrics_and_census_render() {
+        let graph = write_karate();
+        let m = cmd_metrics(&graph).unwrap();
+        assert!(m.contains("n = 34"));
+        assert!(m.contains("k_avg"));
+        let c = cmd_census(&graph, 1).unwrap();
+        assert!(c.lines().count() >= 4);
+    }
+
+    #[test]
+    fn viz_writes_svg() {
+        let graph = write_karate();
+        let out = tmp("karate.svg");
+        cmd_viz(&graph, &out, 1).unwrap();
+        let svg = std::fs::read_to_string(&out).unwrap();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn algo_parsing() {
+        assert_eq!("matching".parse::<GenAlgo>().unwrap(), GenAlgo::Matching);
+        assert!("bogus".parse::<GenAlgo>().is_err());
+    }
+}

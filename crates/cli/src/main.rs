@@ -1,0 +1,146 @@
+//! `dk` — Orbis-style command line for the dK-series tool chain.
+//!
+//! Argument parsing only; all behavior lives in [`dk_cli`] (tested there).
+
+use dk_cli::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dk — dK-series topology analysis and generation (SIGCOMM'06 reproduction)
+
+USAGE:
+  dk extract  <d: 1..3> <graph.edges> -o <dist.dk>
+  dk generate <d: 1..3> <dist.dk>     -o <out.edges> [--algo pseudograph|matching|stochastic|targeting] [--seed N]
+  dk rewire   <d: 0..3> <graph.edges> -o <out.edges> [--attempts N] [--seed N]
+  dk explore  <s|s2|c>  <min|max> <graph.edges> -o <out.edges> [--seed N]
+  dk metrics  <graph.edges>
+  dk compare  <a.edges> <b.edges>
+  dk census   <graph.edges> [--max-d D]
+  dk viz      <graph.edges> -o <out.svg> [--seed N]
+
+Graphs are whitespace edge lists (`#` comments, optional `nodes N` header);
+distribution files are the Orbis-style formats documented in dk-core.";
+
+struct Args {
+    positional: Vec<String>,
+    out: Option<PathBuf>,
+    algo: GenAlgo,
+    seed: u64,
+    attempts: Option<u64>,
+    max_d: u8,
+}
+
+fn parse(mut raw: Vec<String>) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        out: None,
+        algo: GenAlgo::Pseudograph,
+        seed: 1,
+        attempts: None,
+        max_d: 3,
+    };
+    raw.reverse();
+    while let Some(tok) = raw.pop() {
+        match tok.as_str() {
+            "-o" | "--out" => {
+                args.out = Some(PathBuf::from(
+                    raw.pop().ok_or("missing value after -o")?,
+                ))
+            }
+            "--algo" => {
+                args.algo = raw
+                    .pop()
+                    .ok_or("missing value after --algo")?
+                    .parse()?
+            }
+            "--seed" => {
+                args.seed = raw
+                    .pop()
+                    .ok_or("missing value after --seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--attempts" => {
+                args.attempts = Some(
+                    raw.pop()
+                        .ok_or("missing value after --attempts")?
+                        .parse()
+                        .map_err(|e| format!("bad --attempts: {e}"))?,
+                )
+            }
+            "--max-d" => {
+                args.max_d = raw
+                    .pop()
+                    .ok_or("missing value after --max-d")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-d: {e}"))?
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            _ => args.positional.push(tok),
+        }
+    }
+    Ok(args)
+}
+
+fn need_out(a: &Args) -> Result<&PathBuf, String> {
+    a.out.as_ref().ok_or_else(|| "missing -o <output>".into())
+}
+
+fn run() -> Result<String, String> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
+        return Ok(USAGE.to_string());
+    }
+    let cmd = argv.remove(0);
+    let a = parse(argv)?;
+    let p = |i: usize| -> Result<&String, String> {
+        a.positional
+            .get(i)
+            .ok_or_else(|| format!("missing argument #{} — see `dk --help`", i + 1))
+    };
+    let parse_d = |s: &str| -> Result<u8, String> {
+        s.parse().map_err(|e| format!("bad d {s:?}: {e}"))
+    };
+    let err = |e: dk_graph::GraphError| e.to_string();
+    match cmd.as_str() {
+        "extract" => {
+            cmd_extract(parse_d(p(0)?)?, p(1)?.as_ref(), need_out(&a)?).map_err(err)
+        }
+        "generate" => cmd_generate(
+            parse_d(p(0)?)?,
+            p(1)?.as_ref(),
+            need_out(&a)?,
+            a.algo,
+            a.seed,
+        )
+        .map_err(err),
+        "rewire" => cmd_rewire(
+            parse_d(p(0)?)?,
+            p(1)?.as_ref(),
+            need_out(&a)?,
+            a.attempts,
+            a.seed,
+        )
+        .map_err(err),
+        "explore" => cmd_explore(p(0)?, p(1)?, p(2)?.as_ref(), need_out(&a)?, a.seed).map_err(err),
+        "metrics" => cmd_metrics(p(0)?.as_ref()).map_err(err),
+        "compare" => cmd_compare(p(0)?.as_ref(), p(1)?.as_ref()).map_err(err),
+        "census" => cmd_census(p(0)?.as_ref(), a.max_d).map_err(err),
+        "viz" => cmd_viz(p(0)?.as_ref(), need_out(&a)?, a.seed).map_err(err),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Incremental 3K bookkeeping for rewiring.
+//!
+//! A degree-preserving edge swap changes the wedge/triangle census only in
+//! the neighborhoods of the four endpoints. These helpers apply edge
+//! operations to the graph **while accumulating the exact change** to the
+//! 3K histograms, in O(deg(x) + deg(y)) per operation — the difference
+//! between an O(1)-amortized rewiring step and re-extracting an O(Σ deg²)
+//! distribution per step.
+//!
+//! Degrees are read from a *frozen* degree vector captured before the
+//! swap: all moves used with this module preserve every node's degree, so
+//! the frozen degrees equal both the pre- and post-swap degrees, and the
+//! histogram keys stay consistent even mid-swap (when an endpoint's
+//! transient degree is off by one).
+
+use crate::dist::{canon_triangle, canon_wedge, Degree, Dist3K};
+use dk_graph::hashers::DetHashMap;
+use dk_graph::Graph;
+
+/// Signed change to the wedge/triangle histograms.
+#[derive(Clone, Debug, Default)]
+pub struct Delta3K {
+    /// Wedge count changes by canonical triple.
+    pub wedges: DetHashMap<(Degree, Degree, Degree), i64>,
+    /// Triangle count changes by canonical triple.
+    pub triangles: DetHashMap<(Degree, Degree, Degree), i64>,
+}
+
+impl Delta3K {
+    /// `true` if every accumulated change cancels out (the swap was
+    /// 3K-preserving).
+    pub fn is_zero(&self) -> bool {
+        self.wedges.values().all(|&v| v == 0) && self.triangles.values().all(|&v| v == 0)
+    }
+
+    /// Resets the delta for reuse.
+    pub fn clear(&mut self) {
+        self.wedges.clear();
+        self.triangles.clear();
+    }
+
+    /// Applies the delta to a [`Dist3K`] (used by targeting rewiring to
+    /// keep its "current" histograms in sync after accepting a move).
+    ///
+    /// # Panics
+    /// Panics if a count would go negative — that is a bookkeeping bug,
+    /// not a data condition.
+    pub fn apply_to(&self, dist: &mut Dist3K) {
+        for (&key, &dv) in &self.wedges {
+            if dv == 0 {
+                continue;
+            }
+            let e = dist.wedges.entry(key).or_insert(0);
+            let nv = (*e as i64) + dv;
+            assert!(nv >= 0, "wedge count underflow at {key:?}");
+            if nv == 0 {
+                dist.wedges.remove(&key);
+            } else {
+                *e = nv as u64;
+            }
+        }
+        for (&key, &dv) in &self.triangles {
+            if dv == 0 {
+                continue;
+            }
+            let e = dist.triangles.entry(key).or_insert(0);
+            let nv = (*e as i64) + dv;
+            assert!(nv >= 0, "triangle count underflow at {key:?}");
+            if nv == 0 {
+                dist.triangles.remove(&key);
+            } else {
+                *e = nv as u64;
+            }
+        }
+    }
+
+    fn bump_wedge(&mut self, key: (Degree, Degree, Degree), dv: i64) {
+        *self.wedges.entry(key).or_insert(0) += dv;
+    }
+
+    fn bump_tri(&mut self, key: (Degree, Degree, Degree), dv: i64) {
+        *self.triangles.entry(key).or_insert(0) += dv;
+    }
+}
+
+/// Removes edge `(x, y)`, accumulating the 3K change.
+///
+/// # Panics
+/// Panics if the edge is absent (caller bug — swaps pick existing edges).
+pub fn remove_edge_tracked(g: &mut Graph, x: u32, y: u32, deg: &[Degree], delta: &mut Delta3K) {
+    // Enumerate with the edge still present.
+    for &z in g.neighbors(x) {
+        if z == y {
+            continue;
+        }
+        if g.has_edge(z, y) {
+            // triangle {x,y,z} dies; an induced wedge centered at z is born
+            delta.bump_tri(canon_triangle(deg[x as usize], deg[y as usize], deg[z as usize]), -1);
+            delta.bump_wedge(
+                canon_wedge(deg[x as usize], deg[z as usize], deg[y as usize]),
+                1,
+            );
+        } else {
+            // wedge y−x−z (centered at x) dies
+            delta.bump_wedge(
+                canon_wedge(deg[y as usize], deg[x as usize], deg[z as usize]),
+                -1,
+            );
+        }
+    }
+    for &z in g.neighbors(y) {
+        if z == x || g.has_edge(z, x) {
+            continue; // triangles handled from the x side
+        }
+        // wedge x−y−z (centered at y) dies
+        delta.bump_wedge(
+            canon_wedge(deg[x as usize], deg[y as usize], deg[z as usize]),
+            -1,
+        );
+    }
+    g.remove_edge(x, y).expect("swap removes an existing edge");
+}
+
+/// Adds edge `(x, y)`, accumulating the 3K change.
+///
+/// # Panics
+/// Panics if the edge already exists or `x == y` (caller bug — swap
+/// validity is checked before application).
+pub fn add_edge_tracked(g: &mut Graph, x: u32, y: u32, deg: &[Degree], delta: &mut Delta3K) {
+    // Enumerate with the edge still absent.
+    for &z in g.neighbors(x) {
+        if z == y {
+            continue;
+        }
+        if g.has_edge(z, y) {
+            // wedge x−z−y closes into a triangle
+            delta.bump_wedge(
+                canon_wedge(deg[x as usize], deg[z as usize], deg[y as usize]),
+                -1,
+            );
+            delta.bump_tri(canon_triangle(deg[x as usize], deg[y as usize], deg[z as usize]), 1);
+        } else {
+            // new wedge y−x−z centered at x
+            delta.bump_wedge(
+                canon_wedge(deg[y as usize], deg[x as usize], deg[z as usize]),
+                1,
+            );
+        }
+    }
+    for &z in g.neighbors(y) {
+        if z == x || g.has_edge(z, x) {
+            continue;
+        }
+        delta.bump_wedge(
+            canon_wedge(deg[x as usize], deg[y as usize], deg[z as usize]),
+            1,
+        );
+    }
+    g.add_edge(x, y).expect("swap adds a checked-legal edge");
+}
+
+/// Captures the degree vector used as frozen keys during a swap.
+pub fn frozen_degrees(g: &Graph) -> Vec<Degree> {
+    g.degrees().iter().map(|&d| d as Degree).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Oracle: delta computed by full re-extraction.
+    fn oracle_delta(before: &Dist3K, after: &Dist3K) -> Delta3K {
+        let mut d = Delta3K::default();
+        let keys: std::collections::BTreeSet<_> = before
+            .wedges
+            .keys()
+            .chain(after.wedges.keys())
+            .copied()
+            .collect();
+        for k in keys {
+            let dv = after.wedges.get(&k).copied().unwrap_or(0) as i64
+                - before.wedges.get(&k).copied().unwrap_or(0) as i64;
+            if dv != 0 {
+                d.wedges.insert(k, dv);
+            }
+        }
+        let keys: std::collections::BTreeSet<_> = before
+            .triangles
+            .keys()
+            .chain(after.triangles.keys())
+            .copied()
+            .collect();
+        for k in keys {
+            let dv = after.triangles.get(&k).copied().unwrap_or(0) as i64
+                - before.triangles.get(&k).copied().unwrap_or(0) as i64;
+            if dv != 0 {
+                d.triangles.insert(k, dv);
+            }
+        }
+        d
+    }
+
+    fn normalize(d: &Delta3K) -> (Vec<((u32, u32, u32), i64)>, Vec<((u32, u32, u32), i64)>) {
+        let mut w: Vec<_> = d.wedges.iter().filter(|(_, &v)| v != 0).map(|(&k, &v)| (k, v)).collect();
+        let mut t: Vec<_> = d
+            .triangles
+            .iter()
+            .filter(|(_, &v)| v != 0)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        w.sort_unstable();
+        t.sort_unstable();
+        (w, t)
+    }
+
+    #[test]
+    fn tracked_removal_matches_oracle_on_karate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let mut g = builders::karate_club();
+            let before = Dist3K::from_graph(&g);
+            let deg = frozen_degrees(&g);
+            let (x, y) = g.random_edge(&mut rng).unwrap();
+            let mut delta = Delta3K::default();
+            remove_edge_tracked(&mut g, x, y, &deg, &mut delta);
+            // NOTE: removal changes deg(x), deg(y) in reality; the frozen
+            // keys describe the pre-removal degrees, so compare against an
+            // oracle extraction that also uses frozen degrees — i.e. undo
+            // the degree shift by re-adding a *phantom* via direct count.
+            // Simplest honest oracle: re-add the edge, extract, remove
+            // with tracking again, then extract the post state with the
+            // true degrees of a *degree-preserving* double-op (remove+add
+            // elsewhere is what production does). Here instead verify the
+            // round-trip property: add it back tracked, total delta = 0.
+            let mut delta2 = Delta3K::default();
+            add_edge_tracked(&mut g, x, y, &deg, &mut delta2);
+            let after = Dist3K::from_graph(&g);
+            assert_eq!(before, after);
+            // deltas must cancel exactly
+            for (k, v) in &delta.wedges {
+                assert_eq!(delta2.wedges.get(k).copied().unwrap_or(0), -v);
+            }
+            for (k, v) in &delta.triangles {
+                assert_eq!(delta2.triangles.get(k).copied().unwrap_or(0), -v);
+            }
+        }
+    }
+
+    #[test]
+    fn full_swap_delta_matches_oracle() {
+        // A full degree-preserving swap keeps endpoint degrees intact, so
+        // frozen-degree tracked deltas must equal re-extraction deltas.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut done = 0;
+        while done < 30 {
+            let mut g = builders::karate_club();
+            let before = Dist3K::from_graph(&g);
+            let deg = frozen_degrees(&g);
+            let e1 = g.random_edge(&mut rng).unwrap();
+            let e2 = g.random_edge(&mut rng).unwrap();
+            let (a, b) = e1;
+            let (c, d) = if rng.gen_bool(0.5) { e2 } else { (e2.1, e2.0) };
+            // swap {a,b},{c,d} → {a,d},{c,b}
+            if a == d || c == b || g.has_edge(a, d) || g.has_edge(c, b) {
+                continue;
+            }
+            let mut delta = Delta3K::default();
+            remove_edge_tracked(&mut g, a, b, &deg, &mut delta);
+            remove_edge_tracked(&mut g, c, d, &deg, &mut delta);
+            add_edge_tracked(&mut g, a, d, &deg, &mut delta);
+            add_edge_tracked(&mut g, c, b, &deg, &mut delta);
+            let after = Dist3K::from_graph(&g);
+            let want = oracle_delta(&before, &after);
+            assert_eq!(normalize(&delta), normalize(&want));
+            // and applying the delta to `before` gives `after`
+            let mut patched = before.clone();
+            delta.apply_to(&mut patched);
+            assert_eq!(patched, after);
+            done += 1;
+        }
+    }
+
+    #[test]
+    fn zero_delta_detection() {
+        let mut d = Delta3K::default();
+        assert!(d.is_zero());
+        d.bump_wedge((1, 2, 3), 1);
+        assert!(!d.is_zero());
+        d.bump_wedge((1, 2, 3), -1);
+        assert!(d.is_zero()); // cancelled entries count as zero
+        d.clear();
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn apply_to_catches_underflow() {
+        let mut d = Delta3K::default();
+        d.bump_tri((2, 2, 2), -1);
+        let mut dist = Dist3K::default();
+        d.apply_to(&mut dist);
+    }
+}

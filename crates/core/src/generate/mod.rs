@@ -1,0 +1,50 @@
+//! Construction algorithms for dK-graphs (paper §4.1).
+//!
+//! Five families, mirroring the paper's taxonomy:
+//!
+//! | family | module | d supported | character |
+//! |--------|--------|-------------|-----------|
+//! | stochastic | [`stochastic`] | 0, 1, 2 | expected-value match, high variance |
+//! | pseudograph (configuration) | [`pseudograph`] | 1, 2 | exact match pre-cleanup, loops/parallels |
+//! | matching | [`matching`] | 1, 2 | exact simple-graph match, deadlock-prone |
+//! | dK-randomizing rewiring | [`rewire`] | 0, 1, 2, 3 | needs an original graph |
+//! | dK-targeting d'K-preserving rewiring | [`target`] | 1→2, 2→3 (+0→1) | needs only the target distribution |
+//!
+//! The paper could not generalize pseudograph/matching beyond `d = 2`
+//! (subgraphs overlap over edges from `d = 3` on); neither do we — the
+//! rewiring family covers `d = 3`, exactly as in the paper.
+
+pub mod delta;
+pub mod matching;
+pub mod pseudograph;
+pub mod rewire;
+pub mod stochastic;
+pub mod target;
+
+use dk_graph::multigraph::Badness;
+use dk_graph::Graph;
+
+/// Output of a construction: the simple graph plus whatever non-simple
+/// artifacts ("badnesses", §5.1) were removed during cleanup.
+///
+/// Loop-free constructions report a zero [`Badness`]. GCC extraction is
+/// deliberately *not* performed here — the paper treats it as part of
+/// measurement, not construction, and the reproduction harness wants to
+/// report GCC fractions.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// The constructed simple graph (possibly disconnected).
+    pub graph: Graph,
+    /// Self-loops / parallel edges removed during simplification.
+    pub badness: Badness,
+}
+
+impl Generated {
+    /// Wraps a graph produced without any cleanup.
+    pub fn clean(graph: Graph) -> Self {
+        Generated {
+            graph,
+            badness: Badness::default(),
+        }
+    }
+}

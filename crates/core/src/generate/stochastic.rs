@@ -1,0 +1,318 @@
+//! Stochastic constructions (paper §4.1.1): connect node pairs
+//! independently with dK-derived probabilities.
+//!
+//! * 0K: `G(n, p)` with `p = k̄/n` — classical Erdős–Rényi;
+//! * 1K: Chung–Lu, `p(q_i, q_j) = q_i·q_j/(n·q̄)` — expected degrees match;
+//! * 2K: hidden-variable block model — nodes are grouped into degree
+//!   classes and class pairs `(k1, k2)` are wired as bipartite `G(n1·n2,
+//!   p)` blocks with `p` chosen so the **expected** edge count equals the
+//!   target `m(k1, k2)`.
+//!
+//! All three use geometric gap-skipping over the pair space (Batagelj &
+//! Brandes), so generation is O(n + m) rather than O(n²); the high
+//! *statistical variance* the paper criticizes (§4.1.1, §5.1 — e.g.
+//! expected-degree-1 nodes ending up isolated) is faithfully present, and
+//! the evaluation tables show it.
+
+use crate::dist::{Dist0K, Dist1K, Dist2K};
+use crate::generate::Generated;
+use dk_graph::{Graph, GraphError};
+use rand::Rng;
+
+/// Geometric skip sampling: calls `emit(t)` for each selected index
+/// `t < total`, where each index is selected independently with
+/// probability `p`.
+fn skip_sample<R: Rng + ?Sized>(total: u64, p: f64, rng: &mut R, mut emit: impl FnMut(u64)) {
+    if total == 0 || p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        for t in 0..total {
+            emit(t);
+        }
+        return;
+    }
+    let log_q = (1.0 - p).ln();
+    let mut t: i64 = -1;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = (u.ln() / log_q).floor() as i64 + 1;
+        t += gap.max(1);
+        if t as u64 >= total {
+            return;
+        }
+        emit(t as u64);
+    }
+}
+
+/// Maps a linear index to the `(i, j)` pair with `i < j < n`
+/// (row-major over the strictly-upper triangle).
+fn unrank_pair(t: u64, n: u64) -> (u64, u64) {
+    // Solve i: the number of pairs before row i is i*n - i*(i+1)/2.
+    // Linear scan is avoided with the closed-form inverse.
+    let tf = t as f64;
+    let nf = n as f64;
+    let mut i = (nf - 0.5 - ((nf - 0.5) * (nf - 0.5) - 2.0 * tf).max(0.0).sqrt()).floor() as u64;
+    // guard against float slop
+    loop {
+        let before = i * n - i * (i + 1) / 2;
+        if before > t {
+            i -= 1;
+            continue;
+        }
+        let row_len = n - i - 1;
+        if t - before >= row_len {
+            i += 1;
+            continue;
+        }
+        let j = i + 1 + (t - before);
+        return (i, j);
+    }
+}
+
+/// 0K construction: `G(n, p)` with `p = k̄/n`.
+pub fn generate_0k<R: Rng + ?Sized>(d: &Dist0K, rng: &mut R) -> Generated {
+    let n = d.nodes;
+    let mut g = Graph::with_nodes(n);
+    if n >= 2 {
+        let total = (n as u64) * (n as u64 - 1) / 2;
+        skip_sample(total, d.edge_probability(), rng, |t| {
+            let (i, j) = unrank_pair(t, n as u64);
+            let _ = g.try_add_edge(i as u32, j as u32);
+        });
+    }
+    Generated::clean(g)
+}
+
+/// 1K construction (Chung–Lu): nodes labeled with expected degrees `q_i`
+/// drawn from the target distribution; `p_ij = min(1, q_i·q_j/(2m))`.
+///
+/// Implemented block-wise over degree classes so the gap-skipping trick
+/// applies (within a class pair the probability is constant).
+pub fn generate_1k<R: Rng + ?Sized>(d: &Dist1K, rng: &mut R) -> Result<Generated, GraphError> {
+    let n = d.nodes();
+    let two_m = 2.0 * d.edges()? as f64;
+    let mut g = Graph::with_nodes(n);
+    if n == 0 || two_m == 0.0 {
+        return Ok(Generated::clean(g));
+    }
+    // class → node-id range (nodes laid out by ascending degree)
+    let classes = class_layout(d);
+    for (a, &(ka, lo_a, hi_a)) in classes.iter().enumerate() {
+        for &(kb, lo_b, hi_b) in classes.iter().skip(a) {
+            let p = ((ka as f64 * kb as f64) / two_m).min(1.0);
+            connect_block(&mut g, (lo_a, hi_a), (lo_b, hi_b), p, rng);
+        }
+    }
+    Ok(Generated::clean(g))
+}
+
+/// 2K construction (hidden-variable / block model): class pair `(k1, k2)`
+/// is wired with constant probability chosen so the expected number of
+/// block edges equals the target `m(k1, k2)`.
+pub fn generate_2k<R: Rng + ?Sized>(d: &Dist2K, rng: &mut R) -> Result<Generated, GraphError> {
+    let d1 = d.to_1k()?;
+    let n = d1.nodes();
+    let mut g = Graph::with_nodes(n);
+    let classes = class_layout(&d1);
+    let class_of = |k: u32| classes.iter().find(|&&(ck, _, _)| ck == k).copied();
+    for (&(k1, k2), &m_target) in &d.counts {
+        let (Some((_, lo1, hi1)), Some((_, lo2, hi2))) = (class_of(k1), class_of(k2)) else {
+            return Err(GraphError::NotGraphical(format!(
+                "2K references degree class {k1} or {k2} with no nodes"
+            )));
+        };
+        let pairs = if k1 == k2 {
+            let s = hi1 - lo1;
+            s * (s.saturating_sub(1)) / 2
+        } else {
+            (hi1 - lo1) * (hi2 - lo2)
+        };
+        if pairs == 0 {
+            continue;
+        }
+        let p = (m_target as f64 / pairs as f64).min(1.0);
+        connect_block(&mut g, (lo1, hi1), (lo2, hi2), p, rng);
+    }
+    Ok(Generated::clean(g))
+}
+
+/// Lays nodes out contiguously by degree class:
+/// returns `(degree, lo, hi)` ranges with `hi` exclusive.
+fn class_layout(d: &Dist1K) -> Vec<(u32, u64, u64)> {
+    let mut out = Vec::new();
+    let mut next = 0u64;
+    for (k, &c) in d.counts.iter().enumerate() {
+        if c > 0 {
+            out.push((k as u32, next, next + c as u64));
+            next += c as u64;
+        }
+    }
+    out
+}
+
+/// Wires a (possibly diagonal) block with constant probability `p`.
+fn connect_block<R: Rng + ?Sized>(
+    g: &mut Graph,
+    (lo_a, hi_a): (u64, u64),
+    (lo_b, hi_b): (u64, u64),
+    p: f64,
+    rng: &mut R,
+) {
+    if lo_a == lo_b {
+        // diagonal block: pairs within one class
+        let s = hi_a - lo_a;
+        if s < 2 {
+            return;
+        }
+        skip_sample(s * (s - 1) / 2, p, rng, |t| {
+            let (i, j) = unrank_pair(t, s);
+            let _ = g.try_add_edge((lo_a + i) as u32, (lo_a + j) as u32);
+        });
+    } else {
+        let (na, nb) = (hi_a - lo_a, hi_b - lo_b);
+        skip_sample(na * nb, p, rng, |t| {
+            let i = lo_a + t / nb;
+            let j = lo_b + t % nb;
+            let _ = g.try_add_edge(i as u32, j as u32);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unrank_pair_covers_triangle() {
+        let n = 7u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for t in 0..n * (n - 1) / 2 {
+            let (i, j) = unrank_pair(t, n);
+            assert!(i < j && j < n, "t={t} → ({i},{j})");
+            assert!(seen.insert((i, j)));
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn skip_sample_p1_emits_all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut got = Vec::new();
+        skip_sample(10, 1.0, &mut rng, |t| got.push(t));
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        got.clear();
+        skip_sample(10, 0.0, &mut rng, |t| got.push(t));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn skip_sample_density_close_to_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut count = 0u64;
+        skip_sample(200_000, 0.3, &mut rng, |_| count += 1);
+        let rate = count as f64 / 200_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gnp_matches_expected_density() {
+        let d = Dist0K {
+            nodes: 2000,
+            edges: 6000,
+        }; // k̄ = 6
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generate_0k(&d, &mut rng).graph;
+        assert_eq!(g.node_count(), 2000);
+        let rel = g.edge_count() as f64 / 6000.0;
+        assert!((rel - 1.0).abs() < 0.1, "edges {}", g.edge_count());
+    }
+
+    #[test]
+    fn gnp_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            generate_0k(&Dist0K { nodes: 0, edges: 0 }, &mut rng)
+                .graph
+                .node_count(),
+            0
+        );
+        assert_eq!(
+            generate_0k(&Dist0K { nodes: 1, edges: 0 }, &mut rng)
+                .graph
+                .edge_count(),
+            0
+        );
+        // p ≥ 1 → complete graph
+        let g = generate_0k(&Dist0K { nodes: 5, edges: 50 }, &mut rng).graph;
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn chung_lu_expected_degrees() {
+        // heavy class structure: 100 nodes of degree 2, 10 of degree 20
+        let mut counts = vec![0usize; 21];
+        counts[2] = 100;
+        counts[20] = 10;
+        let d = Dist1K { counts };
+        let mut rng = StdRng::seed_from_u64(5);
+        // average over several graphs to beat the variance
+        let mut deg2_sum = 0.0;
+        let mut deg20_sum = 0.0;
+        const REPS: usize = 40;
+        for _ in 0..REPS {
+            let g = generate_1k(&d, &mut rng).unwrap().graph;
+            // nodes are laid out by ascending degree: first 100 are the
+            // expected-degree-2 class
+            let degs = g.degrees();
+            deg2_sum += degs[..100].iter().sum::<usize>() as f64 / 100.0;
+            deg20_sum += degs[100..].iter().sum::<usize>() as f64 / 10.0;
+        }
+        let d2 = deg2_sum / REPS as f64;
+        let d20 = deg20_sum / REPS as f64;
+        assert!((d2 - 2.0).abs() < 0.3, "mean degree of class 2: {d2}");
+        assert!((d20 - 20.0).abs() < 2.0, "mean degree of class 20: {d20}");
+    }
+
+    #[test]
+    fn stochastic_2k_expected_jdd() {
+        let original = builders::karate_club();
+        let target = Dist2K::from_graph(&original);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Expected per-class edge counts equal the target; verify the
+        // ensemble mean of total edges.
+        let mut total = 0.0;
+        const REPS: usize = 50;
+        for _ in 0..REPS {
+            let g = generate_2k(&target, &mut rng).unwrap().graph;
+            total += g.edge_count() as f64;
+        }
+        let mean = total / REPS as f64;
+        assert!(
+            (mean - 78.0).abs() < 5.0,
+            "mean edges {mean}, want ≈ 78 (variance is expected, bias is not)"
+        );
+    }
+
+    #[test]
+    fn stochastic_2k_rejects_inconsistent_input() {
+        let mut d = Dist2K::default();
+        d.counts.insert((2, 3), 1); // class 2 has 1 stub — inconsistent
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(generate_2k(&d, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = Dist0K {
+            nodes: 300,
+            edges: 900,
+        };
+        let a = generate_0k(&d, &mut StdRng::seed_from_u64(9)).graph;
+        let b = generate_0k(&d, &mut StdRng::seed_from_u64(9)).graph;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,625 @@
+//! dK-targeting d'K-preserving rewiring — "Metropolis dynamics"
+//! (paper §4.1.4).
+//!
+//! Starting from any d'K-graph, rewire with d'K-preserving moves and
+//! accept each move based on the change `ΔD_d` of the squared distance to
+//! a *target* dK-distribution:
+//!
+//! * `ΔD < 0` — accept (closer to the target);
+//! * `ΔD > 0` — accept with probability `e^(−ΔD/T)`; the temperature `T`
+//!   interpolates between strict targeting (`T → 0`) and plain
+//!   d'K-randomizing (`T → ∞`), the paper's simulated-annealing ergodicity
+//!   device;
+//! * `ΔD = 0` — accepted by default (plateau moves aid mixing; disable
+//!   with [`TargetOptions::accept_neutral`] for the paper-literal strict
+//!   descent).
+//!
+//! Three instances are provided, matching the paper's §5.1 pipeline:
+//! 1K ← 0K moves, 2K ← 1K moves, 3K ← 2K moves; plus the bootstrap
+//! helpers [`generate_2k_random`] / [`generate_3k_random`] ("construct
+//! 1K-random graphs with the pseudograph algorithm, then apply
+//! 2K-targeting 1K-preserving rewiring…, then 3K-targeting 2K-preserving
+//! rewiring").
+
+use crate::dist::{canon_pair, Degree, Dist1K, Dist2K, Dist3K};
+use crate::generate::delta::{add_edge_tracked, frozen_degrees, remove_edge_tracked, Delta3K};
+use crate::generate::{matching, pseudograph};
+use dk_graph::hashers::{det_hash_map, DetHashMap};
+use dk_graph::{Graph, GraphError};
+use rand::Rng;
+
+/// Options for targeting rewiring.
+#[derive(Clone, Copy, Debug)]
+pub struct TargetOptions {
+    /// Maximum attempted moves.
+    pub max_attempts: u64,
+    /// Metropolis temperature; `0.0` = strict descent (paper default).
+    pub temperature: f64,
+    /// Accept moves with `ΔD = 0` (plateau walks). Default `true`.
+    pub accept_neutral: bool,
+    /// Stop as soon as `D = 0` (exact target reached). Default `true`.
+    pub stop_at_zero: bool,
+    /// Give up after this many attempts without an accepted improving
+    /// move (`None` = never).
+    pub patience: Option<u64>,
+}
+
+impl Default for TargetOptions {
+    fn default() -> Self {
+        TargetOptions {
+            max_attempts: 2_000_000,
+            temperature: 0.0,
+            accept_neutral: true,
+            stop_at_zero: true,
+            patience: Some(200_000),
+        }
+    }
+}
+
+/// Outcome of a targeting run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TargetStats {
+    /// Moves attempted.
+    pub attempts: u64,
+    /// Moves accepted.
+    pub accepted: u64,
+    /// `D_d` before the run.
+    pub initial_distance: f64,
+    /// `D_d` after the run (0.0 = target reached exactly).
+    pub final_distance: f64,
+}
+
+/// Metropolis acceptance on a distance change.
+fn accept<R: Rng + ?Sized>(delta: f64, opts: &TargetOptions, rng: &mut R) -> bool {
+    if delta < 0.0 {
+        true
+    } else if delta == 0.0 {
+        opts.accept_neutral
+    } else if opts.temperature > 0.0 {
+        rng.gen_bool((-delta / opts.temperature).exp().clamp(0.0, 1.0))
+    } else {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1K-targeting 0K-preserving rewiring
+// ---------------------------------------------------------------------
+
+/// Rewires `g` with 0K-preserving moves toward a target degree
+/// distribution, minimizing `D_1 = Σ_k (n_cur(k) − n_tgt(k))²`.
+pub fn target_1k_from_0k<R: Rng + ?Sized>(
+    g: &mut Graph,
+    target: &Dist1K,
+    opts: &TargetOptions,
+    rng: &mut R,
+) -> TargetStats {
+    // current degree histogram, padded
+    let kmax_t = target.counts.len();
+    let mut cur: Vec<i64> = dk_graph::degree::degree_histogram(g)
+        .into_iter()
+        .map(|c| c as i64)
+        .collect();
+    let tgt: Vec<i64> = target.counts.iter().map(|&c| c as i64).collect();
+    let pad = cur.len().max(tgt.len()).max(kmax_t) + 2;
+    cur.resize(pad, 0);
+    let mut tgt_padded = tgt;
+    tgt_padded.resize(pad, 0);
+    let dist = |cur: &[i64]| -> f64 {
+        cur.iter()
+            .zip(&tgt_padded)
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum()
+    };
+    let mut d_cur = dist(&cur);
+    let mut stats = TargetStats {
+        attempts: 0,
+        accepted: 0,
+        initial_distance: d_cur,
+        final_distance: d_cur,
+    };
+    let n = g.node_count() as u32;
+    if n < 2 || g.edge_count() == 0 {
+        return stats;
+    }
+    let mut since_improve = 0u64;
+    for _ in 0..opts.max_attempts {
+        if opts.stop_at_zero && d_cur == 0.0 {
+            break;
+        }
+        if let Some(p) = opts.patience {
+            if since_improve >= p {
+                break;
+            }
+        }
+        stats.attempts += 1;
+        since_improve += 1;
+        // 0K move: move edge (u,v) to empty slot (x,y)
+        let Ok((u, v)) = g.random_edge(rng) else { break };
+        let x = rng.gen_range(0..n);
+        let y = rng.gen_range(0..n);
+        if x == y || g.has_edge(x, y) {
+            continue;
+        }
+        // degree changes: u,v lose one; x,y gain one — compute ΔD1.
+        // (u,v,x,y may overlap; fold increments.)
+        let mut bump: DetHashMap<u32, i64> = det_hash_map();
+        *bump.entry(u).or_insert(0) -= 1;
+        *bump.entry(v).or_insert(0) -= 1;
+        *bump.entry(x).or_insert(0) += 1;
+        *bump.entry(y).or_insert(0) += 1;
+        // histogram deltas: node w moving from degree k to k+δ shifts
+        // hist[k] -= 1, hist[k+δ] += 1
+        let mut hist_delta: DetHashMap<usize, i64> = det_hash_map();
+        let mut ok = true;
+        for (&w, &dv) in &bump {
+            if dv == 0 {
+                continue;
+            }
+            let k = g.degree(w) as i64;
+            let k2 = k + dv;
+            if k2 < 0 || (k2 as usize) >= pad {
+                ok = false;
+                break;
+            }
+            *hist_delta.entry(k as usize).or_insert(0) -= 1;
+            *hist_delta.entry(k2 as usize).or_insert(0) += 1;
+        }
+        if !ok {
+            continue;
+        }
+        let mut dd = 0.0;
+        for (&k, &dv) in &hist_delta {
+            if dv == 0 {
+                continue;
+            }
+            let before = (cur[k] - tgt_padded[k]) as f64;
+            let after = (cur[k] + dv - tgt_padded[k]) as f64;
+            dd += after * after - before * before;
+        }
+        if !accept(dd, opts, rng) {
+            continue;
+        }
+        g.remove_edge(u, v).expect("sampled edge");
+        g.add_edge(x, y).expect("checked slot");
+        for (&k, &dv) in &hist_delta {
+            cur[k] += dv;
+        }
+        d_cur += dd;
+        stats.accepted += 1;
+        if dd < 0.0 {
+            since_improve = 0;
+        }
+    }
+    stats.final_distance = Dist1K::from_graph(g).distance_sq(target);
+    debug_assert!((stats.final_distance - d_cur).abs() < 1e-6);
+    stats
+}
+
+// ---------------------------------------------------------------------
+// 2K-targeting 1K-preserving rewiring
+// ---------------------------------------------------------------------
+
+/// Rewires `g` with 1K-preserving swaps toward a target JDD, minimizing
+/// `D_2 = Σ (m_cur(k1,k2) − m_tgt(k1,k2))²` (the paper's §4.1.4 metric).
+pub fn target_2k_from_1k<R: Rng + ?Sized>(
+    g: &mut Graph,
+    target: &Dist2K,
+    opts: &TargetOptions,
+    rng: &mut R,
+) -> TargetStats {
+    let mut cur: DetHashMap<(Degree, Degree), i64> = det_hash_map();
+    for (&k, &v) in &Dist2K::from_graph(g).counts {
+        cur.insert(k, v as i64);
+    }
+    let tgt: DetHashMap<(Degree, Degree), i64> = target
+        .counts
+        .iter()
+        .map(|(&k, &v)| (k, v as i64))
+        .collect();
+    let full_dist = |cur: &DetHashMap<(Degree, Degree), i64>| -> f64 {
+        let mut acc = 0.0;
+        for (k, &a) in cur {
+            let b = tgt.get(k).copied().unwrap_or(0);
+            acc += ((a - b) as f64).powi(2);
+        }
+        for (k, &b) in &tgt {
+            if !cur.contains_key(k) {
+                acc += (b as f64).powi(2);
+            }
+        }
+        acc
+    };
+    let mut d_cur = full_dist(&cur);
+    let mut stats = TargetStats {
+        attempts: 0,
+        accepted: 0,
+        initial_distance: d_cur,
+        final_distance: d_cur,
+    };
+    if g.edge_count() < 2 {
+        return stats;
+    }
+    let deg = frozen_degrees(g);
+    let kd = |u: u32| deg[u as usize];
+    let mut since_improve = 0u64;
+    for _ in 0..opts.max_attempts {
+        if opts.stop_at_zero && d_cur == 0.0 {
+            break;
+        }
+        if let Some(p) = opts.patience {
+            if since_improve >= p {
+                break;
+            }
+        }
+        stats.attempts += 1;
+        since_improve += 1;
+        // random 1K swap candidate
+        let m = g.edge_count();
+        let i = rng.gen_range(0..m);
+        let j = rng.gen_range(0..m - 1);
+        let j = if j >= i { j + 1 } else { j };
+        let (a, b) = g.edge_at(i);
+        let e2 = g.edge_at(j);
+        let (c, d) = if rng.gen_bool(0.5) { e2 } else { (e2.1, e2.0) };
+        if a == d || c == b || g.has_edge(a, d) || g.has_edge(c, b) {
+            continue;
+        }
+        // class changes
+        let mut class_delta: DetHashMap<(Degree, Degree), i64> = det_hash_map();
+        *class_delta.entry(canon_pair(kd(a), kd(b))).or_insert(0) -= 1;
+        *class_delta.entry(canon_pair(kd(c), kd(d))).or_insert(0) -= 1;
+        *class_delta.entry(canon_pair(kd(a), kd(d))).or_insert(0) += 1;
+        *class_delta.entry(canon_pair(kd(c), kd(b))).or_insert(0) += 1;
+        let mut dd = 0.0;
+        for (key, &dv) in &class_delta {
+            if dv == 0 {
+                continue;
+            }
+            let c0 = cur.get(key).copied().unwrap_or(0);
+            let t0 = tgt.get(key).copied().unwrap_or(0);
+            let before = (c0 - t0) as f64;
+            let after = (c0 + dv - t0) as f64;
+            dd += after * after - before * before;
+        }
+        if !accept(dd, opts, rng) {
+            continue;
+        }
+        g.remove_edge(a, b).expect("edge 1");
+        g.remove_edge(c, d).expect("edge 2");
+        g.add_edge(a, d).expect("validated");
+        g.add_edge(c, b).expect("validated");
+        for (key, &dv) in &class_delta {
+            if dv != 0 {
+                *cur.entry(*key).or_insert(0) += dv;
+            }
+        }
+        d_cur += dd;
+        stats.accepted += 1;
+        if dd < 0.0 {
+            since_improve = 0;
+        }
+    }
+    stats.final_distance = Dist2K::from_graph(g).distance_sq(target);
+    debug_assert!(
+        (stats.final_distance - d_cur).abs() < 1e-6,
+        "incremental D2 drifted: {} vs {}",
+        d_cur,
+        stats.final_distance
+    );
+    stats
+}
+
+// ---------------------------------------------------------------------
+// 3K-targeting 2K-preserving rewiring
+// ---------------------------------------------------------------------
+
+/// Rewires `g` with 2K-preserving swaps toward a target 3K-distribution,
+/// minimizing `D_3` (wedge + triangle squared differences).
+pub fn target_3k_from_2k<R: Rng + ?Sized>(
+    g: &mut Graph,
+    target: &Dist3K,
+    opts: &TargetOptions,
+    rng: &mut R,
+) -> TargetStats {
+    let mut cur = Dist3K::from_graph(g);
+    let mut d_cur = cur.distance_sq(target);
+    let mut stats = TargetStats {
+        attempts: 0,
+        accepted: 0,
+        initial_distance: d_cur,
+        final_distance: d_cur,
+    };
+    if g.edge_count() < 2 {
+        return stats;
+    }
+    let deg = frozen_degrees(g);
+    let mut delta = Delta3K::default();
+    let mut since_improve = 0u64;
+    for _ in 0..opts.max_attempts {
+        if opts.stop_at_zero && d_cur == 0.0 {
+            break;
+        }
+        if let Some(p) = opts.patience {
+            if since_improve >= p {
+                break;
+            }
+        }
+        stats.attempts += 1;
+        since_improve += 1;
+        let Some((e1, e2, orient)) = super::rewire::pick_2k_swap(g, rng) else {
+            continue;
+        };
+        let (a, b) = e1;
+        let (c, d) = if orient { e2 } else { (e2.1, e2.0) };
+        // tentative application with tracking
+        delta.clear();
+        remove_edge_tracked(g, a, b, &deg, &mut delta);
+        remove_edge_tracked(g, c, d, &deg, &mut delta);
+        add_edge_tracked(g, a, d, &deg, &mut delta);
+        add_edge_tracked(g, c, b, &deg, &mut delta);
+        // ΔD3 over changed keys
+        let mut dd = 0.0;
+        for (key, &dv) in &delta.wedges {
+            if dv == 0 {
+                continue;
+            }
+            let c0 = cur.wedges.get(key).copied().unwrap_or(0) as i64;
+            let t0 = target.wedges.get(key).copied().unwrap_or(0) as i64;
+            let before = (c0 - t0) as f64;
+            let after = (c0 + dv - t0) as f64;
+            dd += after * after - before * before;
+        }
+        for (key, &dv) in &delta.triangles {
+            if dv == 0 {
+                continue;
+            }
+            let c0 = cur.triangles.get(key).copied().unwrap_or(0) as i64;
+            let t0 = target.triangles.get(key).copied().unwrap_or(0) as i64;
+            let before = (c0 - t0) as f64;
+            let after = (c0 + dv - t0) as f64;
+            dd += after * after - before * before;
+        }
+        if accept(dd, opts, rng) {
+            delta.apply_to(&mut cur);
+            d_cur += dd;
+            stats.accepted += 1;
+            if dd < 0.0 {
+                since_improve = 0;
+            }
+        } else {
+            // revert
+            g.remove_edge(a, d).expect("just added");
+            g.remove_edge(c, b).expect("just added");
+            g.add_edge(a, b).expect("restore");
+            g.add_edge(c, d).expect("restore");
+        }
+    }
+    stats.final_distance = Dist3K::from_graph(g).distance_sq(target);
+    debug_assert!(
+        (stats.final_distance - d_cur).abs() < 1e-6,
+        "incremental D3 drifted: {} vs {}",
+        d_cur,
+        stats.final_distance
+    );
+    stats
+}
+
+/// Dispatch wrapper: `(d', d)` ∈ {(0,1), (1,2), (2,3)} targeting, taking
+/// the target as the appropriate extracted distribution of `reference`.
+///
+/// Convenience for harness code that iterates over `d`.
+pub fn target_rewire<R: Rng + ?Sized>(
+    g: &mut Graph,
+    reference: &Graph,
+    d: u8,
+    opts: &TargetOptions,
+    rng: &mut R,
+) -> TargetStats {
+    match d {
+        1 => target_1k_from_0k(g, &Dist1K::from_graph(reference), opts, rng),
+        2 => target_2k_from_1k(g, &Dist2K::from_graph(reference), opts, rng),
+        3 => target_3k_from_2k(g, &Dist3K::from_graph(reference), opts, rng),
+        _ => panic!("target_rewire supports d ∈ {{1, 2, 3}}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// §5.1 bootstrap pipelines
+// ---------------------------------------------------------------------
+
+/// Which construction seeds the targeting chain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Bootstrap {
+    /// 1K matching (exact degrees, so `D_2 = 0` is reachable). Default.
+    #[default]
+    Matching,
+    /// 1K pseudograph + cleanup (the paper's §5.1 literal choice; cleanup
+    /// may perturb degrees slightly, bounding achievable `D_2`).
+    Pseudograph,
+}
+
+/// Builds a 2K-random graph from a target JDD alone:
+/// 1K bootstrap → 2K-targeting 1K-preserving rewiring (paper §5.1).
+pub fn generate_2k_random<R: Rng + ?Sized>(
+    target: &Dist2K,
+    bootstrap: Bootstrap,
+    opts: &TargetOptions,
+    rng: &mut R,
+) -> Result<(Graph, TargetStats), GraphError> {
+    let d1 = target.to_1k()?;
+    let mut g = match bootstrap {
+        Bootstrap::Matching => matching::generate_1k(&d1, rng)?.graph,
+        Bootstrap::Pseudograph => pseudograph::generate_1k(&d1, rng)?.graph,
+    };
+    let stats = target_2k_from_1k(&mut g, target, opts, rng);
+    Ok((g, stats))
+}
+
+/// Builds a 3K-random graph from a target 3K-distribution alone:
+/// 1K bootstrap → 2K-targeting → 3K-targeting (paper §5.1 chain).
+pub fn generate_3k_random<R: Rng + ?Sized>(
+    target: &Dist3K,
+    bootstrap: Bootstrap,
+    opts: &TargetOptions,
+    rng: &mut R,
+) -> Result<(Graph, TargetStats), GraphError> {
+    let d2 = target.to_2k();
+    let (mut g, _) = generate_2k_random(&d2, bootstrap, opts, rng)?;
+    let stats = target_3k_from_2k(&mut g, target, opts, rng);
+    Ok((g, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_opts() -> TargetOptions {
+        TargetOptions {
+            max_attempts: 400_000,
+            patience: Some(60_000),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn targeting_2k_reaches_zero_from_matching_bootstrap() {
+        let original = builders::karate_club();
+        let target = Dist2K::from_graph(&original);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, stats) =
+            generate_2k_random(&target, Bootstrap::Matching, &quick_opts(), &mut rng).unwrap();
+        assert_eq!(stats.final_distance, 0.0, "stats: {stats:?}");
+        assert_eq!(Dist2K::from_graph(&g), target);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn targeting_monotone_distance() {
+        let original = builders::karate_club();
+        let target = Dist2K::from_graph(&original);
+        let d1 = target.to_1k().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = matching::generate_1k(&d1, &mut rng).unwrap().graph;
+        let stats = target_2k_from_1k(&mut g, &target, &quick_opts(), &mut rng);
+        assert!(stats.final_distance <= stats.initial_distance);
+    }
+
+    #[test]
+    fn targeting_3k_reduces_d3_substantially() {
+        let original = builders::karate_club();
+        let target3 = Dist3K::from_graph(&original);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, stats) =
+            generate_3k_random(&target3, Bootstrap::Matching, &quick_opts(), &mut rng).unwrap();
+        assert!(
+            stats.final_distance < stats.initial_distance * 0.25,
+            "D3 {} → {}",
+            stats.initial_distance,
+            stats.final_distance
+        );
+        // 2K stays exact through the 3K stage (moves are 2K-preserving)
+        assert_eq!(Dist2K::from_graph(&g), Dist2K::from_graph(&original));
+    }
+
+    #[test]
+    fn targeting_1k_from_0k() {
+        // start: ER-ish graph with same n, m as karate; target karate P(k)
+        let original = builders::karate_club();
+        let target = Dist1K::from_graph(&original);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g = crate::generate::stochastic::generate_0k(
+            &crate::dist::Dist0K::from_graph(&original),
+            &mut rng,
+        )
+        .graph;
+        let stats = target_1k_from_0k(&mut g, &target, &quick_opts(), &mut rng);
+        assert!(
+            stats.final_distance < stats.initial_distance / 4.0,
+            "D1 {} → {}",
+            stats.initial_distance,
+            stats.final_distance
+        );
+    }
+
+    #[test]
+    fn temperature_infinity_behaves_like_randomizing() {
+        // With huge T every candidate is accepted: distance can grow.
+        let original = builders::karate_club();
+        let target = Dist2K::from_graph(&original);
+        let mut g = original.clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        let opts = TargetOptions {
+            max_attempts: 3000,
+            temperature: 1e12,
+            stop_at_zero: false,
+            patience: None,
+            ..Default::default()
+        };
+        let stats = target_2k_from_1k(&mut g, &target, &opts, &mut rng);
+        // Every *valid* candidate is accepted at huge T; validity itself
+        // fails for many random pairs, so compare against a cold run.
+        let mut g_cold = original.clone();
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let cold = target_2k_from_1k(
+            &mut g_cold,
+            &target,
+            &TargetOptions {
+                max_attempts: 3000,
+                temperature: 0.0,
+                accept_neutral: false,
+                stop_at_zero: false,
+                patience: None,
+            },
+            &mut rng2,
+        );
+        assert!(
+            stats.accepted > 10 * cold.accepted.max(1),
+            "hot run ({}) must accept far more than cold ({})",
+            stats.accepted,
+            cold.accepted
+        );
+        assert!(stats.final_distance > 0.0, "JDD should drift at T = ∞");
+    }
+
+    #[test]
+    fn strict_descent_never_increases() {
+        let original = builders::karate_club();
+        let target = Dist2K::from_graph(&original);
+        let d1 = target.to_1k().unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut g = matching::generate_1k(&d1, &mut rng).unwrap().graph;
+        let opts = TargetOptions {
+            accept_neutral: false,
+            max_attempts: 50_000,
+            patience: Some(20_000),
+            ..Default::default()
+        };
+        let d_before = Dist2K::from_graph(&g).distance_sq(&target);
+        let stats = target_2k_from_1k(&mut g, &target, &opts, &mut rng);
+        assert!(stats.final_distance <= d_before);
+    }
+
+    #[test]
+    fn dispatch_wrapper() {
+        let original = builders::karate_club();
+        let mut g = original.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        // already at the target: distance 0, zero accepted improving moves
+        let stats = target_rewire(&mut g, &original, 2, &quick_opts(), &mut rng);
+        assert_eq!(stats.initial_distance, 0.0);
+        assert_eq!(stats.final_distance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports d")]
+    fn dispatch_rejects_bad_d() {
+        let g0 = builders::path(3);
+        let mut g = g0.clone();
+        let mut rng = StdRng::seed_from_u64(8);
+        target_rewire(&mut g, &g0, 0, &TargetOptions::default(), &mut rng);
+    }
+}

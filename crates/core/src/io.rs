@@ -1,0 +1,221 @@
+//! Orbis-style text formats for dK-distributions.
+//!
+//! The paper's released tooling (Orbis) exchanged dK-distributions as
+//! plain-text files so that extraction ("dkDist") and generation
+//! ("dkTopoGen") could be separate programs. We keep that interface:
+//!
+//! * **1K**: lines `k n(k)`;
+//! * **2K**: lines `k1 k2 m(k1,k2)` with `k1 ≤ k2`;
+//! * **3K**: lines `W k1 k2 k3 count` (wedge, center `k2`) and
+//!   `T k1 k2 k3 count` (triangle, sorted).
+//!
+//! Comments (`#`) and blank lines are ignored. All writers emit sorted,
+//! deterministic output.
+
+use crate::dist::{Dist1K, Dist2K, Dist3K};
+use dk_graph::GraphError;
+use std::io::{BufRead, BufReader, Read, Write};
+
+fn parse_err(line: usize, msg: impl Into<String>) -> GraphError {
+    GraphError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Writes a 1K-distribution as `k n(k)` lines.
+pub fn write_1k<W: Write>(d: &Dist1K, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "# dK-series 1K distribution: k n(k)")?;
+    for (k, &c) in d.counts.iter().enumerate() {
+        if c > 0 {
+            writeln!(w, "{k} {c}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a 1K-distribution.
+pub fn read_1k<R: Read>(r: R) -> Result<Dist1K, GraphError> {
+    let mut counts: Vec<usize> = Vec::new();
+    for (no, line) in BufReader::new(r).lines().enumerate() {
+        let no = no + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let k: usize = it
+            .next()
+            .ok_or_else(|| parse_err(no, "missing degree"))?
+            .parse()
+            .map_err(|e| parse_err(no, format!("bad degree: {e}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| parse_err(no, "missing count"))?
+            .parse()
+            .map_err(|e| parse_err(no, format!("bad count: {e}")))?;
+        if it.next().is_some() {
+            return Err(parse_err(no, "trailing tokens"));
+        }
+        if counts.len() <= k {
+            counts.resize(k + 1, 0);
+        }
+        counts[k] += c;
+    }
+    Ok(Dist1K { counts })
+}
+
+/// Writes a 2K-distribution as `k1 k2 m` lines.
+pub fn write_2k<W: Write>(d: &Dist2K, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "# dK-series 2K distribution: k1 k2 m(k1,k2), k1 <= k2")?;
+    for ((k1, k2), c) in d.sorted_entries() {
+        writeln!(w, "{k1} {k2} {c}")?;
+    }
+    Ok(())
+}
+
+/// Reads a 2K-distribution (keys are canonicalized on read).
+pub fn read_2k<R: Read>(r: R) -> Result<Dist2K, GraphError> {
+    let mut d = Dist2K::default();
+    for (no, line) in BufReader::new(r).lines().enumerate() {
+        let no = no + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 3 {
+            return Err(parse_err(no, "expected `k1 k2 count`"));
+        }
+        let k1: u32 = toks[0]
+            .parse()
+            .map_err(|e| parse_err(no, format!("bad k1: {e}")))?;
+        let k2: u32 = toks[1]
+            .parse()
+            .map_err(|e| parse_err(no, format!("bad k2: {e}")))?;
+        let c: u64 = toks[2]
+            .parse()
+            .map_err(|e| parse_err(no, format!("bad count: {e}")))?;
+        *d.counts
+            .entry(crate::dist::canon_pair(k1, k2))
+            .or_insert(0) += c;
+    }
+    Ok(d)
+}
+
+/// Writes a 3K-distribution as `W/T k1 k2 k3 count` lines.
+pub fn write_3k<W: Write>(d: &Dist3K, mut w: W) -> Result<(), GraphError> {
+    writeln!(
+        w,
+        "# dK-series 3K distribution: `W k1 k2 k3 n` (wedge, center k2) / `T k1 k2 k3 n` (triangle)"
+    )?;
+    for (is_tri, (a, b, c), n) in d.sorted_entries() {
+        let tag = if is_tri { 'T' } else { 'W' };
+        writeln!(w, "{tag} {a} {b} {c} {n}")?;
+    }
+    Ok(())
+}
+
+/// Reads a 3K-distribution (keys canonicalized on read).
+pub fn read_3k<R: Read>(r: R) -> Result<Dist3K, GraphError> {
+    let mut d = Dist3K::default();
+    for (no, line) in BufReader::new(r).lines().enumerate() {
+        let no = no + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 5 {
+            return Err(parse_err(no, "expected `W|T k1 k2 k3 count`"));
+        }
+        let parse_u32 = |s: &str| -> Result<u32, GraphError> {
+            s.parse().map_err(|e| parse_err(no, format!("bad degree: {e}")))
+        };
+        let (a, b, c) = (parse_u32(toks[1])?, parse_u32(toks[2])?, parse_u32(toks[3])?);
+        let n: u64 = toks[4]
+            .parse()
+            .map_err(|e| parse_err(no, format!("bad count: {e}")))?;
+        match toks[0] {
+            "W" => {
+                *d.wedges
+                    .entry(crate::dist::canon_wedge(a, b, c))
+                    .or_insert(0) += n
+            }
+            "T" => {
+                *d.triangles
+                    .entry(crate::dist::canon_triangle(a, b, c))
+                    .or_insert(0) += n
+            }
+            other => return Err(parse_err(no, format!("unknown tag {other:?}"))),
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+
+    #[test]
+    fn roundtrip_1k() {
+        let d = Dist1K::from_graph(&builders::karate_club());
+        let mut buf = Vec::new();
+        write_1k(&d, &mut buf).unwrap();
+        let back = read_1k(buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn roundtrip_2k() {
+        let d = Dist2K::from_graph(&builders::karate_club());
+        let mut buf = Vec::new();
+        write_2k(&d, &mut buf).unwrap();
+        let back = read_2k(buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn roundtrip_3k() {
+        let d = Dist3K::from_graph(&builders::karate_club());
+        let mut buf = Vec::new();
+        write_3k(&d, &mut buf).unwrap();
+        let back = read_3k(buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn reads_canonicalize() {
+        let d = read_2k("3 2 5\n".as_bytes()).unwrap();
+        assert_eq!(d.m(2, 3), 5);
+        let d = read_3k("W 9 2 1 4\nT 3 1 2 7\n".as_bytes()).unwrap();
+        assert_eq!(d.wedge(1, 2, 9), 4);
+        assert_eq!(d.triangle(1, 2, 3), 7);
+    }
+
+    #[test]
+    fn merge_duplicate_lines() {
+        let d = read_1k("2 3\n2 4\n".as_bytes()).unwrap();
+        assert_eq!(d.counts[2], 7);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(read_1k("x 1\n".as_bytes()).is_err());
+        assert!(read_1k("1\n".as_bytes()).is_err());
+        assert!(read_1k("1 2 3\n".as_bytes()).is_err());
+        assert!(read_2k("1 2\n".as_bytes()).is_err());
+        assert!(read_3k("X 1 2 3 4\n".as_bytes()).is_err());
+        assert!(read_3k("W 1 2 3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let d = read_2k("# hi\n\n1 2 3\n".as_bytes()).unwrap();
+        assert_eq!(d.edges(), 3);
+    }
+}

@@ -1,0 +1,300 @@
+//! Rescaling dK-distributions to arbitrary graph sizes (paper §6:
+//! "We are working on appropriate strategies of rescaling the
+//! dK-distributions to arbitrary graph sizes" — implemented here as the
+//! natural proportional strategy).
+//!
+//! * **0K**: keep `k̄`, scale `m = k̄·n'/2`.
+//! * **1K**: scale each `n(k)` by `n'/n` with largest-remainder rounding
+//!   (preserves the *shape* of `P(k)` exactly in expectation and the node
+//!   total exactly); the degree-sum parity is repaired by bumping one
+//!   node between adjacent degree classes.
+//! * **2K**: scale each `m(k1,k2)` by the edge ratio with
+//!   largest-remainder rounding, then repair per-class stub divisibility
+//!   so the result is a *consistent* JDD (round-trippable through
+//!   `to_1k`). Repair moves single edges between `(k, k')` classes of the
+//!   same `k` — the minimal perturbation that restores divisibility.
+//!
+//! Rescaled distributions feed directly into the standard constructors
+//! (`pseudograph`, `matching`, `stochastic`), giving "a skitter-like
+//! topology at 10× the size" workflows.
+
+use crate::dist::{canon_pair, Degree, Dist0K, Dist1K, Dist2K};
+use dk_graph::GraphError;
+
+/// Rescales a 0K-distribution to `n'` nodes at the same average degree.
+pub fn rescale_0k(d: &Dist0K, new_nodes: usize) -> Dist0K {
+    let m = (d.k_avg() * new_nodes as f64 / 2.0).round() as usize;
+    Dist0K {
+        nodes: new_nodes,
+        edges: m,
+    }
+}
+
+/// Largest-remainder apportionment of `total` into parts proportional to
+/// `weights`.
+fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
+    let wsum: f64 = weights.iter().sum();
+    if wsum <= 0.0 || total == 0 {
+        return vec![0; weights.len()];
+    }
+    let exact: Vec<f64> = weights.iter().map(|w| w / wsum * total as f64).collect();
+    let mut parts: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let mut rem: usize = total - parts.iter().sum::<usize>();
+    // distribute leftovers by descending fractional part (stable tie-break
+    // by index for determinism)
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).expect("finite").then(a.cmp(&b))
+    });
+    for &i in &order {
+        if rem == 0 {
+            break;
+        }
+        parts[i] += 1;
+        rem -= 1;
+    }
+    parts
+}
+
+/// Rescales a 1K-distribution to `n'` nodes, preserving `P(k)`'s shape.
+///
+/// # Errors
+/// [`GraphError::NotGraphical`] if the input is empty or parity repair is
+/// impossible (single degree class of odd parity contribution).
+pub fn rescale_1k(d: &Dist1K, new_nodes: usize) -> Result<Dist1K, GraphError> {
+    if d.nodes() == 0 {
+        return Err(GraphError::NotGraphical("cannot rescale an empty 1K".into()));
+    }
+    let weights: Vec<f64> = d.counts.iter().map(|&c| c as f64).collect();
+    let mut counts = apportion(&weights, new_nodes);
+    // parity repair: degree sum must be even
+    let sum: usize = counts.iter().enumerate().map(|(k, &c)| k * c).sum();
+    if sum % 2 == 1 {
+        // move one node from an odd degree class to an adjacent class
+        // (k → k−1 preferred, k → k+1 as fallback); changes the sum by ±k∓(k−1) = odd
+        let odd_k = counts
+            .iter()
+            .enumerate()
+            .rposition(|(k, &c)| k % 2 == 1 && c > 0)
+            .ok_or_else(|| {
+                GraphError::NotGraphical("parity repair impossible: no odd-degree class".into())
+            })?;
+        counts[odd_k] -= 1;
+        if odd_k >= 1 {
+            counts[odd_k - 1] += 1;
+        } else {
+            counts.resize(counts.len().max(2), 0);
+            counts[1] += 1; // odd_k == 0 is impossible (0 is even), kept for totality
+        }
+    }
+    let out = Dist1K { counts };
+    debug_assert_eq!(out.nodes(), new_nodes);
+    debug_assert!(out.edges().is_ok());
+    Ok(out)
+}
+
+/// Rescales a 2K-distribution by a node factor, preserving the JDD shape
+/// and repairing consistency.
+///
+/// `new_nodes` is a *target*; the exact realized node count may differ by
+/// a few nodes because stub-divisibility repair works at edge
+/// granularity. The result always validates ([`Dist2K::validate`]).
+pub fn rescale_2k(d: &Dist2K, new_nodes: usize) -> Result<Dist2K, GraphError> {
+    let d1 = d.to_1k()?;
+    let old_nodes = d1.nodes();
+    if old_nodes == 0 {
+        return Err(GraphError::NotGraphical("cannot rescale an empty 2K".into()));
+    }
+    let factor = new_nodes as f64 / old_nodes as f64;
+    let new_edges = (d.edges() as f64 * factor).round() as usize;
+    let entries = d.sorted_entries();
+    let weights: Vec<f64> = entries.iter().map(|&(_, c)| c as f64).collect();
+    let parts = apportion(&weights, new_edges);
+    let mut out = Dist2K::default();
+    for (&((k1, k2), _), &m) in entries.iter().zip(&parts) {
+        if m > 0 {
+            out.counts.insert((k1, k2), m as u64);
+        }
+    }
+    repair_divisibility(&mut out)?;
+    out.validate()?;
+    Ok(out)
+}
+
+/// Restores per-class stub divisibility by adding edges to the smallest
+/// classes that need stubs. Each degree class `k` must have `stubs(k) ≡ 0
+/// (mod k)`; the deficit is patched by adding `(k, k')` edges toward the
+/// largest existing partner class `k'`, which perturbs the JDD minimally
+/// (bounded by `Σ_k (k−1)` extra edges).
+fn repair_divisibility(d: &mut Dist2K) -> Result<(), GraphError> {
+    // iterate to fixpoint: adding an edge for class k changes k''s count
+    for _round in 0..64 {
+        let mut deficits: Vec<(Degree, u64)> = Vec::new();
+        let mut classes: Vec<Degree> = d
+            .counts
+            .keys()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        classes.sort_unstable();
+        classes.dedup();
+        for &k in &classes {
+            let stubs = d.stubs_of_degree(k);
+            let rem = stubs % k as u64;
+            if rem != 0 {
+                deficits.push((k, k as u64 - rem));
+            }
+        }
+        if deficits.is_empty() {
+            return Ok(());
+        }
+        // pair up deficit classes with each other first (one edge fixes
+        // one stub on each side), then self-patch with (k,k) edges
+        deficits.sort_unstable();
+        let mut i = 0;
+        while i < deficits.len() {
+            let (k, need) = deficits[i];
+            if i + 1 < deficits.len() {
+                let (k2, need2) = deficits[i + 1];
+                let add = need.min(need2);
+                *d.counts.entry(canon_pair(k, k2)).or_insert(0) += add;
+                deficits[i].1 -= add;
+                deficits[i + 1].1 -= add;
+                if deficits[i].1 == 0 {
+                    i += 1;
+                    continue;
+                }
+            }
+            let (k, need) = deficits[i];
+            if need > 0 {
+                if need % 2 == 0 {
+                    // (k,k) edges add 2 stubs each
+                    *d.counts.entry((k, k)).or_insert(0) += need / 2;
+                } else if k > 1 {
+                    // odd deficit: route one stub to class 1 (creates a
+                    // leaf), rest via (k,k) pairs
+                    *d.counts.entry(canon_pair(1, k)).or_insert(0) += 1;
+                    if need > 1 {
+                        *d.counts.entry((k, k)).or_insert(0) += (need - 1) / 2;
+                    }
+                } else {
+                    // k == 1 with odd deficit: one extra (1,1) edge fixes
+                    // parity… but adds 2 stubs; instead add a single leaf
+                    // partner to the largest class
+                    let partner = *d
+                        .counts
+                        .keys()
+                        .flat_map(|&(a, b)| [a, b])
+                        .filter(|&x| x > 1)
+                        .max_by_key(|&x| x)
+                        .get_or_insert(1);
+                    *d.counts.entry(canon_pair(1, partner)).or_insert(0) += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+    // convergence check
+    let classes: Vec<Degree> = d.counts.keys().flat_map(|&(a, b)| [a, b]).collect();
+    for k in classes {
+        if !d.stubs_of_degree(k).is_multiple_of(k as u64) {
+            return Err(GraphError::NotGraphical(format!(
+                "divisibility repair did not converge for class {k}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+
+    #[test]
+    fn rescale_0k_keeps_avg_degree() {
+        let d = Dist0K::from_graph(&builders::karate_club());
+        let r = rescale_0k(&d, 340);
+        assert_eq!(r.nodes, 340);
+        assert!((r.k_avg() - d.k_avg()).abs() < 0.05);
+    }
+
+    #[test]
+    fn apportion_exact() {
+        assert_eq!(apportion(&[1.0, 1.0, 2.0], 8), vec![2, 2, 4]);
+        assert_eq!(apportion(&[0.0, 3.0], 5), vec![0, 5]);
+        assert_eq!(apportion(&[], 0), Vec::<usize>::new());
+        // totals always respected
+        let parts = apportion(&[0.3, 0.3, 0.4], 10);
+        assert_eq!(parts.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn rescale_1k_preserves_shape() {
+        let d = Dist1K::from_graph(&builders::karate_club());
+        for factor in [2usize, 5, 10] {
+            let n2 = 34 * factor;
+            let r = rescale_1k(&d, n2).unwrap();
+            assert_eq!(r.nodes(), n2);
+            assert!(r.edges().is_ok(), "parity repaired");
+            // shape: P(1) within a couple nodes of proportional
+            let p1_old = d.pk(1);
+            let p1_new = r.pk(1);
+            assert!(
+                (p1_old - p1_new).abs() < 0.05,
+                "factor {factor}: P(1) {p1_old} vs {p1_new}"
+            );
+        }
+    }
+
+    #[test]
+    fn rescale_1k_downscale() {
+        let d = Dist1K::from_graph(&builders::karate_club());
+        let r = rescale_1k(&d, 17).unwrap();
+        assert_eq!(r.nodes(), 17);
+        assert!(r.edges().is_ok());
+    }
+
+    #[test]
+    fn rescale_1k_empty_errors() {
+        assert!(rescale_1k(&Dist1K::default(), 10).is_err());
+    }
+
+    #[test]
+    fn rescale_2k_consistent_and_shaped() {
+        let d = Dist2K::from_graph(&builders::karate_club());
+        let r = rescale_2k(&d, 340).unwrap();
+        r.validate().unwrap();
+        let d1 = r.to_1k().unwrap();
+        let n = d1.nodes();
+        assert!(
+            (n as f64 - 340.0).abs() <= 20.0,
+            "node count {n} should approximate 340"
+        );
+        // edge ratio ≈ node ratio
+        let ratio = r.edges() as f64 / d.edges() as f64;
+        assert!((ratio - n as f64 / 34.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rescale_2k_roundtrips_through_generation() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = Dist2K::from_graph(&builders::karate_club());
+        let r = rescale_2k(&d, 170).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = crate::generate::matching::generate_2k(&r, &mut rng)
+            .unwrap()
+            .graph;
+        assert_eq!(Dist2K::from_graph(&g), r);
+    }
+
+    #[test]
+    fn rescale_2k_identity_factor() {
+        let d = Dist2K::from_graph(&builders::karate_club());
+        let r = rescale_2k(&d, 34).unwrap();
+        // same size: shape preserved near-exactly
+        assert_eq!(r.edges(), d.edges());
+    }
+}

@@ -1,0 +1,286 @@
+//! The §4.3 "extreme metrics" for dK-space diagnostics.
+//!
+//! To decide whether a given `d` is constraining enough, the paper
+//! proposes two simple metrics that are always defined by `P_{d+1}` but
+//! not by `P_d`, corresponding to the extreme geometries of
+//! `(d+1)`-sized subgraphs:
+//!
+//! * **the correlation of degrees of nodes located at distance d** —
+//!   the maximum-diameter geometry (a path);
+//! * **the concentration of d-simplices** (cliques of size `d + 1`) —
+//!   the minimum-diameter geometry.
+//!
+//! If these metrics vary a lot across dK-graphs (probe with rewiring and
+//! measure the spread), `d` is not constraining enough for the study at
+//! hand; if they barely move, it is. [`dk_space_gap`] packages that
+//! procedure.
+
+use crate::generate::rewire::{randomize, RewireOptions};
+use dk_graph::{bfs_distances, Graph};
+use rand::Rng;
+
+/// Pearson correlation of the degree pairs `(deg u, deg v)` over all
+/// unordered node pairs at shortest-path distance exactly `dist`.
+///
+/// `dist = 1` recovers (edge-wise) assortativity-style correlation;
+/// `dist = 2` is the `P_3`-defined quantity the paper's `S2` summarizes.
+/// Returns `None` when fewer than 2 pairs exist or variance vanishes.
+///
+/// Cost: one BFS per node — O(n·m); intended for diagnostic runs, not
+/// inner loops.
+pub fn degree_correlation_at_distance(g: &Graph, dist: u32) -> Option<f64> {
+    assert!(dist >= 1, "distance must be positive");
+    let n = g.node_count();
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    let mut count = 0u64;
+    for u in 0..n as u32 {
+        let d = bfs_distances(g, u);
+        for v in (u + 1)..n as u32 {
+            if d[v as usize] == dist {
+                let x = g.degree(u) as f64;
+                let y = g.degree(v) as f64;
+                // symmetrize: count the pair in both orientations so the
+                // correlation is orientation-free
+                sx += x + y;
+                sy += x + y;
+                sxx += x * x + y * y;
+                syy += y * y + x * x;
+                sxy += 2.0 * x * y;
+                count += 2;
+            }
+        }
+    }
+    if count < 2 {
+        return None;
+    }
+    let cf = count as f64;
+    let cov = sxy / cf - (sx / cf) * (sy / cf);
+    let var_x = sxx / cf - (sx / cf).powi(2);
+    let var_y = syy / cf - (sy / cf).powi(2);
+    if var_x <= 1e-15 || var_y <= 1e-15 {
+        return None;
+    }
+    Some(cov / (var_x * var_y).sqrt())
+}
+
+/// Number of cliques of size `d + 1` ("d-simplices"):
+/// `d = 1` → edges, `d = 2` → triangles, `d = 3` → K4 count.
+///
+/// K4 counting runs over edges × common-neighborhood pairs —
+/// O(Σ_e (deg·log)) with small constants on sparse graphs.
+pub fn simplex_concentration(g: &Graph, d: u8) -> u64 {
+    match d {
+        1 => g.edge_count() as u64,
+        2 => dk_metrics::clustering::triangle_count(g) as u64,
+        3 => count_k4(g),
+        other => panic!("simplex concentration implemented for d in 1..=3, got {other}"),
+    }
+}
+
+fn count_k4(g: &Graph) -> u64 {
+    // For each edge (u,v): collect common neighbors; each adjacent pair
+    // inside that set closes a K4. Each K4 has 6 edges; counted once per
+    // edge with both remaining vertices as common neighbors → each K4 is
+    // seen 6 times as (edge, pair).
+    let mut total = 0u64;
+    for &(u, v) in g.edges() {
+        let (a, b) = (g.neighbors(u), g.neighbors(v));
+        let mut common: Vec<u32> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    common.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for x in 0..common.len() {
+            for y in (x + 1)..common.len() {
+                if g.has_edge(common[x], common[y]) {
+                    total += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(total % 6, 0, "each K4 must be seen exactly 6 times");
+    total / 6
+}
+
+/// Spread of the two §4.3 extreme metrics across the dK-graph class of
+/// `g`, probed with `probes` independent dK-randomizations.
+#[derive(Clone, Copy, Debug)]
+pub struct SpaceGap {
+    /// Min/max of `degree_correlation_at_distance(·, d)` over the probes
+    /// (None when undefined on some probe).
+    pub correlation_range: Option<(f64, f64)>,
+    /// Min/max of the d-simplex count over the probes.
+    pub simplex_range: (u64, u64),
+}
+
+impl SpaceGap {
+    /// A crude scalar: relative simplex spread, `(max−min)/max(1,max)`.
+    pub fn simplex_spread(&self) -> f64 {
+        let (lo, hi) = self.simplex_range;
+        (hi - lo) as f64 / (hi.max(1)) as f64
+    }
+}
+
+/// Runs the §4.3 procedure: generate `probes` dK-random graphs of `g`
+/// and report the ranges of the two extreme metrics at level `d`
+/// (i.e. metrics defined by `P_{d+1}`).
+pub fn dk_space_gap<R: Rng + ?Sized>(
+    g: &Graph,
+    d: u8,
+    probes: usize,
+    opts: &RewireOptions,
+    rng: &mut R,
+) -> SpaceGap {
+    assert!((1..=2).contains(&d), "space gap implemented for d in 1..=2");
+    let mut corr: Vec<f64> = Vec::new();
+    let mut simplices: Vec<u64> = Vec::new();
+    let mut all_corr_defined = true;
+    for _ in 0..probes.max(1) {
+        let mut h = g.clone();
+        randomize(&mut h, d, opts, rng);
+        match degree_correlation_at_distance(&h, d as u32) {
+            Some(c) => corr.push(c),
+            None => all_corr_defined = false,
+        }
+        simplices.push(simplex_concentration(&h, d + 1));
+    }
+    let correlation_range = if all_corr_defined && !corr.is_empty() {
+        let lo = corr.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = corr.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some((lo, hi))
+    } else {
+        None
+    };
+    let lo = *simplices.iter().min().expect("probes ≥ 1");
+    let hi = *simplices.iter().max().expect("probes ≥ 1");
+    SpaceGap {
+        correlation_range,
+        simplex_range: (lo, hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simplex_counts_on_classics() {
+        let k5 = builders::complete(5);
+        assert_eq!(simplex_concentration(&k5, 1), 10);
+        assert_eq!(simplex_concentration(&k5, 2), 10);
+        assert_eq!(simplex_concentration(&k5, 3), 5); // C(5,4)
+        let k4 = builders::complete(4);
+        assert_eq!(simplex_concentration(&k4, 3), 1);
+        assert_eq!(simplex_concentration(&builders::petersen(), 2), 0);
+        assert_eq!(simplex_concentration(&builders::petersen(), 3), 0);
+        // karate: known 45 triangles, 11 K4s
+        let karate = builders::karate_club();
+        assert_eq!(simplex_concentration(&karate, 2), 45);
+        assert_eq!(simplex_concentration(&karate, 3), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=3")]
+    fn simplex_rejects_bad_d() {
+        simplex_concentration(&builders::path(3), 4);
+    }
+
+    #[test]
+    fn correlation_at_distance_one_tracks_assortativity_sign() {
+        // star: maximally disassortative at distance 1
+        let star = builders::star(6);
+        let c = degree_correlation_at_distance(&star, 1).unwrap();
+        assert!((c + 1.0).abs() < 1e-9, "c = {c}");
+        // regular graphs: undefined (zero variance)
+        assert_eq!(degree_correlation_at_distance(&builders::cycle(6), 1), None);
+    }
+
+    #[test]
+    fn correlation_at_distance_two_on_star_is_undefined() {
+        // at distance 2 all pairs are leaf–leaf (degree 1 ↔ 1): zero var
+        let star = builders::star(6);
+        assert_eq!(degree_correlation_at_distance(&star, 2), None);
+    }
+
+    #[test]
+    fn correlation_at_distance_two_on_double_star() {
+        // hub−hub joined; leaves at distance 2 from the opposite hub and
+        // from sibling leaves: mixture of (1, high) and (1,1) pairs →
+        // negative correlation (high degrees pair with low).
+        let g = Graph::from_edges(
+            8,
+            [(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7), (0, 4)],
+        )
+        .unwrap();
+        let c = degree_correlation_at_distance(&g, 2).unwrap();
+        assert!(c < 0.0, "c = {c}");
+    }
+
+    #[test]
+    fn space_gap_shrinks_from_1k_to_2k() {
+        // §4.3's whole point: the simplex (triangle) spread across
+        // 1K-graphs exceeds the spread across 2K-graphs... on karate the
+        // triangle count is partly structural, so compare spreads.
+        let g = builders::karate_club();
+        let opts = RewireOptions::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let gap1 = dk_space_gap(&g, 1, 6, &opts, &mut rng);
+        let gap2 = dk_space_gap(&g, 2, 6, &opts, &mut rng);
+        assert!(
+            gap2.simplex_range.1 - gap2.simplex_range.0
+                <= gap1.simplex_range.1 - gap1.simplex_range.0,
+            "2K spread {:?} must not exceed 1K spread {:?}",
+            gap2.simplex_range,
+            gap1.simplex_range
+        );
+    }
+
+    #[test]
+    fn k4_brute_force_oracle() {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let mut g = Graph::with_nodes(12);
+            for _ in 0..30 {
+                let u = rng.gen_range(0..12u32);
+                let v = rng.gen_range(0..12u32);
+                if u != v {
+                    let _ = g.try_add_edge(u, v);
+                }
+            }
+            let fast = simplex_concentration(&g, 3);
+            // brute force over all 4-subsets
+            let mut slow = 0u64;
+            let n = g.node_count() as u32;
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    for c in (b + 1)..n {
+                        for d in (c + 1)..n {
+                            if g.has_edge(a, b)
+                                && g.has_edge(a, c)
+                                && g.has_edge(a, d)
+                                && g.has_edge(b, c)
+                                && g.has_edge(b, d)
+                                && g.has_edge(c, d)
+                            {
+                                slow += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(fast, slow);
+        }
+    }
+}

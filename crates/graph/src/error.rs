@@ -1,0 +1,116 @@
+//! Error types for graph operations.
+
+use std::fmt;
+
+/// Errors produced by graph mutation, construction, and I/O.
+///
+/// The crate follows the "errors are values" style: fallible operations
+/// return `Result<_, GraphError>` and never panic on bad *input* (panics are
+/// reserved for internal invariant violations, i.e. bugs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// Attempted to add a self-loop to a simple graph.
+    SelfLoop(u32),
+    /// Attempted to add an edge that already exists to a simple graph.
+    DuplicateEdge(u32, u32),
+    /// Attempted to remove an edge that does not exist.
+    MissingEdge(u32, u32),
+    /// A degree sequence is not realizable as a simple graph
+    /// (fails the Erdős–Gallai conditions or has odd sum).
+    NotGraphical(String),
+    /// Construction algorithm could not complete (e.g. matching deadlock
+    /// that survived all resolution attempts).
+    ConstructionFailed(String),
+    /// Malformed input while parsing a graph file.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
+    Io(String),
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for graph with {nodes} nodes")
+            }
+            GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} not allowed in a simple graph"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "edge ({u}, {v}) already present in a simple graph")
+            }
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) not present"),
+            GraphError::NotGraphical(msg) => write!(f, "degree sequence not graphical: {msg}"),
+            GraphError::ConstructionFailed(msg) => write!(f, "graph construction failed: {msg}"),
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (
+                GraphError::NodeOutOfRange { node: 7, nodes: 3 },
+                "node 7 out of range",
+            ),
+            (GraphError::SelfLoop(2), "self-loop on node 2"),
+            (GraphError::DuplicateEdge(1, 2), "edge (1, 2) already present"),
+            (GraphError::MissingEdge(0, 9), "edge (0, 9) not present"),
+            (
+                GraphError::NotGraphical("odd sum".into()),
+                "not graphical: odd sum",
+            ),
+            (
+                GraphError::ConstructionFailed("deadlock".into()),
+                "construction failed: deadlock",
+            ),
+            (
+                GraphError::Parse {
+                    line: 4,
+                    msg: "bad token".into(),
+                },
+                "line 4",
+            ),
+            (GraphError::Io("disk on fire".into()), "disk on fire"),
+            (GraphError::EmptyGraph, "non-empty"),
+        ];
+        for (err, needle) in cases {
+            let s = err.to_string();
+            assert!(s.contains(needle), "{s:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let ge: GraphError = io.into();
+        assert!(matches!(ge, GraphError::Io(_)));
+    }
+}

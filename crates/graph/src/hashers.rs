@@ -1,0 +1,144 @@
+//! Deterministic hashing.
+//!
+//! `std`'s default `HashMap` hasher is randomly seeded per process, which
+//! makes iteration order — and therefore any algorithm that iterates a map
+//! while making random choices — differ between runs even under a fixed RNG
+//! seed. Reproducibility of generated topologies is a hard requirement for
+//! this workspace (every experiment in EXPERIMENTS.md must be re-runnable
+//! bit-for-bit), so all hash containers use the fixed-key FxHash function
+//! from rustc, re-implemented here to avoid an external dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state (the multiplicative hash used by rustc).
+///
+/// Not DoS-resistant — fine here, since all inputs are internally generated
+/// node identifiers and small tuples, never attacker-controlled data.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher64 {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// A `HashMap` with deterministic (seed-free) hashing.
+pub type DetHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with deterministic (seed-free) hashing.
+pub type DetHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Creates an empty [`DetHashMap`].
+pub fn det_hash_map<K, V>() -> DetHashMap<K, V> {
+    DetHashMap::default()
+}
+
+/// Creates an empty [`DetHashSet`].
+pub fn det_hash_set<K>() -> DetHashSet<K> {
+    DetHashSet::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher64::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn same_input_same_hash() {
+        assert_eq!(hash_one(&42u32), hash_one(&42u32));
+        assert_eq!(hash_one(&(3u32, 7u32)), hash_one(&(3u32, 7u32)));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        // Not a cryptographic property, just a sanity check that the hash
+        // actually depends on its input.
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&(1u32, 2u32)), hash_one(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: DetHashMap<(u32, u32), u64> = det_hash_map();
+        for i in 0..1000u32 {
+            m.insert((i, i + 1), u64::from(i) * 3);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i + 1)), Some(&(u64::from(i) * 3)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut s: DetHashSet<u32> = det_hash_set();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(&5));
+        assert!(s.remove(&5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bytes_hashing_covers_partial_chunks() {
+        // 9 bytes exercises both the full-word and the partial-word path.
+        let mut h = FxHasher64::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let a = h.finish();
+        let mut h2 = FxHasher64::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a, h2.finish());
+    }
+}

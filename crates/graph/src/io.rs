@@ -1,0 +1,210 @@
+//! Graph serialization: plain edge-list text format and Graphviz DOT export.
+//!
+//! ## Edge-list format
+//!
+//! One edge per line: two whitespace-separated node ids. Lines starting with
+//! `#` and blank lines are ignored. An optional header line `nodes N` pins
+//! the node count (otherwise it is `max id + 1`), so graphs with trailing
+//! isolated nodes round-trip. This is the format CAIDA-style adjacency
+//! snapshots use, and it is what the reproduction binaries write under
+//! `results/` so generated topologies can be inspected with standard tools.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a graph from edge-list text.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut declared_nodes: Option<usize> = None;
+    let mut max_id: Option<NodeId> = None;
+    for (lineno, line) in buf.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(GraphError::from)?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().expect("non-empty trimmed line has a token");
+        if first == "nodes" {
+            let n = parts
+                .next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    msg: "header `nodes` missing count".into(),
+                })?
+                .parse::<usize>()
+                .map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    msg: format!("bad node count: {e}"),
+                })?;
+            declared_nodes = Some(n);
+            continue;
+        }
+        let u: NodeId = first.parse().map_err(|e| GraphError::Parse {
+            line: lineno,
+            msg: format!("bad node id {first:?}: {e}"),
+        })?;
+        let vtok = parts.next().ok_or_else(|| GraphError::Parse {
+            line: lineno,
+            msg: "expected two node ids".into(),
+        })?;
+        let v: NodeId = vtok.parse().map_err(|e| GraphError::Parse {
+            line: lineno,
+            msg: format!("bad node id {vtok:?}: {e}"),
+        })?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno,
+                msg: "trailing tokens after edge".into(),
+            });
+        }
+        max_id = Some(max_id.map_or(u.max(v), |m| m.max(u).max(v)));
+        edges.push((u, v));
+    }
+    let implied = max_id.map_or(0, |m| m as usize + 1);
+    let n = match declared_nodes {
+        Some(n) if n < implied => {
+            return Err(GraphError::Parse {
+                line: 0,
+                msg: format!("declared nodes {n} smaller than max id {}", implied - 1),
+            })
+        }
+        Some(n) => n,
+        None => implied,
+    };
+    // Measured topology snapshots routinely contain both (u,v) and (v,u);
+    // treat duplicates as one undirected edge rather than failing.
+    Graph::from_edges_dedup(n, edges)
+}
+
+/// Writes a graph in edge-list format (with `nodes` header).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(writer, "# dk-graph edge list: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    writeln!(writer, "nodes {}", g.node_count())?;
+    for &(u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Convenience wrapper: read a graph from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Convenience wrapper: write a graph to a file path.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+/// Renders the graph as Graphviz DOT (undirected).
+///
+/// Node labels are the ids; an optional `highlight_degree_gte` threshold
+/// colors high-degree nodes, which makes the core/periphery migration of
+/// the paper's Figure 3 visible in external viewers too.
+pub fn to_dot(g: &Graph, highlight_degree_gte: Option<usize>) -> String {
+    let mut out = String::new();
+    out.push_str("graph G {\n  node [shape=circle, fontsize=8];\n");
+    if let Some(th) = highlight_degree_gte {
+        for u in g.nodes() {
+            if g.degree(u) >= th {
+                out.push_str(&format!(
+                    "  {u} [style=filled, fillcolor=\"#d62728\", fontcolor=white];\n"
+                ));
+            }
+        }
+    }
+    for &(u, v) in g.edges() {
+        out.push_str(&format!("  {u} -- {v};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = builders::karate_club();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_trailing_isolated_nodes() {
+        let mut g = builders::path(3);
+        g.add_node();
+        g.add_node();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.node_count(), 5);
+        assert_eq!(g2.edge_count(), 2);
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_dup_edges() {
+        let text = "# comment\n\n0 1\n1 0\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read_edge_list("0 1\nbogus\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 2\n".as_bytes()).is_err());
+        assert!(read_edge_list("nodes\n".as_bytes()).is_err());
+        assert!(read_edge_list("nodes x\n".as_bytes()).is_err());
+        // declared node count too small
+        assert!(read_edge_list("nodes 1\n0 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert!(g.is_empty());
+        let g = read_edge_list("# only comments\n".as_bytes()).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn dot_output_contains_edges_and_highlights() {
+        let g = builders::star(3);
+        let dot = to_dot(&g, Some(3));
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("0 -- 3;"));
+        assert!(dot.contains("fillcolor")); // hub highlighted
+        let plain = to_dot(&g, None);
+        assert!(!plain.contains("fillcolor"));
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let dir = std::env::temp_dir().join("dk_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        let g = builders::cycle(7);
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

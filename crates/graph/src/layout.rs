@@ -1,0 +1,229 @@
+//! Fruchterman–Reingold force-directed layout.
+//!
+//! Used to regenerate the paper's Figure 3 "picturizations" of dK-random
+//! graphs. The layout is a plain, robust implementation of the classic
+//! algorithm (attractive force `d²/k` along edges, repulsive force `k²/d`
+//! between all pairs, linearly cooling temperature), deterministic under a
+//! seeded RNG for the initial placement.
+//!
+//! Complexity is O(iterations × n²): fine for the ≈10³-node HOT-scale
+//! graphs that get visualized. For larger graphs, [`LayoutOptions::repulsion_sample`]
+//! approximates the repulsive term with a uniform node sample, trading
+//! accuracy for speed; visualization of 10⁴-node graphs stays interactive.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// 2-D point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// Parameters for [`fruchterman_reingold`].
+#[derive(Clone, Copy, Debug)]
+pub struct LayoutOptions {
+    /// Side length of the square drawing frame.
+    pub size: f64,
+    /// Number of force iterations.
+    pub iterations: usize,
+    /// If `Some(s)`, approximate repulsion by sampling `s` random partners
+    /// per node instead of all `n−1` (for big graphs).
+    pub repulsion_sample: Option<usize>,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        LayoutOptions {
+            size: 1000.0,
+            iterations: 150,
+            repulsion_sample: None,
+        }
+    }
+}
+
+/// Computes a Fruchterman–Reingold layout.
+///
+/// Returns one [`Point`] per node inside `[0, size] × [0, size]`.
+/// The empty graph yields an empty vector.
+pub fn fruchterman_reingold<R: Rng + ?Sized>(
+    g: &Graph,
+    opts: &LayoutOptions,
+    rng: &mut R,
+) -> Vec<Point> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let size = opts.size.max(1.0);
+    // Random initial placement.
+    let mut pos: Vec<Point> = (0..n)
+        .map(|_| Point {
+            x: rng.gen_range(0.0..size),
+            y: rng.gen_range(0.0..size),
+        })
+        .collect();
+    if n == 1 {
+        pos[0] = Point {
+            x: size / 2.0,
+            y: size / 2.0,
+        };
+        return pos;
+    }
+    let k = (size * size / n as f64).sqrt(); // ideal edge length
+    let mut disp = vec![Point { x: 0.0, y: 0.0 }; n];
+    let mut temperature = size / 10.0;
+    let cooling = temperature / (opts.iterations as f64 + 1.0);
+    const EPS: f64 = 1e-9;
+
+    for _ in 0..opts.iterations {
+        for d in disp.iter_mut() {
+            *d = Point { x: 0.0, y: 0.0 };
+        }
+        // Repulsive forces.
+        match opts.repulsion_sample {
+            None => {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let dx = pos[i].x - pos[j].x;
+                        let dy = pos[i].y - pos[j].y;
+                        let dist = (dx * dx + dy * dy).sqrt().max(EPS);
+                        let force = k * k / dist;
+                        let (fx, fy) = (dx / dist * force, dy / dist * force);
+                        disp[i].x += fx;
+                        disp[i].y += fy;
+                        disp[j].x -= fx;
+                        disp[j].y -= fy;
+                    }
+                }
+            }
+            Some(s) => {
+                // Sampled repulsion: each node repels from `s` random others,
+                // scaled up so expected total force matches the exact sum.
+                let scale = (n - 1) as f64 / s.max(1) as f64;
+                for i in 0..n {
+                    for _ in 0..s.max(1) {
+                        let j = rng.gen_range(0..n);
+                        if j == i {
+                            continue;
+                        }
+                        let dx = pos[i].x - pos[j].x;
+                        let dy = pos[i].y - pos[j].y;
+                        let dist = (dx * dx + dy * dy).sqrt().max(EPS);
+                        let force = k * k / dist * scale;
+                        disp[i].x += dx / dist * force;
+                        disp[i].y += dy / dist * force;
+                    }
+                }
+            }
+        }
+        // Attractive forces along edges.
+        for &(u, v) in g.edges() {
+            let (u, v) = (u as usize, v as usize);
+            let dx = pos[u].x - pos[v].x;
+            let dy = pos[u].y - pos[v].y;
+            let dist = (dx * dx + dy * dy).sqrt().max(EPS);
+            let force = dist * dist / k;
+            let (fx, fy) = (dx / dist * force, dy / dist * force);
+            disp[u].x -= fx;
+            disp[u].y -= fy;
+            disp[v].x += fx;
+            disp[v].y += fy;
+        }
+        // Apply displacements, clipped by temperature and frame.
+        for i in 0..n {
+            let dx = disp[i].x;
+            let dy = disp[i].y;
+            let dist = (dx * dx + dy * dy).sqrt().max(EPS);
+            let step = dist.min(temperature);
+            pos[i].x = (pos[i].x + dx / dist * step).clamp(0.0, size);
+            pos[i].y = (pos[i].y + dy / dist * step).clamp(0.0, size);
+        }
+        temperature = (temperature - cooling).max(EPS);
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(g: &Graph, opts: &LayoutOptions, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        fruchterman_reingold(g, opts, &mut rng)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(run(&Graph::new(), &LayoutOptions::default(), 1).is_empty());
+        let p = run(&Graph::with_nodes(1), &LayoutOptions::default(), 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].x, 500.0);
+    }
+
+    #[test]
+    fn points_stay_in_frame() {
+        let g = builders::karate_club();
+        let opts = LayoutOptions {
+            size: 200.0,
+            iterations: 60,
+            repulsion_sample: None,
+        };
+        for p in run(&g, &opts, 3) {
+            assert!((0.0..=200.0).contains(&p.x));
+            assert!((0.0..=200.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = builders::petersen();
+        let a = run(&g, &LayoutOptions::default(), 9);
+        let b = run(&g, &LayoutOptions::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edges_shorter_than_random_pairs() {
+        // Layout quality smoke test: after FR, adjacent pairs should sit
+        // closer together on average than non-adjacent pairs.
+        let g = builders::grid(5, 5);
+        let pos = run(&g, &LayoutOptions::default(), 11);
+        let dist = |a: Point, b: Point| ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
+        let mut edge_sum = 0.0;
+        for &(u, v) in g.edges() {
+            edge_sum += dist(pos[u as usize], pos[v as usize]);
+        }
+        let edge_avg = edge_sum / g.edge_count() as f64;
+        let mut non_sum = 0.0;
+        let mut non_cnt = 0.0;
+        for u in 0..g.node_count() as u32 {
+            for v in (u + 1)..g.node_count() as u32 {
+                if !g.has_edge(u, v) {
+                    non_sum += dist(pos[u as usize], pos[v as usize]);
+                    non_cnt += 1.0;
+                }
+            }
+        }
+        assert!(edge_avg < non_sum / non_cnt);
+    }
+
+    #[test]
+    fn sampled_repulsion_runs_on_larger_graph() {
+        let g = builders::grid(20, 20);
+        let opts = LayoutOptions {
+            size: 500.0,
+            iterations: 10,
+            repulsion_sample: Some(8),
+        };
+        let pos = run(&g, &opts, 5);
+        assert_eq!(pos.len(), 400);
+        assert!(pos.iter().all(|p| p.x.is_finite() && p.y.is_finite()));
+    }
+}

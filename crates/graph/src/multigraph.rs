@@ -1,0 +1,219 @@
+//! Undirected pseudograph (multigraph with self-loops).
+//!
+//! Stub-matching constructions — the paper's *pseudograph/configuration*
+//! algorithms (§4.1.2) — naturally produce self-loops and parallel edges.
+//! [`MultiGraph`] represents that intermediate object faithfully so the
+//! cleanup step ("remove all loops and extract the largest connected
+//! component") is explicit and measurable: the reproduction harness reports
+//! how many "badnesses" each construction produced, exactly like the paper
+//! compares its 2K pseudograph generator against PLRG.
+
+use crate::graph::{canon_edge, Graph, NodeId};
+use crate::hashers::{det_hash_map, DetHashMap};
+
+/// An undirected multigraph that permits self-loops and parallel edges.
+///
+/// Degrees follow the standard convention: a self-loop contributes **2** to
+/// its endpoint's degree, so stub counts are conserved by construction.
+#[derive(Clone, Debug, Default)]
+pub struct MultiGraph {
+    /// Multiplicity map per node: neighbor → number of parallel edges.
+    /// A self-loop on `u` is stored as `adj[u][u] = multiplicity`.
+    adj: Vec<DetHashMap<NodeId, u32>>,
+    /// Every edge instance, including loops and parallels.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+/// Counts of non-simple artifacts in a [`MultiGraph`], the paper's
+/// pseudograph "badnesses".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Badness {
+    /// Number of self-loop edge instances.
+    pub self_loops: usize,
+    /// Number of surplus parallel-edge instances
+    /// (a pair connected by `c` edges contributes `c − 1`).
+    pub parallel_edges: usize,
+}
+
+impl Badness {
+    /// Total number of edge instances that cleanup will delete.
+    pub fn total(&self) -> usize {
+        self.self_loops + self.parallel_edges
+    }
+}
+
+impl MultiGraph {
+    /// Creates a multigraph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        MultiGraph {
+            adj: vec![det_hash_map(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edge instances (loops and parallels each counted).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `u`; self-loops count twice.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize]
+            .iter()
+            .map(|(&v, &c)| if v == u { 2 * c as usize } else { c as usize })
+            .sum()
+    }
+
+    /// Adds an edge instance; `u == v` adds a self-loop.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "node out of range"
+        );
+        let key = canon_edge(u, v);
+        self.edges.push(key);
+        *self.adj[u as usize].entry(v).or_insert(0) += 1;
+        if u != v {
+            *self.adj[v as usize].entry(u).or_insert(0) += 1;
+        }
+    }
+
+    /// Multiplicity of edge `(u, v)`; 0 if absent.
+    pub fn multiplicity(&self, u: NodeId, v: NodeId) -> u32 {
+        self.adj[u as usize].get(&v).copied().unwrap_or(0)
+    }
+
+    /// All edge instances in insertion order (canonical orientation).
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Counts self-loops and surplus parallel edges.
+    pub fn badness(&self) -> Badness {
+        let mut b = Badness::default();
+        let mut seen: DetHashMap<(NodeId, NodeId), u32> = det_hash_map();
+        for &(u, v) in &self.edges {
+            *seen.entry((u, v)).or_insert(0) += 1;
+        }
+        for ((u, v), c) in seen {
+            if u == v {
+                b.self_loops += c as usize;
+            } else if c > 1 {
+                b.parallel_edges += (c - 1) as usize;
+            }
+        }
+        b
+    }
+
+    /// Converts to a simple [`Graph`] by dropping self-loops and collapsing
+    /// parallel edges (paper §4.1.2 cleanup, first half; GCC extraction is a
+    /// separate, explicit step in [`crate::traversal::giant_component`]).
+    ///
+    /// Returns the simple graph and the [`Badness`] that was removed.
+    pub fn simplify(&self) -> (Graph, Badness) {
+        let badness = self.badness();
+        let mut g = Graph::with_nodes(self.node_count());
+        for &(u, v) in &self.edges {
+            if u != v {
+                let _ = g.try_add_edge(u, v);
+            }
+        }
+        (g, badness)
+    }
+
+    /// Sum of degrees; equals `2 × edge_count()` (loops included).
+    pub fn degree_sum(&self) -> usize {
+        (0..self.node_count() as NodeId).map(|u| self.degree(u)).sum()
+    }
+}
+
+impl From<&Graph> for MultiGraph {
+    fn from(g: &Graph) -> Self {
+        let mut m = MultiGraph::with_nodes(g.node_count());
+        for &(u, v) in g.edges() {
+            m.add_edge(u, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loops_count_twice_in_degree() {
+        let mut m = MultiGraph::with_nodes(2);
+        m.add_edge(0, 0);
+        m.add_edge(0, 1);
+        assert_eq!(m.degree(0), 3);
+        assert_eq!(m.degree(1), 1);
+        assert_eq!(m.degree_sum(), 2 * m.edge_count());
+    }
+
+    #[test]
+    fn multiplicity_tracks_parallels() {
+        let mut m = MultiGraph::with_nodes(3);
+        m.add_edge(0, 1);
+        m.add_edge(1, 0);
+        m.add_edge(1, 2);
+        assert_eq!(m.multiplicity(0, 1), 2);
+        assert_eq!(m.multiplicity(1, 0), 2);
+        assert_eq!(m.multiplicity(1, 2), 1);
+        assert_eq!(m.multiplicity(0, 2), 0);
+    }
+
+    #[test]
+    fn badness_census() {
+        let mut m = MultiGraph::with_nodes(3);
+        m.add_edge(0, 0); // loop
+        m.add_edge(0, 0); // loop
+        m.add_edge(0, 1);
+        m.add_edge(0, 1); // parallel
+        m.add_edge(0, 1); // parallel
+        m.add_edge(1, 2);
+        let b = m.badness();
+        assert_eq!(b.self_loops, 2);
+        assert_eq!(b.parallel_edges, 2);
+        assert_eq!(b.total(), 4);
+    }
+
+    #[test]
+    fn simplify_drops_badness() {
+        let mut m = MultiGraph::with_nodes(3);
+        m.add_edge(0, 0);
+        m.add_edge(0, 1);
+        m.add_edge(1, 0);
+        m.add_edge(1, 2);
+        let (g, b) = m.simplify();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert_eq!(b.self_loops, 1);
+        assert_eq!(b.parallel_edges, 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_simple_graph_roundtrip() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let m = MultiGraph::from(&g);
+        assert_eq!(m.badness(), Badness::default());
+        let (g2, _) = m.simplify();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn degree_sum_invariant_with_loops_and_parallels() {
+        let mut m = MultiGraph::with_nodes(4);
+        for (u, v) in [(0, 0), (1, 1), (0, 1), (0, 1), (2, 3), (3, 2), (1, 2)] {
+            m.add_edge(u, v);
+        }
+        assert_eq!(m.degree_sum(), 2 * m.edge_count());
+    }
+}

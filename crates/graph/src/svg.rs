@@ -1,0 +1,198 @@
+//! Minimal SVG rendering of laid-out graphs (for Figure 3 picturizations).
+//!
+//! Nodes are drawn as circles whose radius and color scale with degree, so
+//! the paper's qualitative story — where do the high-degree nodes sit,
+//! core or periphery? — is immediately visible. No external renderer is
+//! required; the output is standalone SVG 1.1.
+
+use crate::graph::Graph;
+use crate::layout::Point;
+use std::fmt::Write as _;
+
+/// Rendering options for [`render_svg`].
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Canvas width/height in pixels (the layout is rescaled to fit).
+    pub canvas: f64,
+    /// Margin inside the canvas.
+    pub margin: f64,
+    /// Minimum node radius.
+    pub r_min: f64,
+    /// Maximum node radius (assigned to the maximum-degree node).
+    pub r_max: f64,
+    /// Title embedded in the SVG.
+    pub title: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            canvas: 800.0,
+            margin: 20.0,
+            r_min: 1.5,
+            r_max: 10.0,
+            title: String::new(),
+        }
+    }
+}
+
+/// Linear interpolation between blue (low degree) and red (high degree).
+fn degree_color(deg: usize, max_deg: usize) -> String {
+    let t = if max_deg == 0 {
+        0.0
+    } else {
+        deg as f64 / max_deg as f64
+    };
+    let r = (40.0 + 200.0 * t) as u8;
+    let g = 60u8;
+    let b = (200.0 - 160.0 * t) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// Renders a graph with precomputed positions to an SVG string.
+///
+/// # Panics
+/// Panics if `positions.len() != g.node_count()` (caller bug).
+pub fn render_svg(g: &Graph, positions: &[Point], opts: &SvgOptions) -> String {
+    assert_eq!(
+        positions.len(),
+        g.node_count(),
+        "one position per node required"
+    );
+    let c = opts.canvas;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{c}" height="{c}" viewBox="0 0 {c} {c}">"#
+    );
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "  <title>{}</title>", xml_escape(&opts.title));
+        let _ = writeln!(
+            out,
+            r##"  <text x="{}" y="{}" font-size="14" font-family="sans-serif" fill="#333">{}</text>"##,
+            opts.margin,
+            opts.margin * 0.75,
+            xml_escape(&opts.title)
+        );
+    }
+    let _ = writeln!(out, r##"  <rect width="{c}" height="{c}" fill="#ffffff"/>"##);
+
+    // Rescale layout into the canvas minus margins.
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in positions {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let usable = c - 2.0 * opts.margin;
+    let sx = |x: f64| opts.margin + (x - min_x) / span_x * usable;
+    let sy = |y: f64| opts.margin + (y - min_y) / span_y * usable;
+
+    let _ = writeln!(out, r##"  <g stroke="#9999aa" stroke-width="0.4" stroke-opacity="0.6">"##);
+    for &(u, v) in g.edges() {
+        let (pu, pv) = (positions[u as usize], positions[v as usize]);
+        let _ = writeln!(
+            out,
+            r#"    <line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}"/>"#,
+            sx(pu.x),
+            sy(pu.y),
+            sx(pv.x),
+            sy(pv.y)
+        );
+    }
+    let _ = writeln!(out, "  </g>");
+
+    let max_deg = g.max_degree();
+    let _ = writeln!(out, r#"  <g stroke="none">"#);
+    for u in g.nodes() {
+        let p = positions[u as usize];
+        let deg = g.degree(u);
+        let t = if max_deg == 0 {
+            0.0
+        } else {
+            (deg as f64 / max_deg as f64).sqrt()
+        };
+        let r = opts.r_min + (opts.r_max - opts.r_min) * t;
+        let _ = writeln!(
+            out,
+            r#"    <circle cx="{:.2}" cy="{:.2}" r="{:.2}" fill="{}"/>"#,
+            sx(p.x),
+            sy(p.y),
+            r,
+            degree_color(deg, max_deg)
+        );
+    }
+    let _ = writeln!(out, "  </g>");
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::layout::{fruchterman_reingold, LayoutOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn render(g: &Graph, title: &str) -> String {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pos = fruchterman_reingold(g, &LayoutOptions::default(), &mut rng);
+        render_svg(
+            g,
+            &pos,
+            &SvgOptions {
+                title: title.to_string(),
+                ..SvgOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let g = builders::karate_club();
+        let svg = render(&g, "karate & <club>");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 34);
+        assert_eq!(svg.matches("<line").count(), 78);
+        // title is escaped
+        assert!(svg.contains("karate &amp; &lt;club&gt;"));
+        assert!(!svg.contains("<club>"));
+    }
+
+    #[test]
+    fn node_count_mismatch_panics() {
+        let g = builders::path(3);
+        let pos = vec![Point { x: 0.0, y: 0.0 }; 2];
+        let res = std::panic::catch_unwind(|| render_svg(&g, &pos, &SvgOptions::default()));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn colors_span_degree_range() {
+        assert_eq!(degree_color(0, 10), "#283cc8");
+        assert_eq!(degree_color(10, 10), "#f03c28");
+        // degenerate max_deg = 0
+        assert_eq!(degree_color(0, 0), "#283cc8");
+    }
+
+    #[test]
+    fn degenerate_single_point_layout_renders() {
+        let g = Graph::with_nodes(1);
+        let pos = vec![Point { x: 5.0, y: 5.0 }];
+        let svg = render_svg(&g, &pos, &SvgOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+}

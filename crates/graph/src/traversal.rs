@@ -1,0 +1,225 @@
+//! Breadth-first traversal, connected components, and GCC extraction.
+//!
+//! The paper computes every evaluation metric "for the giant connected
+//! component (GCC)" (§5.2) because the construction algorithms do not
+//! maintain connectivity. [`giant_component`] is therefore on the hot path
+//! of the whole reproduction harness.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance sentinel for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances.
+///
+/// Returns a vector of hop counts from `source`; unreachable nodes hold
+/// [`UNREACHABLE`].
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    assert!(g.has_node(source), "BFS source out of range");
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components as a label vector plus component count.
+///
+/// `labels[u]` is the 0-based component id of node `u`; components are
+/// numbered in order of their smallest node id, so labeling is deterministic.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = next;
+        queue.push_back(start as NodeId);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next as usize)
+}
+
+/// Sizes of all connected components, indexed by component label.
+pub fn component_sizes(g: &Graph) -> Vec<usize> {
+    let (labels, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for l in labels {
+        sizes[l as usize] += 1;
+    }
+    sizes
+}
+
+/// `true` if the graph is connected. The empty graph is considered
+/// connected (it has no pair of disconnected nodes); a graph of isolated
+/// nodes is not.
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let dist = bfs_distances(g, 0);
+    dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Extracts the giant (largest) connected component.
+///
+/// Returns the GCC as a new graph with nodes renumbered `0..size` (in
+/// ascending original-id order) and the mapping `new id → original id`.
+/// Ties between equal-size components break toward the smaller component
+/// label (deterministic).
+///
+/// Returns an empty graph for an empty input.
+pub fn giant_component(g: &Graph) -> (Graph, Vec<NodeId>) {
+    if g.is_empty() {
+        return (Graph::new(), Vec::new());
+    }
+    let (labels, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let giant = sizes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i as u32)
+        .expect("non-empty graph has at least one component");
+    let nodes: Vec<NodeId> = (0..g.node_count() as NodeId)
+        .filter(|&u| labels[u as usize] == giant)
+        .collect();
+    g.subgraph(&nodes)
+        .expect("component nodes are valid and unique")
+}
+
+/// Fraction of nodes inside the giant component (1.0 for connected graphs).
+pub fn gcc_fraction(g: &Graph) -> f64 {
+    if g.is_empty() {
+        return 1.0;
+    }
+    let sizes = component_sizes(g);
+    *sizes.iter().max().expect("non-empty") as f64 / g.node_count() as f64
+}
+
+/// Eccentricity of `source`: the greatest BFS distance to any reachable
+/// node. Returns `None` if some node is unreachable from `source`.
+pub fn eccentricity(g: &Graph, source: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, source);
+    let mut max = 0;
+    for d in dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = builders::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_marked() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_labeling_deterministic() {
+        // {0,1}, {2,3,4}, {5}
+        let g = Graph::from_edges(6, [(0, 1), (2, 3), (3, 4)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels, vec![0, 0, 1, 1, 1, 2]);
+        assert_eq!(component_sizes(&g), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn connectivity_edge_cases() {
+        assert!(is_connected(&Graph::new()));
+        assert!(is_connected(&Graph::with_nodes(1)));
+        assert!(!is_connected(&Graph::with_nodes(2)));
+        assert!(is_connected(&builders::cycle(5)));
+    }
+
+    #[test]
+    fn gcc_picks_largest() {
+        let g = Graph::from_edges(7, [(0, 1), (2, 3), (3, 4), (4, 2), (5, 6)]).unwrap();
+        let (gcc, map) = giant_component(&g);
+        assert_eq!(gcc.node_count(), 3);
+        assert_eq!(gcc.edge_count(), 3);
+        assert_eq!(map, vec![2, 3, 4]);
+        assert!((gcc_fraction(&g) - 3.0 / 7.0).abs() < 1e-12);
+        gcc.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gcc_of_connected_graph_is_identity_shape() {
+        let g = builders::complete(5);
+        let (gcc, map) = giant_component(&g);
+        assert_eq!(gcc.node_count(), 5);
+        assert_eq!(gcc.edge_count(), 10);
+        assert_eq!(map, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn gcc_of_empty_graph() {
+        let (gcc, map) = giant_component(&Graph::new());
+        assert!(gcc.is_empty());
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn gcc_tie_breaks_to_first_component() {
+        // two components of size 2: {0,1} and {2,3}
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let (_, map) = giant_component(&g);
+        assert_eq!(map, vec![0, 1]);
+    }
+
+    #[test]
+    fn eccentricity_values() {
+        let g = builders::path(5);
+        assert_eq!(eccentricity(&g, 0), Some(4));
+        assert_eq!(eccentricity(&g, 2), Some(2));
+        let disconnected = Graph::with_nodes(3);
+        assert_eq!(eccentricity(&disconnected, 0), None);
+    }
+}

@@ -1,0 +1,219 @@
+//! Symmetric sparse matrices in CSR form.
+
+use dk_graph::Graph;
+
+/// A symmetric sparse matrix stored in CSR (compressed sparse row) layout.
+///
+/// Both triangles are stored explicitly — matvec is the only hot operation
+/// and a full CSR keeps it branch-free and sequential.
+#[derive(Clone, Debug)]
+pub struct SparseSym {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseSym {
+    /// Builds a matrix from per-row `(column, value)` lists.
+    ///
+    /// Each row's entries must have unique, in-range columns. Symmetry is
+    /// the caller's responsibility (checked in debug builds).
+    pub fn from_rows(rows: Vec<Vec<(u32, f64)>>) -> Self {
+        let n = rows.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in &rows {
+            for &(c, v) in row {
+                assert!((c as usize) < n, "column {c} out of range");
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let m = SparseSym {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        debug_assert!(m.is_symmetric(1e-12), "matrix must be symmetric");
+        m
+    }
+
+    /// Normalized Laplacian `L = I − D^{−1/2} A D^{−1/2}` of a graph.
+    ///
+    /// Isolated nodes produce an all-zero row (their diagonal is 0 by the
+    /// convention `L_ii = deg_i > 0 ? 1 : 0`); in practice callers pass
+    /// GCCs, where every degree is positive.
+    pub fn normalized_laplacian(g: &Graph) -> Self {
+        let n = g.node_count();
+        let inv_sqrt_deg: Vec<f64> = (0..n as u32)
+            .map(|u| {
+                let d = g.degree(u);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / (d as f64).sqrt()
+                }
+            })
+            .collect();
+        let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n);
+        for u in 0..n as u32 {
+            let deg = g.degree(u);
+            let mut row = Vec::with_capacity(deg + 1);
+            let mut pushed_diag = false;
+            let diag = if deg > 0 { 1.0 } else { 0.0 };
+            for &v in g.neighbors(u) {
+                if !pushed_diag && v > u {
+                    row.push((u, diag));
+                    pushed_diag = true;
+                }
+                row.push((v, -inv_sqrt_deg[u as usize] * inv_sqrt_deg[v as usize]));
+            }
+            if !pushed_diag {
+                row.push((u, diag));
+            }
+            rows.push(row);
+        }
+        SparseSym::from_rows(rows)
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x` or `y` have the wrong length.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Allocating matvec convenience.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.matvec(x, &mut y);
+        y
+    }
+
+    /// Entry lookup, O(row nnz). For tests and debugging.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+            if self.col_idx[k] as usize == j {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Checks `|A_ij − A_ji| ≤ tol` for all stored entries.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k] as usize;
+                if (self.values[k] - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+
+    #[test]
+    fn laplacian_of_single_edge() {
+        let g = builders::path(2);
+        let l = SparseSym::normalized_laplacian(&g);
+        assert_eq!(l.n(), 2);
+        assert_eq!(l.get(0, 0), 1.0);
+        assert_eq!(l.get(1, 1), 1.0);
+        assert!((l.get(0, 1) + 1.0).abs() < 1e-12);
+        assert!(l.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn laplacian_entries_match_paper_definition() {
+        // Star S3: hub degree 3, leaves degree 1 → off-diag = -1/√3.
+        let g = builders::star(3);
+        let l = SparseSym::normalized_laplacian(&g);
+        let expect = -1.0 / 3f64.sqrt();
+        for leaf in 1..=3 {
+            assert!((l.get(0, leaf) - expect).abs() < 1e-12);
+            assert!((l.get(leaf, 0) - expect).abs() < 1e-12);
+            assert_eq!(l.get(leaf, leaf), 1.0);
+        }
+        assert_eq!(l.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn isolated_node_row_is_zero() {
+        let mut g = builders::path(2);
+        g.add_node();
+        let l = SparseSym::normalized_laplacian(&g);
+        assert_eq!(l.get(2, 2), 0.0);
+        assert_eq!(l.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn matvec_against_dense_oracle() {
+        let g = builders::karate_club();
+        let l = SparseSym::normalized_laplacian(&g);
+        let n = l.n();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y = l.apply(&x);
+        // dense re-computation
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += l.get(i, j) * x[j];
+            }
+            assert!((acc - y[i]).abs() < 1e-10, "row {i}");
+        }
+    }
+
+    #[test]
+    fn null_vector_annihilated() {
+        // L · D^{1/2}·1 = 0 on any graph with no isolated nodes.
+        let g = builders::karate_club();
+        let l = SparseSym::normalized_laplacian(&g);
+        let v: Vec<f64> = (0..g.node_count() as u32)
+            .map(|u| (g.degree(u) as f64).sqrt())
+            .collect();
+        let y = l.apply(&v);
+        let norm: f64 = y.iter().map(|a| a * a).sum::<f64>().sqrt();
+        assert!(norm < 1e-10, "residual {norm}");
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn matvec_checks_lengths() {
+        let g = builders::path(3);
+        let l = SparseSym::normalized_laplacian(&g);
+        let x = vec![0.0; 2];
+        let mut y = vec![0.0; 3];
+        l.matvec(&x, &mut y);
+    }
+}

@@ -1,0 +1,179 @@
+//! Eigenvalues of symmetric tridiagonal matrices (implicit-shift QL).
+//!
+//! This is the back end of the Lanczos pipeline: Lanczos reduces the sparse
+//! operator to a small tridiagonal matrix `T` whose eigenvalues (Ritz
+//! values) approximate the extreme eigenvalues of the operator. The
+//! algorithm here is the classical `tqli` routine (eigenvalues only),
+//! restructured for clarity and with explicit failure reporting instead of
+//! silent truncation.
+
+/// Eigenvalues of the symmetric tridiagonal matrix with diagonal `d`
+/// (length n) and sub-diagonal `e` (length n−1), in ascending order.
+///
+/// # Panics
+/// Panics if `e.len() + 1 != d.len()` (caller bug) or if the QL iteration
+/// fails to converge within 50 sweeps for some eigenvalue — which for
+/// symmetric tridiagonal input indicates NaN/Inf contamination rather than
+/// a hard numerical case.
+pub fn tridiag_eigenvalues(d: &[f64], e: &[f64]) -> Vec<f64> {
+    let n = d.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert_eq!(e.len() + 1, n, "sub-diagonal must have length n-1");
+    let mut d = d.to_vec();
+    // work array: e shifted to 1-based convention with a trailing 0
+    let mut e: Vec<f64> = {
+        let mut v = e.to_vec();
+        v.push(0.0);
+        v
+    };
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small sub-diagonal element to split the matrix.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(
+                iter <= 50,
+                "QL iteration failed to converge (l = {l}); input likely contains NaN/Inf"
+            );
+            // Form implicit shift from the 2x2 block at l.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = hypot(g, 1.0);
+            g = d[m] - d[l] + e[l] / (g + sign(r, g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            // Rotations from m−1 down to l; `underflow` marks the rare
+            // r == 0 case where the rotation chain terminates early.
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let f = s * e[i];
+                let b = c * e[i];
+                r = hypot(f, g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    d.sort_by(|a, b| a.partial_cmp(b).expect("finite eigenvalues"));
+    d
+}
+
+#[inline]
+fn hypot(a: f64, b: f64) -> f64 {
+    a.hypot(b)
+}
+
+#[inline]
+fn sign(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{jacobi_eigenvalues, DenseSym};
+
+    fn assert_close(got: &[f64], want: &[f64], tol: f64) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < tol, "got {got:?} want {want:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(tridiag_eigenvalues(&[], &[]).is_empty());
+        assert_close(&tridiag_eigenvalues(&[3.5], &[]), &[3.5], 1e-15);
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let eig = tridiag_eigenvalues(&[3.0, 1.0, 2.0], &[0.0, 0.0]);
+        assert_close(&eig, &[1.0, 2.0, 3.0], 1e-14);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[0, 1], [1, 0]] → ±1
+        let eig = tridiag_eigenvalues(&[0.0, 0.0], &[1.0]);
+        assert_close(&eig, &[-1.0, 1.0], 1e-12);
+    }
+
+    #[test]
+    fn laplacian_of_path_as_tridiagonal() {
+        // The normalized Laplacian of a path graph is tridiagonal in the
+        // natural ordering; compare QL against the closed form.
+        let n = 9;
+        let g = dk_graph::builders::path(n);
+        let dd: Vec<f64> = vec![1.0; n];
+        let mut ee = Vec::with_capacity(n - 1);
+        for i in 0..n - 1 {
+            let w = -1.0 / ((g.degree(i as u32) as f64) * (g.degree(i as u32 + 1) as f64)).sqrt();
+            ee.push(w);
+        }
+        let eig = tridiag_eigenvalues(&dd, &ee);
+        let mut want: Vec<f64> = (0..n)
+            .map(|k| 1.0 - (std::f64::consts::PI * k as f64 / (n as f64 - 1.0)).cos())
+            .collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_close(&eig, &want, 1e-10);
+    }
+
+    #[test]
+    fn agrees_with_jacobi_on_random_tridiagonals() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..20);
+            let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let e: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let ql = tridiag_eigenvalues(&d, &e);
+            let mut m = DenseSym::zeros(n);
+            for i in 0..n {
+                m.set_sym(i, i, d[i]);
+            }
+            for i in 0..n - 1 {
+                m.set_sym(i, i + 1, e[i]);
+            }
+            let jac = jacobi_eigenvalues(&m);
+            assert_close(&ql, &jac, 1e-9);
+            let _ = trial;
+        }
+    }
+}

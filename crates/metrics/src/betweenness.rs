@@ -1,0 +1,359 @@
+//! Node betweenness centrality (Brandes' algorithm, exact, parallel).
+//!
+//! Betweenness of `v` is the weighted sum over source/target pairs of the
+//! fraction of shortest paths passing through `v` (paper §2: "it estimates
+//! the potential traffic load on a node"). Brandes' algorithm computes it
+//! exactly in O(n·m) on unweighted graphs — one BFS plus one dependency
+//! back-propagation per source — and sources are embarrassingly parallel.
+
+use crate::distance::{default_threads, run_chunked};
+use dk_graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Exact node betweenness, **unordered-pair convention**: each `{s, t}`
+/// pair contributes once, endpoints excluded.
+pub fn node_betweenness(g: &Graph) -> Vec<f64> {
+    node_betweenness_with_threads(g, default_threads())
+}
+
+/// As [`node_betweenness`] with an explicit worker count.
+pub fn node_betweenness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let partials = run_chunked(n as u32, threads.clamp(1, n), |range| {
+        let mut bc = vec![0.0f64; n];
+        // reusable per-source buffers
+        let mut dist = vec![-1i32; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut delta = vec![0.0f64; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for s in range {
+            for i in 0..n {
+                dist[i] = -1;
+                sigma[i] = 0.0;
+                delta[i] = 0.0;
+            }
+            order.clear();
+            queue.clear();
+            dist[s as usize] = 0;
+            sigma[s as usize] = 1.0;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                order.push(u);
+                let du = dist[u as usize];
+                for &v in g.neighbors(u) {
+                    let vi = v as usize;
+                    if dist[vi] < 0 {
+                        dist[vi] = du + 1;
+                        queue.push_back(v);
+                    }
+                    if dist[vi] == du + 1 {
+                        sigma[vi] += sigma[u as usize];
+                    }
+                }
+            }
+            // dependency accumulation in reverse BFS order
+            for &w in order.iter().rev() {
+                let wi = w as usize;
+                let coeff = (1.0 + delta[wi]) / sigma[wi];
+                let dw = dist[wi];
+                for &v in g.neighbors(w) {
+                    let vi = v as usize;
+                    if dist[vi] + 1 == dw {
+                        delta[vi] += sigma[vi] * coeff;
+                    }
+                }
+                if w != s {
+                    bc[wi] += delta[wi];
+                }
+            }
+        }
+        bc
+    });
+    let mut bc = vec![0.0f64; n];
+    for p in partials {
+        for (acc, v) in bc.iter_mut().zip(p) {
+            *acc += v;
+        }
+    }
+    // each unordered pair was counted from both endpoints
+    for v in bc.iter_mut() {
+        *v /= 2.0;
+    }
+    bc
+}
+
+/// Betweenness normalized to `\[0, 1\]` by the number of unordered pairs
+/// excluding the node itself, `(n−1)(n−2)/2`.
+///
+/// This is the "normalized node betweenness" of the paper's Figures 6(b)
+/// and 9. Returns zeros for `n < 3`.
+pub fn normalized_betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let raw = node_betweenness(g);
+    if n < 3 {
+        return vec![0.0; n];
+    }
+    let scale = 2.0 / ((n as f64 - 1.0) * (n as f64 - 2.0));
+    raw.into_iter().map(|b| b * scale).collect()
+}
+
+/// Exact **edge** betweenness (paper §2: centrality "both for nodes and
+/// links"; "link value \[29\]" is directly related), unordered-pair
+/// convention, keyed by canonical edge.
+///
+/// Same Brandes pass as node betweenness; the dependency flowing across
+/// each DAG edge is accumulated per graph edge.
+pub fn edge_betweenness(g: &Graph) -> Vec<((NodeId, NodeId), f64)> {
+    let n = g.node_count();
+    let mut acc: std::collections::BTreeMap<(NodeId, NodeId), f64> = g
+        .edges()
+        .iter()
+        .map(|&e| (e, 0.0))
+        .collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    // sequential: edge betweenness is used on small (HOT-scale) graphs
+    let mut dist = vec![-1i32; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for s in 0..n as u32 {
+        for i in 0..n {
+            dist[i] = -1;
+            sigma[i] = 0.0;
+            delta[i] = 0.0;
+        }
+        order.clear();
+        queue.clear();
+        dist[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let du = dist[u as usize];
+            for &v in g.neighbors(u) {
+                let vi = v as usize;
+                if dist[vi] < 0 {
+                    dist[vi] = du + 1;
+                    queue.push_back(v);
+                }
+                if dist[vi] == du + 1 {
+                    sigma[vi] += sigma[u as usize];
+                }
+            }
+        }
+        for &w in order.iter().rev() {
+            let wi = w as usize;
+            let coeff = (1.0 + delta[wi]) / sigma[wi];
+            let dw = dist[wi];
+            for &v in g.neighbors(w) {
+                let vi = v as usize;
+                if dist[vi] + 1 == dw {
+                    let flow = sigma[vi] * coeff;
+                    delta[vi] += flow;
+                    let key = if v < w { (v, w) } else { (w, v) };
+                    *acc.get_mut(&key).expect("edge exists") += flow;
+                }
+            }
+        }
+    }
+    // each unordered pair contributes from both endpoints
+    acc.into_iter().map(|(e, b)| (e, b / 2.0)).collect()
+}
+
+/// Mean normalized betweenness of `k`-degree nodes, as `(k, b̄(k))` pairs —
+/// the series plotted in the paper's betweenness figures.
+pub fn betweenness_by_degree(g: &Graph) -> Vec<(usize, f64)> {
+    let bc = normalized_betweenness(g);
+    let kmax = g.max_degree();
+    let mut sum = vec![0.0f64; kmax + 1];
+    let mut cnt = vec![0usize; kmax + 1];
+    for (v, b) in bc.iter().enumerate() {
+        let k = g.degree(v as u32);
+        sum[k] += b;
+        cnt[k] += 1;
+    }
+    (0..=kmax)
+        .filter(|&k| cnt[k] > 0)
+        .map(|k| (k, sum[k] / cnt[k] as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+
+    #[test]
+    fn path_betweenness_hand_computed() {
+        // P5: bc = [0, 3, 4, 3, 0] (pairs routed through each inner node)
+        let g = builders::path(5);
+        let bc = node_betweenness_with_threads(&g, 1);
+        let want = [0.0, 3.0, 4.0, 3.0, 0.0];
+        for (b, w) in bc.iter().zip(want) {
+            assert!((b - w).abs() < 1e-12, "{bc:?}");
+        }
+    }
+
+    #[test]
+    fn star_center_carries_everything() {
+        // S_k: center lies on all (k choose 2) pairs.
+        let g = builders::star(6);
+        let bc = node_betweenness(&g);
+        assert!((bc[0] - 15.0).abs() < 1e-12);
+        for leaf in 1..=6 {
+            assert_eq!(bc[leaf], 0.0);
+        }
+        // normalized: center = 1, leaves = 0
+        let nb = normalized_betweenness(&g);
+        assert!((nb[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_zero_betweenness() {
+        let g = builders::complete(6);
+        for b in node_betweenness(&g) {
+            assert!(b.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cycle_betweenness_uniform() {
+        // C6: by symmetry all equal; each node lies on... compute: exact
+        // value for even cycle n: (n-2)²/8? For n=6: pairs at distance 3
+        // have 2 shortest paths. Just assert uniformity and positivity.
+        let g = builders::cycle(6);
+        let bc = node_betweenness(&g);
+        for b in &bc {
+            assert!((b - bc[0]).abs() < 1e-12);
+        }
+        assert!(bc[0] > 0.0);
+    }
+
+    #[test]
+    fn multiple_shortest_paths_split_credit() {
+        // 4-cycle: pairs (0,2) and (1,3) each have two shortest paths, so
+        // each inner node gets 1/2 from the one pair it can serve.
+        let g = builders::cycle(4);
+        let bc = node_betweenness_with_threads(&g, 1);
+        for b in bc {
+            assert!((b - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = builders::karate_club();
+        let a = node_betweenness_with_threads(&g, 1);
+        let b = node_betweenness_with_threads(&g, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn karate_hubs_dominate() {
+        let g = builders::karate_club();
+        let bc = node_betweenness(&g);
+        // node 0 has the highest betweenness in the karate club (known)
+        let max_idx = bc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 0);
+        // known value: 231.07 (Brandes' paper / networkx)
+        assert!((bc[0] - 231.0714).abs() < 0.01, "bc[0] = {}", bc[0]);
+    }
+
+    #[test]
+    fn by_degree_series_shape() {
+        let g = builders::star(5);
+        let series = betweenness_by_degree(&g);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 1);
+        assert!((series[0].1).abs() < 1e-12);
+        assert_eq!(series[1].0, 5);
+        assert!((series[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert!(node_betweenness(&Graph::new()).is_empty());
+        assert_eq!(normalized_betweenness(&builders::path(2)), vec![0.0, 0.0]);
+        assert!(edge_betweenness(&Graph::new()).is_empty());
+    }
+
+    #[test]
+    fn edge_betweenness_on_path() {
+        // P4 edges: (0,1) carries pairs {0,1},{0,2},{0,3} → 3;
+        // (1,2) carries {0,2},{0,3},{1,2},{1,3} → 4; (2,3) symmetric 3.
+        let g = builders::path(4);
+        let eb = edge_betweenness(&g);
+        let get = |u: u32, v: u32| eb.iter().find(|&&(e, _)| e == (u, v)).unwrap().1;
+        assert!((get(0, 1) - 3.0).abs() < 1e-12);
+        assert!((get(1, 2) - 4.0).abs() < 1e-12);
+        assert!((get(2, 3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_betweenness_on_star_is_pairs_plus_one() {
+        // S_k: each spoke carries its own leaf pair with the hub (1) plus
+        // (k−1) leaf–leaf pairs split... no splitting: unique paths.
+        // pairs through spoke (0,i): {i, hub} = 1 + {i, j≠i} = k−1 → k.
+        let k = 5;
+        let g = builders::star(k);
+        for (_, b) in edge_betweenness(&g) {
+            assert!((b - k as f64).abs() < 1e-12, "b = {b}");
+        }
+    }
+
+    #[test]
+    fn edge_betweenness_splits_over_shortest_paths() {
+        // C4: each pair at distance 2 has two shortest paths → each edge
+        // carries 4 adjacent pairs' single paths... by symmetry all equal.
+        let g = builders::cycle(4);
+        let eb = edge_betweenness(&g);
+        for &(_, b) in &eb {
+            assert!((b - eb[0].1).abs() < 1e-12);
+        }
+        // total edge betweenness = Σ over pairs of path length
+        let total: f64 = eb.iter().map(|&(_, b)| b).sum();
+        let dd = crate::distance::DistanceDistribution::from_graph(&g);
+        let sum_dist: f64 = dd
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(x, &c)| x as f64 * c as f64)
+            .sum::<f64>()
+            / 2.0;
+        assert!((total - sum_dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_betweenness_total_equals_sum_of_distances() {
+        // identity: Σ_e bc(e) = Σ_{pairs} d(u,v) (every shortest path of
+        // length ℓ contributes ℓ edge-visits, split across ties)
+        let g = builders::karate_club();
+        let total: f64 = edge_betweenness(&g).iter().map(|&(_, b)| b).sum();
+        let dd = crate::distance::DistanceDistribution::from_graph(&g);
+        let sum_dist: f64 = dd
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(x, &c)| x as f64 * c as f64)
+            .sum::<f64>()
+            / 2.0;
+        assert!(
+            (total - sum_dist).abs() < 1e-6,
+            "Σ edge-bc {total} vs Σ distances {sum_dist}"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Clustering `C(k)` and mean clustering `C̄` (paper §2, refs \[4, 14\]).
+//!
+//! The local clustering of a node `v` with degree `k ≥ 2` is the number of
+//! links among its neighbors divided by `k(k−1)/2`. `C(k)` averages this
+//! over `k`-degree nodes; `C̄` averages over all nodes of degree ≥ 2 (nodes
+//! of degree 0/1 have no defined value; including them as zeros is the
+//! other common convention — both are exposed, the paper-facing reports use
+//! the degree-≥2 mean, matching CAIDA's usage in ref \[20\]).
+
+use dk_graph::Graph;
+
+/// Per-node triangle counts: `t[v]` = number of triangles through `v`.
+///
+/// Runs in O(Σ_e (deg(u) + deg(v))) via sorted-adjacency merges.
+pub fn triangles_per_node(g: &Graph) -> Vec<usize> {
+    let mut t = vec![0usize; g.node_count()];
+    for &(u, v) in g.edges() {
+        // every common neighbor w of (u,v) closes a triangle {u,v,w}
+        let (a, b) = (g.neighbors(u), g.neighbors(v));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = a[i];
+                    t[w as usize] += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    // each triangle {u,v,w} was seen from all 3 of its edges, each time
+    // crediting the opposite vertex once → every vertex counted exactly
+    // once per edge pair = 2×? No: triangle edges (u,v),(u,w),(v,w) credit
+    // w, v, u respectively — each vertex exactly once. No correction needed.
+    t
+}
+
+/// Total number of triangles in the graph.
+pub fn triangle_count(g: &Graph) -> usize {
+    triangles_per_node(g).iter().sum::<usize>() / 3
+}
+
+/// Local clustering coefficient per node; `None` for degree < 2.
+pub fn local_clustering(g: &Graph) -> Vec<Option<f64>> {
+    let tri = triangles_per_node(g);
+    (0..g.node_count())
+        .map(|v| {
+            let k = g.degree(v as u32);
+            if k < 2 {
+                None
+            } else {
+                Some(tri[v] as f64 / (k as f64 * (k as f64 - 1.0) / 2.0))
+            }
+        })
+        .collect()
+}
+
+/// Degree-dependent clustering `C(k)`: mean local clustering of `k`-degree
+/// nodes, as `(k, C(k))` pairs for degrees with at least one defined value.
+pub fn clustering_by_degree(g: &Graph) -> Vec<(usize, f64)> {
+    let local = local_clustering(g);
+    let kmax = g.max_degree();
+    let mut sum = vec![0.0f64; kmax + 1];
+    let mut cnt = vec![0usize; kmax + 1];
+    for (v, c) in local.iter().enumerate() {
+        if let Some(c) = c {
+            let k = g.degree(v as u32);
+            sum[k] += c;
+            cnt[k] += 1;
+        }
+    }
+    (0..=kmax)
+        .filter(|&k| cnt[k] > 0)
+        .map(|k| (k, sum[k] / cnt[k] as f64))
+        .collect()
+}
+
+/// Mean clustering `C̄` over nodes of degree ≥ 2 (the paper-facing scalar).
+///
+/// Returns 0.0 if no node has degree ≥ 2.
+pub fn mean_clustering(g: &Graph) -> f64 {
+    let local = local_clustering(g);
+    let (mut sum, mut cnt) = (0.0, 0usize);
+    for c in local.into_iter().flatten() {
+        sum += c;
+        cnt += 1;
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        sum / cnt as f64
+    }
+}
+
+/// Mean clustering counting degree-<2 nodes as zero (alternative
+/// convention; exposed for cross-checking against other tools).
+pub fn mean_clustering_all_nodes(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    let local = local_clustering(g);
+    local.iter().map(|c| c.unwrap_or(0.0)).sum::<f64>() / g.node_count() as f64
+}
+
+/// Global transitivity: `3 × #triangles / #wedges` — a wedge-weighted
+/// alternative to `C̄` (dominated by hubs in heavy-tailed graphs).
+pub fn transitivity(g: &Graph) -> f64 {
+    let tri = triangle_count(g);
+    let wedges: usize = g
+        .nodes()
+        .map(|v| {
+            let k = g.degree(v);
+            k * (k.saturating_sub(1)) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * tri as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+
+    #[test]
+    fn triangle_counts_on_classics() {
+        assert_eq!(triangle_count(&builders::complete(4)), 4);
+        assert_eq!(triangle_count(&builders::complete(5)), 10);
+        assert_eq!(triangle_count(&builders::cycle(5)), 0);
+        assert_eq!(triangle_count(&builders::petersen()), 0);
+        assert_eq!(triangle_count(&builders::star(6)), 0);
+    }
+
+    #[test]
+    fn per_node_triangles_in_k4() {
+        // K4: each node participates in C(3,2) = 3 triangles.
+        let t = triangles_per_node(&builders::complete(4));
+        assert_eq!(t, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = builders::complete(6);
+        assert!((mean_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+        for (_, c) in clustering_by_degree(&g) {
+            assert!((c - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clustering_of_triangle_free_graph_is_zero() {
+        let g = builders::petersen();
+        assert_eq!(mean_clustering(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn tree_has_no_defined_clustering_for_leaves() {
+        let g = builders::star(4);
+        let local = local_clustering(&g);
+        assert_eq!(local[0], Some(0.0)); // hub: 0 links among neighbors
+        for leaf in 1..=4 {
+            assert_eq!(local[leaf], None);
+        }
+        assert_eq!(mean_clustering(&g), 0.0);
+        assert_eq!(mean_clustering_all_nodes(&g), 0.0);
+    }
+
+    #[test]
+    fn paw_graph_hand_computed() {
+        // Triangle {0,1,2} plus pendant 3 attached to 0.
+        // local: node0 (deg 3): 1 link among 3 neighbors → 1/3;
+        //        node1, node2 (deg 2): 1/1 = 1; node3: undefined.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (0, 3)]).unwrap();
+        let local = local_clustering(&g);
+        assert!((local[0].unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local[1], Some(1.0));
+        assert_eq!(local[2], Some(1.0));
+        assert_eq!(local[3], None);
+        assert!((mean_clustering(&g) - (1.0 / 3.0 + 2.0) / 3.0).abs() < 1e-12);
+        // all-nodes convention divides by 4 instead
+        assert!((mean_clustering_all_nodes(&g) - (1.0 / 3.0 + 2.0) / 4.0).abs() < 1e-12);
+        // transitivity: 3 triangles-as-wedge-closures / wedges = 3·1/(3+1+1) = 0.6
+        assert!((transitivity(&g) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_by_degree_on_karate() {
+        let g = builders::karate_club();
+        let ck = clustering_by_degree(&g);
+        // sanity: all values in [0,1], degrees ascending
+        for w in ck.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for &(_, c) in &ck {
+            assert!((0.0..=1.0).contains(&c));
+        }
+        // karate has 45 triangles (known value)
+        assert_eq!(triangle_count(&g), 45);
+    }
+}

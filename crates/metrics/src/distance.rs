@@ -1,0 +1,322 @@
+//! Distance distribution `d(x)`, average distance `d̄`, and `σ_d`.
+//!
+//! The paper defines `d(x)` as "the number of pairs of nodes at a distance
+//! `x`, divided by the total number of pairs `n²` (self-pairs included)"
+//! (§2). We compute it **exactly** by running BFS from every node —
+//! O(n·m), a few seconds at skitter scale — parallelized over sources with
+//! scoped threads. No sampling: reproduction tables must not carry sampling
+//! noise on top of ensemble noise.
+
+use dk_graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Exact distance distribution of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistanceDistribution {
+    /// `counts[x]` = number of **ordered** pairs `(u, v)` at distance `x`.
+    /// `counts\[0\] = n` (self-pairs), matching the paper's convention.
+    pub counts: Vec<u64>,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Ordered pairs with no connecting path (0 on connected graphs).
+    pub unreachable_pairs: u64,
+}
+
+impl DistanceDistribution {
+    /// Computes the exact distribution with one BFS per node, in parallel.
+    pub fn from_graph(g: &Graph) -> Self {
+        Self::from_graph_with_threads(g, default_threads())
+    }
+
+    /// As [`DistanceDistribution::from_graph`] with an explicit thread
+    /// count (tests use 1 to exercise the sequential path).
+    pub fn from_graph_with_threads(g: &Graph, threads: usize) -> Self {
+        let n = g.node_count();
+        if n == 0 {
+            return DistanceDistribution {
+                counts: vec![],
+                nodes: 0,
+                unreachable_pairs: 0,
+            };
+        }
+        let threads = threads.clamp(1, n);
+        let results = run_chunked(n as u32, threads, |range| {
+            let mut counts: Vec<u64> = Vec::new();
+            let mut unreachable = 0u64;
+            let mut dist = vec![u32::MAX; n];
+            let mut queue = VecDeque::new();
+            for s in range {
+                // inline BFS reusing buffers (hot loop)
+                for d in dist.iter_mut() {
+                    *d = u32::MAX;
+                }
+                dist[s as usize] = 0;
+                queue.clear();
+                queue.push_back(s);
+                let mut reached = 0u64;
+                while let Some(u) = queue.pop_front() {
+                    let du = dist[u as usize];
+                    reached += 1;
+                    let dx = du as usize;
+                    if counts.len() <= dx {
+                        counts.resize(dx + 1, 0);
+                    }
+                    counts[dx] += 1;
+                    for &v in g.neighbors(u) {
+                        if dist[v as usize] == u32::MAX {
+                            dist[v as usize] = du + 1;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+                unreachable += n as u64 - reached;
+            }
+            (counts, unreachable)
+        });
+        let mut counts: Vec<u64> = Vec::new();
+        let mut unreachable = 0u64;
+        for (c, u) in results {
+            if counts.len() < c.len() {
+                counts.resize(c.len(), 0);
+            }
+            for (x, v) in c.into_iter().enumerate() {
+                counts[x] += v;
+            }
+            unreachable += u;
+        }
+        DistanceDistribution {
+            counts,
+            nodes: n,
+            unreachable_pairs: unreachable,
+        }
+    }
+
+    /// Paper-convention PDF: `d(x) = counts[x]/n²` (self-pairs included).
+    pub fn pdf(&self) -> Vec<f64> {
+        let n2 = (self.nodes as f64).powi(2);
+        self.counts.iter().map(|&c| c as f64 / n2).collect()
+    }
+
+    /// PDF over **positive** distances only (what the paper's
+    /// distance-distribution figures plot): `counts[x]/Σ_{y≥1} counts[y]`.
+    pub fn pdf_positive(&self) -> Vec<f64> {
+        let total: u64 = self.counts.iter().skip(1).sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(x, &c)| if x == 0 { 0.0 } else { c as f64 / total as f64 })
+            .collect()
+    }
+
+    /// Average distance `d̄` over connected ordered pairs (x ≥ 1).
+    pub fn mean(&self) -> f64 {
+        let total: u64 = self.counts.iter().skip(1).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(x, &c)| x as f64 * c as f64)
+            .sum();
+        sum / total as f64
+    }
+
+    /// Standard deviation `σ_d` of the positive-distance distribution.
+    pub fn std_dev(&self) -> f64 {
+        let total: u64 = self.counts.iter().skip(1).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(x, &c)| (x as f64 - mean).powi(2) * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        var.sqrt()
+    }
+
+    /// Longest finite distance (graph diameter on connected graphs).
+    pub fn diameter(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+}
+
+/// Default worker count: all available cores.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Splits `0..n` into `threads` contiguous chunks and runs `work` on each
+/// in a scoped thread, returning the per-chunk results in order.
+pub(crate) fn run_chunked<A, F>(n: u32, threads: usize, work: F) -> Vec<A>
+where
+    F: Fn(std::ops::Range<u32>) -> A + Sync,
+    A: Send,
+{
+    let threads = threads.max(1).min(n.max(1) as usize);
+    if threads == 1 {
+        return vec![work(0..n)];
+    }
+    let chunk = n.div_ceil(threads as u32);
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads as u32)
+            .map(|i| {
+                let lo = i * chunk;
+                let hi = ((i + 1) * chunk).min(n);
+                s.spawn(move || work(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// All-pairs average distance convenience (connected graphs).
+pub fn average_distance(g: &Graph) -> f64 {
+    DistanceDistribution::from_graph(g).mean()
+}
+
+impl DistanceDistribution {
+    /// Expansion `E(x)`: the average fraction of the graph reachable
+    /// within `x` hops — the cumulative form of `d(x)`; the paper notes
+    /// its distance distribution "is a normalized version of expansion
+    /// \[29\]" (Tangmunarunkit et al.).
+    ///
+    /// `E(0) = 1/n` (the node itself), `E(diameter) = 1` on connected
+    /// graphs.
+    pub fn expansion(&self) -> Vec<f64> {
+        if self.nodes == 0 {
+            return Vec::new();
+        }
+        let n2 = (self.nodes as f64) * (self.nodes as f64);
+        let mut acc = 0.0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c as f64 / n2;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Single-source distances re-exported for callers that need raw BFS next
+/// to the distribution type.
+pub fn distances_from(g: &Graph, s: NodeId) -> Vec<u32> {
+    dk_graph::bfs_distances(g, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::builders;
+
+    #[test]
+    fn path_distribution_hand_computed() {
+        // P4 ordered pairs: distance 1 → 6, distance 2 → 4, distance 3 → 2.
+        let g = builders::path(4);
+        let d = DistanceDistribution::from_graph_with_threads(&g, 1);
+        assert_eq!(d.counts, vec![4, 6, 4, 2]);
+        assert_eq!(d.unreachable_pairs, 0);
+        assert_eq!(d.diameter(), 3);
+        let want_mean = (6.0 + 8.0 + 6.0) / 12.0;
+        assert!((d.mean() - want_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_all_distance_one() {
+        let g = builders::complete(5);
+        let d = DistanceDistribution::from_graph(&g);
+        assert_eq!(d.counts, vec![5, 20]);
+        assert_eq!(d.mean(), 1.0);
+        assert_eq!(d.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn pdf_conventions() {
+        let g = builders::complete(4);
+        let d = DistanceDistribution::from_graph(&g);
+        let pdf = d.pdf();
+        // d(0) = 4/16, d(1) = 12/16
+        assert!((pdf[0] - 0.25).abs() < 1e-12);
+        assert!((pdf[1] - 0.75).abs() < 1e-12);
+        let pp = d.pdf_positive();
+        assert_eq!(pp[0], 0.0);
+        assert!((pp[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_counts_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let d = DistanceDistribution::from_graph_with_threads(&g, 1);
+        // each node reaches 1 other → 4 ordered reachable pairs at distance 1
+        assert_eq!(d.counts, vec![4, 4]);
+        assert_eq!(d.unreachable_pairs, 8);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = builders::grid(9, 11);
+        let seq = DistanceDistribution::from_graph_with_threads(&g, 1);
+        let par = DistanceDistribution::from_graph_with_threads(&g, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn cycle_mean_distance_closed_form() {
+        // C_n (even n): mean distance over ordered pairs = n²/(4(n−1))
+        let n = 10usize;
+        let g = builders::cycle(n);
+        let d = DistanceDistribution::from_graph(&g);
+        let want = (n * n) as f64 / (4.0 * (n as f64 - 1.0));
+        assert!((d.mean() - want).abs() < 1e-12, "mean {}", d.mean());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = DistanceDistribution::from_graph(&Graph::new());
+        assert!(d.counts.is_empty());
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn expansion_cumulates_to_one() {
+        let g = builders::complete(4);
+        let e = DistanceDistribution::from_graph(&g).expansion();
+        assert!((e[0] - 0.25).abs() < 1e-12); // 1/n
+        assert!((e[1] - 1.0).abs() < 1e-12);
+        let g = builders::path(5);
+        let e = DistanceDistribution::from_graph(&g).expansion();
+        assert!((e.last().unwrap() - 1.0).abs() < 1e-12);
+        for w in e.windows(2) {
+            assert!(w[0] <= w[1] + 1e-15);
+        }
+        assert!(DistanceDistribution::from_graph(&Graph::new())
+            .expansion()
+            .is_empty());
+    }
+
+    #[test]
+    fn std_dev_of_path() {
+        let g = builders::path(3);
+        let d = DistanceDistribution::from_graph(&g);
+        // positive distances: four 1s, two 2s → mean 4/3
+        let mean: f64 = 4.0 / 3.0;
+        let var: f64 = (4.0 * (1.0 - mean).powi(2) + 2.0 * (2.0 - mean).powi(2)) / 6.0;
+        assert!((d.std_dev() - var.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dk-metrics — the paper's topology metric suite (§2, Table 2)
+//!
+//! Implements every graph metric the paper uses to compare original and
+//! dK-random topologies:
+//!
+//! | metric | module | paper notation |
+//! |--------|--------|----------------|
+//! | degree distribution | [`degree`] | `P(k)` |
+//! | average degree | [`degree`] | `k̄` |
+//! | joint degree distribution | [`jdd`] | `P(k1,k2)` |
+//! | assortativity coefficient | [`jdd`] | `r` |
+//! | likelihood | [`likelihood`] | `S` |
+//! | second-order likelihood | [`likelihood`] | `S2` |
+//! | clustering | [`clustering`] | `C(k)`, `C̄` |
+//! | distance distribution | [`distance`] | `d(x)`, `d̄`, `σ_d` |
+//! | betweenness | [`betweenness`] | — |
+//! | Laplacian spectrum extremes | [`spectral`] | `λ1`, `λ_{n−1}` |
+//! | k-core decomposition | [`kcore`] | — (beyond-paper check) |
+//! | rich-club connectivity | [`richclub`] | — (beyond-paper check) |
+//!
+//! [`report::MetricReport`] computes the full scalar battery in one call —
+//! that is what every reproduction table prints.
+//!
+//! ## Conventions
+//!
+//! * All metrics are intended to be computed on **connected** graphs; the
+//!   paper extracts the giant connected component first (§5.2) and so do
+//!   the callers in `dk-bench`. Functions that require connectivity say so.
+//! * All-pairs computations (distances, betweenness) run **exactly** (no
+//!   sampling) and in parallel across BFS sources using scoped threads.
+//!   Graphs at paper scale (10⁴ nodes, 3×10⁴ edges) complete in seconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod betweenness;
+pub mod clustering;
+pub mod degree;
+pub mod distance;
+pub mod jdd;
+pub mod kcore;
+pub mod likelihood;
+pub mod report;
+pub mod richclub;
+pub mod spectral;
+
+pub use report::MetricReport;

@@ -1,0 +1,99 @@
+//! Erdős–Rényi random graphs.
+//!
+//! `G(n, p)` delegates to the 0K stochastic constructor in `dk-core` (it
+//! *is* the 0K construction); `G(n, m)` draws exactly `m` distinct edges,
+//! which several tests prefer for exact edge counts.
+
+use dk_core::dist::Dist0K;
+use dk_graph::Graph;
+use rand::Rng;
+
+/// `G(n, p)`: every pair connected independently with probability `p`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let expected = (p.clamp(0.0, 1.0) * (n as f64) * (n as f64 - 1.0) / 2.0).round() as usize;
+    dk_core::generate::stochastic::generate_0k(
+        &Dist0K {
+            nodes: n,
+            edges: expected,
+        },
+        rng,
+    )
+    .graph
+}
+
+/// `G(n, m)`: uniformly random simple graph with exactly `m` edges.
+///
+/// # Panics
+/// Panics if `m > C(n, 2)`.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "m = {m} exceeds C({n},2) = {max}");
+    let mut g = Graph::with_nodes(n);
+    // rejection sampling is fine for sparse graphs (all ours are)
+    while g.edge_count() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        let _ = u != v && g.try_add_edge(u, v);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnm(100, 250, &mut rng);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 250);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gnm_complete() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnm(6, 15, &mut rng);
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_overfull_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn gnp_density() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gnp(500, 0.05, &mut rng);
+        let expected = 0.05 * 500.0 * 499.0 / 2.0;
+        let rel = g.edge_count() as f64 / expected;
+        assert!((rel - 1.0).abs() < 0.1, "edges {}", g.edge_count());
+    }
+
+    #[test]
+    fn gnp_degree_distribution_is_poissonish() {
+        // Table 1's maximum-entropy claim: 0K-random ⇒ Poisson degrees.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 3000;
+        let kavg = 6.0;
+        let g = gnp(n, kavg / n as f64, &mut rng);
+        let hist = dk_graph::degree::degree_histogram(&g);
+        let mut chi2 = 0.0;
+        for k in 0..hist.len().min(15) {
+            let expected = n as f64 * dk_metrics::degree::poisson_pmf(kavg, k);
+            if expected < 5.0 {
+                continue;
+            }
+            let got = hist.get(k).copied().unwrap_or(0) as f64;
+            chi2 += (got - expected).powi(2) / expected;
+        }
+        // ~14 dof; 99.9th percentile ≈ 36 — generous but catches breakage
+        assert!(chi2 < 40.0, "chi² = {chi2}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # dk-topologies — input-topology substitutes and baseline models
+//!
+//! The paper evaluates on two proprietary/unavailable inputs: CAIDA's
+//! **skitter** AS-level graph (March 2004; n = 9204, m = 28959) and the
+//! **HOT** router-level topology of Li et al. (n = 939, m = 988). This
+//! crate builds synthetic stand-ins that exercise the identical dK code
+//! paths and reproduce the structural features the paper's conclusions
+//! rest on, plus the classical random-graph baselines used throughout the
+//! test suite:
+//!
+//! * [`er`] — Erdős–Rényi `G(n, p)` / `G(n, m)`;
+//! * [`ba`] — Barabási–Albert preferential attachment;
+//! * [`glp`] — Bu–Towsley Generalized Linear Preference (the paper's
+//!   ref \[4\]), an AS-evolution model with tunable power-law exponent and
+//!   clustering;
+//! * [`ws`] — Watts–Strogatz small worlds;
+//! * [`powerlaw`] — discrete power-law degree-sequence sampling with
+//!   graphicality repair and exponent calibration;
+//! * [`as_like`] — the **skitter substitute**: a heavy-tailed,
+//!   structurally disassortative, clustering-annealed AS-scale graph
+//!   calibrated against the scalar values the paper itself publishes in
+//!   Table 6;
+//! * [`hot_like`] — the **HOT substitute**: a first-principles
+//!   core/gateway/access/host design with high-degree nodes at the
+//!   periphery, low-degree core, near-zero clustering — the structure
+//!   that makes degree-distribution-only generation fail (Li et al.,
+//!   paper §5.2).
+//!
+//! All generators take explicit parameter structs with documented
+//! defaults and an `&mut impl Rng`; same seed ⇒ same graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod as_like;
+pub mod ba;
+pub mod er;
+pub mod glp;
+pub mod hot_like;
+pub mod powerlaw;
+pub mod ws;
+
+pub use as_like::{skitter_like, AsLikeParams};
+pub use hot_like::{hot_like, HotLikeParams};

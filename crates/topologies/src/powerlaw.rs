@@ -1,0 +1,267 @@
+//! Discrete power-law degree sequences with calibration and
+//! graphicality repair.
+//!
+//! AS-level degree distributions follow `P(k) ∝ k^(−γ)` with a natural
+//! cutoff `k_max ≈ n^(1/(γ−1))` (paper §4.2 uses exactly this estimate
+//! for its `G(n,p)` probability argument). This module samples such
+//! sequences, repairs them into simple-graph-realizable ("graphical")
+//! sequences, and calibrates `γ` to hit a target average degree — the
+//! knob the skitter substitute turns to land on `k̄ ≈ 6.29`.
+
+use dk_graph::degree;
+use rand::Rng;
+
+/// Parameters for [`sample_sequence`].
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLawParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Exponent `γ > 1`.
+    pub gamma: f64,
+    /// Minimum degree.
+    pub k_min: usize,
+    /// Maximum degree (natural cutoff if `None`: `n^(1/(γ−1))`).
+    pub k_max: Option<usize>,
+}
+
+impl Default for PowerLawParams {
+    fn default() -> Self {
+        PowerLawParams {
+            nodes: 1000,
+            gamma: 2.1,
+            k_min: 1,
+            k_max: None,
+        }
+    }
+}
+
+/// Effective maximum degree (explicit or natural cutoff).
+pub fn effective_k_max(p: &PowerLawParams) -> usize {
+    p.k_max.unwrap_or_else(|| {
+        ((p.nodes as f64).powf(1.0 / (p.gamma - 1.0)).round() as usize)
+            .clamp(p.k_min, p.nodes.saturating_sub(1))
+    })
+}
+
+/// Exact mean of the truncated discrete power law.
+pub fn theoretical_mean(p: &PowerLawParams) -> f64 {
+    let kmax = effective_k_max(p);
+    let mut z = 0.0;
+    let mut zk = 0.0;
+    for k in p.k_min..=kmax {
+        let w = (k as f64).powf(-p.gamma);
+        z += w;
+        zk += k as f64 * w;
+    }
+    if z == 0.0 {
+        0.0
+    } else {
+        zk / z
+    }
+}
+
+/// Samples a degree sequence from the truncated power law (not yet
+/// graphical — see [`make_graphical`]).
+pub fn sample_sequence<R: Rng + ?Sized>(p: &PowerLawParams, rng: &mut R) -> Vec<usize> {
+    let kmax = effective_k_max(p);
+    assert!(p.gamma > 1.0, "power law needs gamma > 1");
+    assert!(p.k_min >= 1 && p.k_min <= kmax);
+    // inverse-CDF table
+    let weights: Vec<f64> = (p.k_min..=kmax).map(|k| (k as f64).powf(-p.gamma)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..p.nodes)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let idx = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+            p.k_min + idx
+        })
+        .collect()
+}
+
+/// Repairs a sequence into a graphical one with minimal perturbation:
+/// fixes parity by bumping one entry, then, while the Erdős–Gallai test
+/// fails, decrements the largest entry (transferring the stub to the
+/// smallest entry keeps the sum even).
+pub fn make_graphical(seq: &mut Vec<usize>) {
+    if seq.is_empty() {
+        return;
+    }
+    let n = seq.len();
+    // cap degrees at n−1
+    for d in seq.iter_mut() {
+        *d = (*d).min(n - 1).max(1);
+    }
+    if seq.iter().sum::<usize>() % 2 == 1 {
+        // bump the first minimal entry up (keeps the tail intact)
+        let i = (0..n)
+            .min_by_key(|&i| seq[i])
+            .expect("non-empty");
+        seq[i] += 1;
+    }
+    let mut guard = 0;
+    while !degree::is_graphical(seq) {
+        // shift one stub from the largest to the smallest entry
+        let hi = (0..n).max_by_key(|&i| seq[i]).expect("non-empty");
+        let lo = (0..n)
+            .filter(|&i| i != hi)
+            .min_by_key(|&i| seq[i])
+            .expect("n ≥ 2 when non-graphical");
+        if seq[hi] <= seq[lo] + 1 {
+            break; // flat sequence that still fails ⇒ give up silently
+        }
+        seq[hi] -= 1;
+        seq[lo] += 1;
+        guard += 1;
+        if guard > 10 * n {
+            break;
+        }
+    }
+    debug_assert!(degree::is_graphical(seq), "repair failed: {seq:?}");
+}
+
+/// Calibrates `γ` by bisection so the truncated power-law mean hits
+/// `target_mean` (at the natural cutoff for `nodes`).
+///
+/// Returns the calibrated parameters. Mean is monotone decreasing in γ on
+/// the searched interval.
+pub fn calibrate_gamma(nodes: usize, k_min: usize, target_mean: f64) -> PowerLawParams {
+    calibrate_gamma_with_cutoff(nodes, k_min, None, target_mean)
+}
+
+/// [`calibrate_gamma`] with an explicit maximum degree.
+///
+/// An explicit cap matters when the target mean pushes `γ` below 2: the
+/// natural cutoff `n^(1/(γ−1))` then exceeds `n` and clamps to `n − 1`,
+/// yielding near-complete stars that no AS graph exhibits (skitter's
+/// `k_max ≈ n/4`).
+pub fn calibrate_gamma_with_cutoff(
+    nodes: usize,
+    k_min: usize,
+    k_max: Option<usize>,
+    target_mean: f64,
+) -> PowerLawParams {
+    let mut lo = 1.05;
+    let mut hi = 4.5;
+    let mean_at = |gamma: f64| {
+        theoretical_mean(&PowerLawParams {
+            nodes,
+            gamma,
+            k_min,
+            k_max,
+        })
+    };
+    // clamp the target into the attainable range
+    let (m_lo, m_hi) = (mean_at(hi), mean_at(lo));
+    let target = target_mean.clamp(m_lo, m_hi);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if mean_at(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    PowerLawParams {
+        nodes,
+        gamma: 0.5 * (lo + hi),
+        k_min,
+        k_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = PowerLawParams {
+            nodes: 5000,
+            gamma: 2.2,
+            k_min: 2,
+            k_max: Some(100),
+        };
+        let seq = sample_sequence(&p, &mut rng);
+        assert_eq!(seq.len(), 5000);
+        assert!(seq.iter().all(|&d| (2..=100).contains(&d)));
+    }
+
+    #[test]
+    fn empirical_mean_matches_theory() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = PowerLawParams {
+            nodes: 50_000,
+            gamma: 2.5,
+            k_min: 1,
+            k_max: Some(1000),
+        };
+        let seq = sample_sequence(&p, &mut rng);
+        let mean = seq.iter().sum::<usize>() as f64 / seq.len() as f64;
+        let theory = theoretical_mean(&p);
+        assert!(
+            (mean - theory).abs() / theory < 0.05,
+            "mean {mean} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn make_graphical_repairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = PowerLawParams {
+                nodes: 500,
+                gamma: 2.0,
+                k_min: 1,
+                k_max: None,
+            };
+            let mut seq = sample_sequence(&p, &mut rng);
+            make_graphical(&mut seq);
+            assert!(degree::is_graphical(&seq));
+        }
+    }
+
+    #[test]
+    fn make_graphical_noop_on_valid() {
+        let mut seq = vec![2usize, 2, 2];
+        make_graphical(&mut seq);
+        assert_eq!(seq, vec![2, 2, 2]);
+        let mut empty: Vec<usize> = vec![];
+        make_graphical(&mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn calibration_hits_target_mean() {
+        for target in [3.0, 6.29, 10.0] {
+            let p = calibrate_gamma(9204, 1, target);
+            let got = theoretical_mean(&p);
+            assert!(
+                (got - target).abs() < 0.05,
+                "target {target}: γ = {}, mean = {got}",
+                p.gamma
+            );
+        }
+    }
+
+    #[test]
+    fn natural_cutoff_formula() {
+        let p = PowerLawParams {
+            nodes: 10_000,
+            gamma: 2.1,
+            k_min: 1,
+            k_max: None,
+        };
+        // n^(1/1.1) ≈ 4329
+        let k = effective_k_max(&p);
+        assert!((4000..4700).contains(&k), "cutoff {k}");
+    }
+}

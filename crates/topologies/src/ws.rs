@@ -1,0 +1,143 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! Ring lattice (each node joined to its `k/2` nearest neighbors on each
+//! side) with each edge rewired to a random endpoint with probability
+//! `beta`. High clustering at `beta = 0`, rapidly shrinking distances as
+//! `beta` grows — the standard clustered baseline for metric tests.
+
+use dk_graph::Graph;
+use rand::Rng;
+
+/// Parameters for [`watts_strogatz`].
+#[derive(Clone, Copy, Debug)]
+pub struct WsParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Even lattice degree (k/2 neighbors per side).
+    pub lattice_degree: usize,
+    /// Rewiring probability per edge.
+    pub beta: f64,
+}
+
+impl Default for WsParams {
+    fn default() -> Self {
+        WsParams {
+            nodes: 1000,
+            lattice_degree: 6,
+            beta: 0.1,
+        }
+    }
+}
+
+/// Generates a Watts–Strogatz graph.
+///
+/// # Panics
+/// Panics if `lattice_degree` is odd, zero, or ≥ `nodes`.
+pub fn watts_strogatz<R: Rng + ?Sized>(p: &WsParams, rng: &mut R) -> Graph {
+    assert!(p.lattice_degree.is_multiple_of(2), "lattice degree must be even");
+    assert!(
+        p.lattice_degree > 0 && p.lattice_degree < p.nodes,
+        "lattice degree out of range"
+    );
+    let n = p.nodes as u32;
+    let mut g = Graph::with_nodes(p.nodes);
+    for u in 0..n {
+        for off in 1..=(p.lattice_degree / 2) as u32 {
+            let v = (u + off) % n;
+            let _ = g.try_add_edge(u, v);
+        }
+    }
+    // rewiring pass: for each original lattice edge, with prob beta move
+    // its far endpoint to a random node
+    for u in 0..n {
+        for off in 1..=(p.lattice_degree / 2) as u32 {
+            let v = (u + off) % n;
+            if !g.has_edge(u, v) {
+                continue; // already rewired away
+            }
+            if rng.gen_bool(p.beta) {
+                let mut tries = 0;
+                loop {
+                    let w = rng.gen_range(0..n);
+                    if w != u && !g.has_edge(u, w) {
+                        g.remove_edge(u, v).expect("lattice edge");
+                        g.add_edge(u, w).expect("checked");
+                        break;
+                    }
+                    tries += 1;
+                    if tries > 100 {
+                        break; // node saturated; keep lattice edge
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(
+            &WsParams {
+                nodes: 50,
+                lattice_degree: 4,
+                beta: 0.0,
+            },
+            &mut rng,
+        );
+        assert_eq!(g.edge_count(), 100);
+        assert!(g.degrees().iter().all(|&d| d == 4));
+        // ring lattice with k = 4 has clustering 0.5
+        let c = dk_metrics::clustering::mean_clustering(&g);
+        assert!((c - 0.5).abs() < 1e-9, "C̄ = {c}");
+    }
+
+    #[test]
+    fn rewiring_shrinks_distances_and_clustering() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lattice = watts_strogatz(
+            &WsParams {
+                nodes: 400,
+                lattice_degree: 6,
+                beta: 0.0,
+            },
+            &mut rng,
+        );
+        let small_world = watts_strogatz(
+            &WsParams {
+                nodes: 400,
+                lattice_degree: 6,
+                beta: 0.2,
+            },
+            &mut rng,
+        );
+        let d0 = dk_metrics::distance::average_distance(&lattice);
+        let (gcc, _) = dk_graph::giant_component(&small_world);
+        let d1 = dk_metrics::distance::average_distance(&gcc);
+        assert!(d1 < d0 / 2.0, "distances {d0} → {d1}");
+        let c0 = dk_metrics::clustering::mean_clustering(&lattice);
+        let c1 = dk_metrics::clustering::mean_clustering(&small_world);
+        assert!(c1 < c0, "clustering {c0} → {c1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_degree_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        watts_strogatz(
+            &WsParams {
+                nodes: 10,
+                lattice_degree: 3,
+                beta: 0.0,
+            },
+            &mut rng,
+        );
+    }
+}

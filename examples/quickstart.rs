@@ -1,0 +1,58 @@
+//! Quickstart: extract a dK-distribution, generate random graphs with the
+//! same degree correlations, and see what each level of `d` does and does
+//! not reproduce.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dk_repro::core::dist::{Dist1K, Dist2K, Dist3K};
+use dk_repro::core::generate::rewire::{randomize, RewireOptions};
+use dk_repro::core::generate::{matching, pseudograph};
+use dk_repro::graph::builders;
+use dk_repro::metrics::MetricReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Take an "observed" graph — Zachary's karate club stands in for a
+    //    measured topology.
+    let observed = builders::karate_club();
+    println!("observed: n = {}, m = {}", observed.node_count(), observed.edge_count());
+
+    // 2. Extract its dK-distributions.
+    let d1 = Dist1K::from_graph(&observed);
+    let d2 = Dist2K::from_graph(&observed);
+    let d3 = Dist3K::from_graph(&observed);
+    println!(
+        "1K: {} degree classes | 2K: {} JDD cells | 3K: {} wedge + {} triangle cells",
+        d1.counts.iter().filter(|&&c| c > 0).count(),
+        d2.counts.len(),
+        d3.wedges.len(),
+        d3.triangles.len()
+    );
+
+    // 3. Construct random graphs at each level.
+    let g1 = pseudograph::generate_1k(&d1, &mut rng).expect("graphical").graph;
+    let g2 = matching::generate_2k(&d2, &mut rng).expect("consistent JDD").graph;
+    let mut g3 = observed.clone();
+    randomize(&mut g3, 3, &RewireOptions::default(), &mut rng);
+
+    // 4. Compare the metric battery (Table 2 of the paper).
+    println!("\n{:<12}{}", "", MetricReport::table_header());
+    for (name, g) in [
+        ("observed", &observed),
+        ("1K-random", &g1),
+        ("2K-random", &g2),
+        ("3K-random", &g3),
+    ] {
+        println!("{name:<12}{}", MetricReport::compute(g).table_row());
+    }
+
+    println!(
+        "\nNote how r locks in at d = 2 and clustering only matches at d = 3 —\n\
+         the paper's convergence story in four rows."
+    );
+}

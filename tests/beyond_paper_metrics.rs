@@ -1,0 +1,100 @@
+//! The paper's §3 convergence claim implies dK-graphs eventually capture
+//! *any* metric, including ones not on the §2 list. Check two such
+//! metrics — k-core decomposition and rich-club connectivity — on
+//! 3K-random graphs: neither is explicitly constrained by wedge/triangle
+//! histograms, yet both should be (near-)reproduced at d = 3 while
+//! visibly broken at d = 1.
+
+use dk_repro::core::generate::rewire::{randomize, RewireOptions};
+use dk_repro::graph::builders;
+use dk_repro::metrics::{kcore, richclub};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn coreness_histogram(core: &[usize]) -> Vec<usize> {
+    let kmax = core.iter().copied().max().unwrap_or(0);
+    let mut h = vec![0usize; kmax + 1];
+    for &c in core {
+        h[c] += 1;
+    }
+    h
+}
+
+#[test]
+fn three_k_random_preserves_core_structure_on_karate() {
+    let original = builders::karate_club();
+    let core0 = coreness_histogram(&kcore::coreness(&original));
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // d = 3: the coreness histogram should match in most ensemble members
+    let mut exact_matches = 0;
+    const RUNS: usize = 10;
+    for _ in 0..RUNS {
+        let mut g = original.clone();
+        randomize(&mut g, 3, &RewireOptions::default(), &mut rng);
+        if coreness_histogram(&kcore::coreness(&g)) == core0 {
+            exact_matches += 1;
+        }
+    }
+    assert!(
+        exact_matches >= RUNS / 2,
+        "3K-random must usually pin the coreness histogram ({exact_matches}/{RUNS})"
+    );
+
+    // d = 1: the coreness *histogram* drifts in most runs (the 4-core
+    // itself is largely forced by karate's dense degree sequence, but
+    // its population is not)
+    let mut drifted = 0;
+    for _ in 0..RUNS {
+        let mut g = original.clone();
+        randomize(&mut g, 1, &RewireOptions::default(), &mut rng);
+        if coreness_histogram(&kcore::coreness(&g)) != core0 {
+            drifted += 1;
+        }
+    }
+    assert!(
+        drifted >= RUNS / 2,
+        "1K-random should usually shift the core populations ({drifted}/{RUNS})"
+    );
+}
+
+#[test]
+fn rich_club_tracks_d() {
+    // mean absolute φ(k) error vs original, averaged over thresholds —
+    // must not increase with d, and d = 3 should beat d = 1 clearly.
+    let original = builders::karate_club();
+    let rc0: std::collections::BTreeMap<usize, f64> =
+        richclub::rich_club(&original).into_iter().collect();
+    let err_at = |d: u8, seed: u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = 0.0;
+        const RUNS: usize = 8;
+        for _ in 0..RUNS {
+            let mut g = original.clone();
+            randomize(&mut g, d, &RewireOptions::default(), &mut rng);
+            let rc: std::collections::BTreeMap<usize, f64> =
+                richclub::rich_club(&g).into_iter().collect();
+            let mut e = 0.0;
+            let mut cnt = 0;
+            for (k, phi) in &rc0 {
+                if let Some(p) = rc.get(k) {
+                    e += (phi - p).abs();
+                    cnt += 1;
+                }
+            }
+            acc += e / cnt.max(1) as f64;
+        }
+        acc / RUNS as f64
+    };
+    let e1 = err_at(1, 10);
+    let e2 = err_at(2, 20);
+    let e3 = err_at(3, 30);
+    assert!(
+        e3 < e1 * 0.6,
+        "rich-club error must shrink with d: e1 = {e1:.4}, e2 = {e2:.4}, e3 = {e3:.4}"
+    );
+    assert!(
+        e3 <= e2 + 1e-9,
+        "d = 3 must not be worse than d = 2: e2 = {e2:.4}, e3 = {e3:.4}"
+    );
+}

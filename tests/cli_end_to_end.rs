@@ -1,0 +1,126 @@
+//! End-to-end tests of the `dk` binary: the Orbis-style workflow driven
+//! through the real executable (argument parsing included).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dk_bin() -> PathBuf {
+    // integration tests run from the workspace root; the binary is built
+    // as a dependency of the test profile
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("target");
+    p.push(if cfg!(debug_assertions) { "debug" } else { "release" });
+    p.push("dk");
+    p
+}
+
+fn tmpdir() -> PathBuf {
+    let d = std::env::temp_dir().join("dk_e2e");
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn write_karate(dir: &std::path::Path) -> PathBuf {
+    let p = dir.join("karate.edges");
+    let g = dk_repro::graph::builders::karate_club();
+    dk_repro::graph::io::save_edge_list(&g, &p).unwrap();
+    p
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let bin = dk_bin();
+    if !bin.exists() {
+        // binary not built in this profile — build it once
+        let mut args = vec!["build", "-p", "dk-cli"];
+        if !cfg!(debug_assertions) {
+            args.push("--release");
+        }
+        let status = Command::new(env!("CARGO"))
+            .args(&args)
+            .status()
+            .expect("cargo build dk-cli");
+        assert!(status.success());
+    }
+    let out = Command::new(&bin).args(args).output().expect("run dk");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let (ok, text) = run(&["--help"]);
+    assert!(ok);
+    assert!(text.contains("USAGE"));
+    let (ok, text) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("unknown command"));
+}
+
+#[test]
+fn extract_generate_compare_workflow() {
+    let dir = tmpdir();
+    let graph = write_karate(&dir);
+    let dist = dir.join("karate.2k");
+    let out = dir.join("karate_regen.edges");
+
+    let (ok, text) = run(&["extract", "2", graph.to_str().unwrap(), "-o", dist.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("n = 34"));
+
+    let (ok, text) = run(&[
+        "generate",
+        "2",
+        dist.to_str().unwrap(),
+        "-o",
+        out.to_str().unwrap(),
+        "--algo",
+        "matching",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "{text}");
+
+    let (ok, text) = run(&["compare", graph.to_str().unwrap(), out.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("D1 = 0"), "degrees must match exactly: {text}");
+    assert!(text.contains("D2 = 0"), "JDD must match exactly: {text}");
+}
+
+#[test]
+fn rewire_and_metrics_via_binary() {
+    let dir = tmpdir();
+    let graph = write_karate(&dir);
+    let out = dir.join("karate_3k.edges");
+    let (ok, text) = run(&[
+        "rewire",
+        "3",
+        graph.to_str().unwrap(),
+        "-o",
+        out.to_str().unwrap(),
+        "--attempts",
+        "3000",
+    ]);
+    assert!(ok, "{text}");
+    let (ok, text) = run(&["compare", graph.to_str().unwrap(), out.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("D3 = 0"), "3K rewiring preserves 3K: {text}");
+    let (ok, text) = run(&["metrics", graph.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("k_avg"));
+}
+
+#[test]
+fn missing_arguments_fail_cleanly() {
+    let (ok, text) = run(&["extract", "2"]);
+    assert!(!ok);
+    assert!(text.contains("missing argument"), "{text}");
+    let dir = tmpdir();
+    let graph = write_karate(&dir);
+    let (ok, text) = run(&["extract", "2", graph.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(text.contains("missing -o"), "{text}");
+}

@@ -1,0 +1,97 @@
+//! The paper's headline claim, as a test: dK-random graphs reproduce the
+//! original's metrics with error decreasing in `d`, on both evaluation
+//! regimes (AS-like and HOT-like), with 3K essentially exact.
+
+use dk_repro::core::generate::rewire::{randomize, RewireOptions};
+use dk_repro::graph::Graph;
+use dk_repro::metrics::{clustering, jdd};
+use dk_repro::topologies::as_like::{skitter_like, AsLikeParams};
+use dk_repro::topologies::hot_like::{hot_like, HotLikeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ensemble-mean absolute error of (r, C̄) at each d.
+fn metric_errors(original: &Graph, seeds: u64) -> Vec<(f64, f64)> {
+    let r0 = jdd::assortativity(original);
+    let c0 = clustering::mean_clustering(original);
+    (0..=3u8)
+        .map(|d| {
+            let mut racc = 0.0;
+            let mut cacc = 0.0;
+            for s in 0..seeds {
+                let mut rng = StdRng::seed_from_u64(1000 * s + d as u64);
+                let mut g = original.clone();
+                randomize(&mut g, d, &RewireOptions::default(), &mut rng);
+                racc += (jdd::assortativity(&g) - r0).abs();
+                cacc += (clustering::mean_clustering(&g) - c0).abs();
+            }
+            (racc / seeds as f64, cacc / seeds as f64)
+        })
+        .collect()
+}
+
+#[test]
+fn hot_like_converges_with_d() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let hot = hot_like(&HotLikeParams::small(), &mut rng);
+    let errs = metric_errors(&hot, 3);
+    // r: exact from d = 2 (JDD fixed); approximately from d = 1
+    assert!(errs[0].0 > 0.1, "0K should destroy r: {errs:?}");
+    assert!(errs[2].0 < 0.03, "2K must pin r: {errs:?}");
+    assert!(errs[3].0 < 0.03, "3K must pin r: {errs:?}");
+    // clustering: 3K exact
+    assert!(errs[3].1 < 1e-9, "3K must pin C̄ exactly: {errs:?}");
+}
+
+#[test]
+fn as_like_converges_with_d() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let skitter = skitter_like(
+        &AsLikeParams {
+            nodes: 600,
+            anneal_attempts: 150_000,
+            ..AsLikeParams::small()
+        },
+        &mut rng,
+    );
+    let errs = metric_errors(&skitter, 3);
+    // r pinned from d = 2; clustering error strictly better at 3K than 2K
+    assert!(errs[2].0 < 0.02, "{errs:?}");
+    assert!(
+        errs[3].1 < errs[2].1 * 0.2,
+        "3K clustering error must collapse vs 2K: {errs:?}"
+    );
+    assert!(errs[3].1 < 1e-9, "{errs:?}");
+}
+
+#[test]
+fn one_k_hurts_hot_more_than_as() {
+    // §5.2's comparative claim: 1K-random approximates AS-like graphs
+    // "reasonably well" but HOT poorly. Measure via relative average-
+    // distance error at d = 1.
+    let mut rng = StdRng::seed_from_u64(11);
+    let hot = hot_like(&HotLikeParams::small(), &mut rng);
+    let skitter = skitter_like(
+        &AsLikeParams {
+            nodes: 600,
+            anneal_attempts: 150_000,
+            ..AsLikeParams::small()
+        },
+        &mut rng,
+    );
+    let rel_dist_err = |original: &Graph, seed: u64| {
+        let (gcc0, _) = dk_repro::graph::giant_component(original);
+        let d0 = dk_repro::metrics::distance::average_distance(&gcc0);
+        let mut g = original.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        randomize(&mut g, 1, &RewireOptions::default(), &mut rng);
+        let (gcc, _) = dk_repro::graph::giant_component(&g);
+        (dk_repro::metrics::distance::average_distance(&gcc) - d0).abs() / d0
+    };
+    let hot_err = rel_dist_err(&hot, 21);
+    let as_err = rel_dist_err(&skitter, 22);
+    assert!(
+        hot_err > 2.0 * as_err,
+        "1K distance error: HOT {hot_err:.3} vs AS {as_err:.3} — HOT must suffer more"
+    );
+}

@@ -1,0 +1,143 @@
+//! Failure-injection tests: every construction rejects malformed input
+//! with a descriptive error instead of looping, panicking, or silently
+//! producing a wrong graph.
+
+use dk_repro::core::dist::{Dist1K, Dist2K, Dist3K};
+use dk_repro::core::generate::target::{generate_2k_random, Bootstrap, TargetOptions};
+use dk_repro::core::generate::{matching, pseudograph, stochastic};
+use dk_repro::core::{io, rescale};
+use dk_repro::graph::{Graph, GraphError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(1)
+}
+
+#[test]
+fn odd_degree_sums_rejected_everywhere() {
+    let d = Dist1K::from_degree_sequence(&[3, 3, 1]);
+    assert!(matches!(
+        pseudograph::generate_1k(&d, &mut rng()),
+        Err(GraphError::NotGraphical(_))
+    ));
+    assert!(matches!(
+        matching::generate_1k(&d, &mut rng()),
+        Err(GraphError::NotGraphical(_))
+    ));
+    assert!(matches!(
+        stochastic::generate_1k(&d, &mut rng()),
+        Err(GraphError::NotGraphical(_))
+    ));
+}
+
+#[test]
+fn inconsistent_jdd_rejected_everywhere() {
+    // degree-5 class with 1 stub: impossible
+    let mut d = Dist2K::default();
+    d.counts.insert((5, 7), 1);
+    assert!(pseudograph::generate_2k(&d, &mut rng()).is_err());
+    assert!(matching::generate_2k(&d, &mut rng()).is_err());
+    assert!(stochastic::generate_2k(&d, &mut rng()).is_err());
+    assert!(generate_2k_random(&d, Bootstrap::Matching, &TargetOptions::default(), &mut rng())
+        .is_err());
+}
+
+#[test]
+fn non_graphical_but_even_sequence_fails_in_construction_not_forever() {
+    // [5,5,1,1,1,1]: even sum, fails Erdős–Gallai. Matching must
+    // terminate with an error (bounded repair), not spin.
+    let d = Dist1K::from_degree_sequence(&[5, 5, 1, 1, 1, 1]);
+    let start = std::time::Instant::now();
+    let res = matching::generate_1k(&d, &mut rng());
+    assert!(res.is_err());
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "failure must be fast"
+    );
+}
+
+#[test]
+fn impossible_3k_target_respects_patience() {
+    // Target the 3K of a *different* degree sequence: unreachable by
+    // 2K-preserving moves. The run must stop via patience, not hang.
+    let a = dk_repro::graph::builders::karate_club();
+    let b = dk_repro::graph::builders::grid(5, 7); // different world
+    let target = Dist3K::from_graph(&b);
+    let mut g = a.clone();
+    let opts = TargetOptions {
+        max_attempts: 200_000,
+        patience: Some(10_000),
+        ..Default::default()
+    };
+    let stats =
+        dk_repro::core::generate::target::target_3k_from_2k(&mut g, &target, &opts, &mut rng());
+    assert!(stats.final_distance > 0.0, "cannot possibly reach 0");
+    assert!(stats.attempts <= 200_000);
+    // 2K (hence degrees) of the original must be intact regardless
+    assert_eq!(Dist2K::from_graph(&g), Dist2K::from_graph(&a));
+}
+
+#[test]
+fn dist_file_parse_errors_carry_context() {
+    let err = io::read_2k("1 2 x\n".as_bytes()).unwrap_err();
+    match err {
+        GraphError::Parse { line, msg } => {
+            assert_eq!(line, 1);
+            assert!(msg.contains("count"), "{msg}");
+        }
+        other => panic!("expected parse error, got {other}"),
+    }
+}
+
+#[test]
+fn rescale_rejects_empty_inputs() {
+    assert!(rescale::rescale_1k(&Dist1K::default(), 10).is_err());
+    assert!(rescale::rescale_2k(&Dist2K::default(), 10).is_err());
+}
+
+#[test]
+fn generators_survive_extreme_but_valid_inputs() {
+    // single edge
+    let d = Dist1K::from_degree_sequence(&[1, 1]);
+    let g = matching::generate_1k(&d, &mut rng()).unwrap().graph;
+    assert_eq!(g.edge_count(), 1);
+    // complete graph's JDD forces K_n exactly
+    let k5 = dk_repro::graph::builders::complete(5);
+    let jdd = Dist2K::from_graph(&k5);
+    let g = matching::generate_2k(&jdd, &mut rng()).unwrap().graph;
+    assert_eq!(g, k5);
+    // a JDD with a single huge star
+    let star = dk_repro::graph::builders::star(50);
+    let jdd = Dist2K::from_graph(&star);
+    let g = matching::generate_2k(&jdd, &mut rng()).unwrap().graph;
+    assert_eq!(Dist2K::from_graph(&g), jdd);
+}
+
+#[test]
+fn graph_io_rejects_truncated_and_corrupt_files() {
+    use dk_repro::graph::io::read_edge_list;
+    for bad in ["0\n", "0 1 2\n", "nodes\n", "a b\n", "nodes 1\n0 5\n"] {
+        assert!(read_edge_list(bad.as_bytes()).is_err(), "{bad:?}");
+    }
+}
+
+#[test]
+fn zero_size_everything() {
+    let mut r = rng();
+    assert_eq!(
+        pseudograph::generate_1k(&Dist1K::default(), &mut r)
+            .unwrap()
+            .graph
+            .node_count(),
+        0
+    );
+    assert_eq!(
+        stochastic::generate_0k(&dk_repro::core::dist::Dist0K { nodes: 0, edges: 0 }, &mut r)
+            .graph
+            .node_count(),
+        0
+    );
+    let empty = Graph::new();
+    assert_eq!(Dist3K::from_graph(&empty), Dist3K::default());
+}

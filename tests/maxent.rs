@@ -1,0 +1,141 @@
+//! Maximum-entropy forms of dK-random graphs (paper §4.2 / Table 1).
+//!
+//! * 0K-random (`G(n,p)`) graphs have Poisson degree distributions;
+//! * 1K-random graphs have the product-form JDD
+//!   `P_1K(k1,k2) = k1·P(k1)·k2·P(k2)/k̄²` — maximum joint entropy given
+//!   the marginals.
+
+use dk_repro::core::dist::{Dist1K, Dist2K};
+use dk_repro::core::generate::rewire::{randomize, RewireOptions};
+use dk_repro::graph::builders;
+use dk_repro::metrics::degree::poisson_pmf;
+use dk_repro::topologies::er;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn zero_k_random_degrees_are_poisson() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 4000;
+    let kavg = 5.0;
+    let g = er::gnp(n, kavg / n as f64, &mut rng);
+    let d1 = Dist1K::from_graph(&g);
+    // chi-squared against Poisson(k̄), bins with expected ≥ 5
+    let mut chi2 = 0.0;
+    let mut dof = 0;
+    for k in 0..20 {
+        let expected = n as f64 * poisson_pmf(kavg, k);
+        if expected < 5.0 {
+            continue;
+        }
+        let got = d1.counts.get(k).copied().unwrap_or(0) as f64;
+        chi2 += (got - expected).powi(2) / expected;
+        dof += 1;
+    }
+    assert!(dof >= 10, "need enough bins for the test");
+    assert!(chi2 < 45.0, "chi² = {chi2} over {dof} bins");
+}
+
+#[test]
+fn one_k_random_jdd_is_product_form_on_pseudographs() {
+    // Table 1's maximum-entropy JDD, P_1K(k1,k2) ∝ k1 P(k1)·k2 P(k2),
+    // holds exactly for the *pseudograph* ensemble (the paper's footnote
+    // 4: narrowing to simple graphs introduces structural constraints).
+    // Configuration-model expectation per unordered class pair:
+    //   k1 ≠ k2: n(k1)k1 · n(k2)k2 / (2m − 1)
+    //   k1 = k2: (n(k1)k1 · (n(k1)k1 − k1)) / (2(2m − 1))  [stub pairing]
+    // Use fat degree classes so per-cell expectations are large enough
+    // for tight tolerances.
+    let mut seq: Vec<usize> = Vec::new();
+    seq.extend(std::iter::repeat_n(3, 200));
+    seq.extend(std::iter::repeat_n(5, 100));
+    seq.extend(std::iter::repeat_n(8, 30));
+    seq.extend(std::iter::repeat_n(12, 10));
+    let d1 = Dist1K::from_degree_sequence(&seq);
+    let two_m = seq.iter().sum::<usize>() as f64;
+    let stubs = |k: usize| k as f64 * d1.counts.get(k).copied().unwrap_or(0) as f64;
+
+    let mut rng = StdRng::seed_from_u64(2);
+    const RUNS: usize = 120;
+    let mut observed: std::collections::BTreeMap<(usize, usize), f64> = Default::default();
+    for _ in 0..RUNS {
+        let res =
+            dk_repro::core::generate::pseudograph::generate_1k_multigraph(&d1, &mut rng).unwrap();
+        // count edge instances by PRESCRIBED degrees (multigraph degrees
+        // equal the sequence exactly)
+        for &(u, v) in res.multigraph.edges() {
+            let (a, b) = (
+                res.multigraph.degree(u),
+                res.multigraph.degree(v),
+            );
+            let key = (a.min(b), a.max(b));
+            *observed.entry(key).or_insert(0.0) += 1.0;
+        }
+    }
+    let mut checked = 0;
+    for (&(k1, k2), &count) in &observed {
+        let mean_count = count / RUNS as f64;
+        let expect = if k1 == k2 {
+            stubs(k1) * (stubs(k1) - k1 as f64) / (2.0 * (two_m - 1.0))
+        } else {
+            stubs(k1) * stubs(k2) / (two_m - 1.0)
+        };
+        if expect < 10.0 {
+            continue; // noise-dominated cells
+        }
+        let rel = (mean_count - expect).abs() / expect;
+        assert!(
+            rel < 0.1,
+            "cell ({k1},{k2}): ensemble mean {mean_count:.2} vs product-form {expect:.2}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "checked only {checked} cells");
+}
+
+#[test]
+fn simple_graph_constraints_depress_hub_hub_cells() {
+    // The other half of footnote 4, made observable: on *simple* 1K-random
+    // graphs the biggest hub pair (16, 17) can hold at most 1 edge, while
+    // the pseudograph product form predicts 17·16/(2m−1) ≈ 1.76.
+    let original = builders::karate_club();
+    let mut rng = StdRng::seed_from_u64(7);
+    const RUNS: usize = 40;
+    let mut acc = 0.0;
+    for _ in 0..RUNS {
+        let mut g = original.clone();
+        randomize(&mut g, 1, &RewireOptions::default(), &mut rng);
+        acc += Dist2K::from_graph(&g).m(16, 17) as f64;
+    }
+    let simple_mean = acc / RUNS as f64;
+    let product_form = 17.0 * 16.0 / (2.0 * 78.0 - 1.0);
+    assert!(product_form > 1.5);
+    assert!(
+        simple_mean <= 1.0,
+        "simple graphs admit at most one (16,17) edge; got mean {simple_mean}"
+    );
+}
+
+#[test]
+fn one_k_random_graphs_lose_higher_structure() {
+    // The flip side of maximum entropy: 1K-random graphs of a clustered
+    // original have near-max-entropy (≈ low) clustering.
+    let original = builders::karate_club();
+    let c_orig = dk_repro::metrics::clustering::mean_clustering(&original);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut acc = 0.0;
+    const RUNS: usize = 20;
+    for _ in 0..RUNS {
+        let mut g = original.clone();
+        randomize(&mut g, 1, &RewireOptions::default(), &mut rng);
+        acc += dk_repro::metrics::clustering::mean_clustering(&g);
+    }
+    let c_rand = acc / RUNS as f64;
+    // Karate is tiny with enormous hubs (k_max = 17 of n = 34), so the
+    // simple-graph 1K-random ensemble has a high *structural* clustering
+    // floor — the drop is real but bounded (cf. paper footnote 4).
+    assert!(
+        c_rand < c_orig * 0.75,
+        "1K-random C̄ {c_rand:.3} should sit clearly below original {c_orig:.3}"
+    );
+}

@@ -1,0 +1,98 @@
+//! Cross-crate pipeline tests: observed graph → dK extraction →
+//! construction (every algorithm family) → measured equivalence.
+
+use dk_repro::core::dist::{Dist1K, Dist2K, Dist3K};
+use dk_repro::core::generate::rewire::{randomize, RewireOptions};
+use dk_repro::core::generate::target::{generate_2k_random, Bootstrap, TargetOptions};
+use dk_repro::core::generate::{matching, pseudograph, stochastic};
+use dk_repro::graph::builders;
+use dk_repro::topologies::hot_like::{hot_like, HotLikeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_2k_family_respects_its_guarantee() {
+    let observed = builders::karate_club();
+    let jdd = Dist2K::from_graph(&observed);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // matching: exact JDD on a simple graph
+    let m = matching::generate_2k(&jdd, &mut rng).unwrap().graph;
+    assert_eq!(Dist2K::from_graph(&m), jdd);
+
+    // pseudograph: exact before cleanup; cleanup badness is bounded
+    let p = pseudograph::generate_2k_multigraph(&jdd, &mut rng).unwrap();
+    assert_eq!(p.multigraph.edge_count() as u64, jdd.edges());
+    let cleaned = p.simplify();
+    assert!(cleaned.badness.total() < observed.edge_count() / 4);
+
+    // stochastic: expected edge total near target (single draw, loose)
+    let s = stochastic::generate_2k(&jdd, &mut rng).unwrap().graph;
+    let rel = s.edge_count() as f64 / observed.edge_count() as f64;
+    assert!((0.5..1.5).contains(&rel), "stochastic m ratio {rel}");
+
+    // randomizing rewiring: exact JDD by construction
+    let mut r = observed.clone();
+    randomize(&mut r, 2, &RewireOptions::default(), &mut rng);
+    assert_eq!(Dist2K::from_graph(&r), jdd);
+
+    // targeting from 1K bootstrap: reaches D2 = 0 on this input
+    let (t, stats) = generate_2k_random(
+        &jdd,
+        Bootstrap::Matching,
+        &TargetOptions::default(),
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(stats.final_distance, 0.0);
+    assert_eq!(Dist2K::from_graph(&t), jdd);
+}
+
+#[test]
+fn inclusion_chain_3k_2k_1k_0k() {
+    // Table 1 inclusion: each dK determines all lower distributions.
+    for g in [
+        builders::karate_club(),
+        builders::petersen(),
+        builders::grid(6, 6),
+        {
+            let mut rng = StdRng::seed_from_u64(2);
+            hot_like(&HotLikeParams::small(), &mut rng)
+        },
+    ] {
+        let d3 = Dist3K::from_graph(&g);
+        let d2 = Dist2K::from_graph(&g);
+        let d1 = Dist1K::from_graph(&g);
+        assert_eq!(d3.to_2k(), d2);
+        assert_eq!(d2.to_1k().unwrap(), d1);
+        assert_eq!(d1.to_0k().k_avg(), g.avg_degree());
+    }
+}
+
+#[test]
+fn dk_random_nesting_on_hot() {
+    // A 3K-random graph is also a valid 2K-, 1K-, 0K-graph of the
+    // original (Figure 2's nesting), and each level adds constraints.
+    let mut rng = StdRng::seed_from_u64(3);
+    let hot = hot_like(&HotLikeParams::small(), &mut rng);
+    let mut g3 = hot.clone();
+    randomize(&mut g3, 3, &RewireOptions::default(), &mut rng);
+    assert_eq!(Dist3K::from_graph(&g3), Dist3K::from_graph(&hot));
+    assert_eq!(Dist2K::from_graph(&g3), Dist2K::from_graph(&hot));
+    assert_eq!(Dist1K::from_graph(&g3), Dist1K::from_graph(&hot));
+    assert_eq!(g3.edge_count(), hot.edge_count());
+}
+
+#[test]
+fn orbis_file_roundtrip_through_generation() {
+    // dist → text file → dist → graph → dist is the identity on the
+    // distribution (for the exact generators).
+    let observed = builders::karate_club();
+    let jdd = Dist2K::from_graph(&observed);
+    let mut buf = Vec::new();
+    dk_repro::core::io::write_2k(&jdd, &mut buf).unwrap();
+    let restored = dk_repro::core::io::read_2k(buf.as_slice()).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = matching::generate_2k(&restored, &mut rng).unwrap().graph;
+    assert_eq!(Dist2K::from_graph(&g), jdd);
+}

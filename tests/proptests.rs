@@ -1,0 +1,107 @@
+//! Cross-crate property tests on randomly generated graphs.
+
+use dk_repro::core::dist::{Dist1K, Dist2K, Dist3K};
+use dk_repro::core::generate::rewire::{randomize, RewireOptions, SwapBudget};
+use dk_repro::core::io;
+use dk_repro::graph::Graph;
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph with up to `n` nodes.
+fn arb_graph(n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges)
+        .prop_map(move |edges| Graph::from_edges_dedup(n as usize, edges).expect("in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Extraction → derivation equals direct extraction at every level.
+    #[test]
+    fn inclusion_chain_holds(g in arb_graph(24, 80)) {
+        let d3 = Dist3K::from_graph(&g);
+        let d2 = Dist2K::from_graph(&g);
+        let d1 = Dist1K::from_graph(&g);
+        // 3K → 2K is exact except the (1,1) blind spot
+        let via = d3.to_2k();
+        for (&key, &m) in &d2.counts {
+            if key == (1, 1) { continue; }
+            prop_assert_eq!(via.m(key.0, key.1), m, "class {:?}", key);
+        }
+        // 2K → 1K loses only isolated nodes
+        let d1_via = d2.to_1k().unwrap();
+        for k in 1..d1.counts.len() {
+            prop_assert_eq!(
+                d1_via.counts.get(k).copied().unwrap_or(0),
+                d1.counts[k],
+                "degree {}", k
+            );
+        }
+    }
+
+    /// dK text formats round-trip for arbitrary graphs.
+    #[test]
+    fn dist_files_roundtrip(g in arb_graph(20, 60)) {
+        let d1 = Dist1K::from_graph(&g);
+        let mut buf = Vec::new();
+        io::write_1k(&d1, &mut buf).unwrap();
+        prop_assert_eq!(io::read_1k(buf.as_slice()).unwrap(), d1);
+
+        let d2 = Dist2K::from_graph(&g);
+        let mut buf = Vec::new();
+        io::write_2k(&d2, &mut buf).unwrap();
+        prop_assert_eq!(io::read_2k(buf.as_slice()).unwrap(), d2);
+
+        let d3 = Dist3K::from_graph(&g);
+        let mut buf = Vec::new();
+        io::write_3k(&d3, &mut buf).unwrap();
+        prop_assert_eq!(io::read_3k(buf.as_slice()).unwrap(), d3);
+    }
+
+    /// Rewiring preserves exactly what it promises, on arbitrary graphs.
+    #[test]
+    fn rewiring_invariants(g in arb_graph(20, 60), d in 0u8..=3, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut h = g.clone();
+        let opts = RewireOptions { budget: SwapBudget::Attempts(300) };
+        randomize(&mut h, d, &opts, &mut rng);
+        h.check_invariants().unwrap();
+        prop_assert_eq!(h.node_count(), g.node_count());
+        prop_assert_eq!(h.edge_count(), g.edge_count());
+        if d >= 1 {
+            prop_assert_eq!(h.degrees(), g.degrees());
+        }
+        if d >= 2 {
+            prop_assert_eq!(Dist2K::from_graph(&h), Dist2K::from_graph(&g));
+        }
+        if d >= 3 {
+            prop_assert_eq!(Dist3K::from_graph(&h), Dist3K::from_graph(&g));
+        }
+    }
+
+    /// Graph edge-list text I/O round-trips arbitrary graphs.
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph(30, 100)) {
+        let mut buf = Vec::new();
+        dk_repro::graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let back = dk_repro::graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    /// S2 computed three ways agrees: metric formula, 3K distribution,
+    /// and brute-force wedge enumeration.
+    #[test]
+    fn s2_consistency(g in arb_graph(16, 50)) {
+        let fast = dk_repro::metrics::likelihood::likelihood_s2(&g);
+        let via_3k = Dist3K::from_graph(&g).s2();
+        prop_assert!((fast - via_3k).abs() < 1e-9, "fast {} vs 3K {}", fast, via_3k);
+    }
+
+    /// Triangle counts agree between the metric suite and the 3K census.
+    #[test]
+    fn triangle_consistency(g in arb_graph(16, 50)) {
+        let a = dk_repro::metrics::clustering::triangle_count(&g) as u64;
+        let b = Dist3K::from_graph(&g).triangle_total();
+        prop_assert_eq!(a, b);
+    }
+}
