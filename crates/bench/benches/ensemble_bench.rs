@@ -1,0 +1,52 @@
+//! Criterion: serial vs parallel ensemble generation.
+//!
+//! The ensemble fan-out is the outermost loop of every reproduction
+//! experiment ("averages over 100 graphs", §5), so its scaling is the
+//! harness's scaling. This bench pits the deterministic parallel runner
+//! against the serial loop on two workloads with opposite cost profiles:
+//! cheap uniform replicas (2K pseudograph construction) and expensive
+//! uneven replicas (2K randomizing rewiring).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dk_core::dist::{AnyDist, Dist2K};
+use dk_core::generate::{Generator, Method};
+use dk_topologies::hot_like::{hot_like, HotLikeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const REPLICAS: u64 = 16;
+
+fn bench_ensemble(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let hot = hot_like(&HotLikeParams::default(), &mut rng);
+    let jdd = AnyDist::D2(Dist2K::from_graph(&hot));
+
+    let mut group = c.benchmark_group("ensemble_2k_pseudograph");
+    group.throughput(Throughput::Elements(REPLICAS));
+    let gen = Generator::new(Method::Pseudograph).seed(7);
+    group.bench_with_input(BenchmarkId::new("serial", REPLICAS), &jdd, |b, jdd| {
+        b.iter(|| gen.sample_ensemble(jdd, REPLICAS, 1))
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", REPLICAS), &jdd, |b, jdd| {
+        b.iter(|| gen.sample_ensemble(jdd, REPLICAS, 0))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ensemble_2k_rewiring");
+    group.throughput(Throughput::Elements(REPLICAS));
+    let gen = Generator::new(Method::Rewiring).reference(&hot).seed(7);
+    group.bench_with_input(BenchmarkId::new("serial", REPLICAS), &jdd, |b, jdd| {
+        b.iter(|| gen.sample_ensemble(jdd, REPLICAS, 1))
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", REPLICAS), &jdd, |b, jdd| {
+        b.iter(|| gen.sample_ensemble(jdd, REPLICAS, 0))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ensemble
+}
+criterion_main!(benches);

@@ -26,9 +26,11 @@ fn bench_metrics(c: &mut Criterion) {
     let graphs = inputs();
     let mut group = c.benchmark_group("metrics");
     for (name, g) in &graphs {
-        group.bench_with_input(BenchmarkId::new("distance_distribution", name), g, |b, g| {
-            b.iter(|| dk_metrics::distance::DistanceDistribution::from_graph(g))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("distance_distribution", name),
+            g,
+            |b, g| b.iter(|| dk_metrics::distance::DistanceDistribution::from_graph(g)),
+        );
         group.bench_with_input(BenchmarkId::new("betweenness", name), g, |b, g| {
             b.iter(|| dk_metrics::betweenness::node_betweenness(g))
         });

@@ -29,7 +29,10 @@ fn main() {
 
     // --- 1. budget ablation -------------------------------------------
     println!("budget ablation: residual drift after randomizing with k·m attempts (d = 1, 2)");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "factor", "d1_C_drift", "d1_r_drift", "d2_C_drift", "d2_r_drift");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "factor", "d1_C_drift", "d1_r_drift", "d2_C_drift", "d2_r_drift"
+    );
     let mut csv = String::from("factor,d1_clustering_drift,d1_assortativity_drift,d2_clustering_drift,d2_assortativity_drift\n");
     for factor in [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0] {
         let opts = RewireOptions {
@@ -71,7 +74,10 @@ fn main() {
             let (_, stats) =
                 generate_2k_random(&target, bootstrap, &TargetOptions::default(), &mut rng)
                     .expect("HOT JDD realizable");
-            csv.push_str(&format!("{name},{i},{},{}\n", stats.final_distance, stats.accepted));
+            csv.push_str(&format!(
+                "{name},{i},{},{}\n",
+                stats.final_distance, stats.accepted
+            ));
             final_d2.push(stats.final_distance);
         }
         let mean: f64 = final_d2.iter().sum::<f64>() / final_d2.len() as f64;

@@ -33,11 +33,16 @@ fn main() {
     let d1 = Dist1K::from_graph(&hot);
 
     // Temperatures from hot to cold (log-spaced), plus T = 0.
-    let mut temps: Vec<f64> = (0..=12).map(|i| 10f64.powf(6.0 - 0.75 * i as f64)).collect();
+    let mut temps: Vec<f64> = (0..=12)
+        .map(|i| 10f64.powf(6.0 - 0.75 * i as f64))
+        .collect();
     temps.push(0.0);
 
     println!("ergodicity sweep: 2K-targeting 1K-preserving rewiring on HOT-like");
-    println!("{:>12} {:>10} {:>12} {:>12}", "temperature", "r", "D2_final", "accept_rate");
+    println!(
+        "{:>12} {:>10} {:>12} {:>12}",
+        "temperature", "r", "D2_final", "accept_rate"
+    );
     let mut csv = String::from("temperature,r,d2_final,accept_rate\n");
     for (i, &t) in temps.iter().enumerate() {
         // fresh 1K bootstrap per temperature, same seed lane

@@ -21,13 +21,17 @@ use rand::SeedableRng;
 
 fn render(cfg: &Config, g: &Graph, name: &str, title: &str) {
     let (gcc, _) = traversal::giant_component(g);
-    let mut rng = StdRng::seed_from_u64(cfg.master_seed ^ 0xf16_3);
+    let mut rng = StdRng::seed_from_u64(cfg.master_seed ^ 0xf163);
     let layout_opts = LayoutOptions {
         size: 1000.0,
         iterations: 200,
         // exact repulsion up to HOT scale; sampled above (full skitter
         // picturization is not part of the paper's Figure 3)
-        repulsion_sample: if gcc.node_count() > 2500 { Some(32) } else { None },
+        repulsion_sample: if gcc.node_count() > 2500 {
+            Some(32)
+        } else {
+            None
+        },
     };
     let pos = fruchterman_reingold(&gcc, &layout_opts, &mut rng);
     let svg = render_svg(

@@ -10,12 +10,10 @@
 //! ```
 
 use dk_bench::csv::SeriesSet;
-use dk_bench::ensemble::{clustering_series, distance_series, SeriesAccumulator};
+use dk_bench::ensemble::{clustering_series, distance_series, series_ensemble};
 use dk_bench::inputs::{self, Input};
-use dk_bench::variants::{build_2k, build_3k, Algo2K};
+use dk_bench::variants::{build_2k, build_3k, label_2k, ALGOS_2K};
 use dk_bench::Config;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let cfg = Config::from_args();
@@ -24,13 +22,13 @@ fn main() {
 
     // (a) clustering in skitter per 2K algorithm
     let mut a = SeriesSet::new();
-    for algo in Algo2K::ALL {
-        let mut acc = SeriesAccumulator::new();
-        for i in 0..cfg.seeds {
-            let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
-            acc.add(&clustering_series(&build_2k(&skitter, algo, &mut rng)));
-        }
-        a.push(algo.label(), acc.mean());
+    for method in ALGOS_2K {
+        let mean = series_ensemble(
+            &cfg,
+            |rng| build_2k(&skitter, method, rng),
+            clustering_series,
+        );
+        a.push(label_2k(method), mean);
     }
     a.push("skitter", clustering_series(&skitter));
     let path = cfg.out_dir.join("fig5a.csv");
@@ -39,13 +37,9 @@ fn main() {
 
     // (b) distance distribution in HOT per 2K algorithm
     let mut b = SeriesSet::new();
-    for algo in Algo2K::ALL {
-        let mut acc = SeriesAccumulator::new();
-        for i in 0..cfg.seeds {
-            let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
-            acc.add(&distance_series(&build_2k(&hot, algo, &mut rng)));
-        }
-        b.push(algo.label(), acc.mean());
+    for method in ALGOS_2K {
+        let mean = series_ensemble(&cfg, |rng| build_2k(&hot, method, rng), distance_series);
+        b.push(label_2k(method), mean);
     }
     b.push("origHOT", distance_series(&hot));
     let path = cfg.out_dir.join("fig5b.csv");
@@ -55,12 +49,12 @@ fn main() {
     // (c) distance distribution in HOT, 3K randomizing vs targeting
     let mut c = SeriesSet::new();
     for (name, randomizing) in [("3K-rand", true), ("3K-targ", false)] {
-        let mut acc = SeriesAccumulator::new();
-        for i in 0..cfg.seeds {
-            let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
-            acc.add(&distance_series(&build_3k(&hot, randomizing, &mut rng)));
-        }
-        c.push(name, acc.mean());
+        let mean = series_ensemble(
+            &cfg,
+            |rng| build_3k(&hot, randomizing, rng),
+            distance_series,
+        );
+        c.push(name, mean);
     }
     c.push("origHOT", distance_series(&hot));
     let path = cfg.out_dir.join("fig5c.csv");

@@ -8,30 +8,22 @@
 //! ```
 
 use dk_bench::csv::SeriesSet;
-use dk_bench::ensemble::{
-    betweenness_series, clustering_series, distance_series, SeriesAccumulator,
-};
+use dk_bench::ensemble::{betweenness_series, clustering_series, distance_series, series_ensemble};
 use dk_bench::inputs::{self, Input};
 use dk_bench::variants::dk_random;
 use dk_bench::Config;
 use dk_graph::Graph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn panel(
     cfg: &Config,
     original: &Graph,
     original_name: &str,
-    series_of: impl Fn(&Graph) -> Vec<(usize, f64)>,
+    series_of: impl Fn(&Graph) -> Vec<(usize, f64)> + Sync,
 ) -> SeriesSet {
     let mut set = SeriesSet::new();
     for d in 0..=3u8 {
-        let mut acc = SeriesAccumulator::new();
-        for i in 0..cfg.seeds {
-            let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
-            acc.add(&series_of(&dk_random(original, d, &mut rng)));
-        }
-        set.push(format!("{d}K-random"), acc.mean());
+        let mean = series_ensemble(cfg, |rng| dk_random(original, d, rng), &series_of);
+        set.push(format!("{d}K-random"), mean);
     }
     set.push(original_name, series_of(original));
     set

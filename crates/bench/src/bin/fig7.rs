@@ -42,7 +42,10 @@ fn main() {
         set.push(name, clustering_series(&g));
     }
     let mut rng = StdRng::seed_from_u64(cfg.run_seed(0));
-    set.push("2K-random", clustering_series(&dk_random(&skitter, 2, &mut rng)));
+    set.push(
+        "2K-random",
+        clustering_series(&dk_random(&skitter, 2, &mut rng)),
+    );
     set.push("skitter", clustering_series(&skitter));
 
     let path = cfg.out_dir.join("fig7.csv");

@@ -7,24 +7,18 @@
 //! ```
 
 use dk_bench::csv::SeriesSet;
-use dk_bench::ensemble::{distance_series, SeriesAccumulator};
+use dk_bench::ensemble::{distance_series, series_ensemble};
 use dk_bench::inputs::{self, Input};
 use dk_bench::variants::dk_random;
 use dk_bench::Config;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let cfg = Config::from_args();
     let hot = inputs::load(&cfg, Input::HotLike);
     let mut set = SeriesSet::new();
     for d in 0..=3u8 {
-        let mut acc = SeriesAccumulator::new();
-        for i in 0..cfg.seeds {
-            let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
-            acc.add(&distance_series(&dk_random(&hot, d, &mut rng)));
-        }
-        set.push(format!("{d}K-random"), acc.mean());
+        let mean = series_ensemble(&cfg, |rng| dk_random(&hot, d, rng), distance_series);
+        set.push(format!("{d}K-random"), mean);
     }
     set.push("origHOT", distance_series(&hot));
     let path = cfg.out_dir.join("fig8.csv");

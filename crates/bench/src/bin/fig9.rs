@@ -11,24 +11,18 @@
 //! ```
 
 use dk_bench::csv::SeriesSet;
-use dk_bench::ensemble::{betweenness_series, SeriesAccumulator};
+use dk_bench::ensemble::{betweenness_series, series_ensemble};
 use dk_bench::inputs::{self, Input};
 use dk_bench::variants::dk_random;
 use dk_bench::Config;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let cfg = Config::from_args();
     let hot = inputs::load(&cfg, Input::HotLike);
     let mut set = SeriesSet::new();
     for d in 0..=3u8 {
-        let mut acc = SeriesAccumulator::new();
-        for i in 0..cfg.seeds {
-            let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
-            acc.add(&betweenness_series(&dk_random(&hot, d, &mut rng)));
-        }
-        set.push(format!("{d}K-random"), acc.mean());
+        let mean = series_ensemble(&cfg, |rng| dk_random(&hot, d, rng), betweenness_series);
+        set.push(format!("{d}K-random"), mean);
     }
     set.push("origHOT", betweenness_series(&hot));
     let path = cfg.out_dir.join("fig9.csv");

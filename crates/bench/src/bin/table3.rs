@@ -9,7 +9,7 @@
 use dk_bench::ensemble::scalar_ensemble;
 use dk_bench::inputs::{self, Input};
 use dk_bench::table::MetricTable;
-use dk_bench::variants::{build_2k, Algo2K};
+use dk_bench::variants::{build_2k, label_2k, ALGOS_2K};
 use dk_bench::Config;
 use dk_metrics::report::{MetricReport, ReportOptions};
 
@@ -24,13 +24,16 @@ fn main() {
         lanczos_iter: 0,
     };
     let mut table = MetricTable::new();
-    for algo in Algo2K::ALL {
-        let rep = scalar_ensemble(&cfg, &opts, |rng| build_2k(&hot, algo, rng));
-        table.push(algo.label(), rep.mean);
+    for method in ALGOS_2K {
+        let rep = scalar_ensemble(&cfg, &opts, |rng| build_2k(&hot, method, rng));
+        table.push(label_2k(method), rep.mean);
     }
     table.push("origHOT", MetricReport::compute_with(&hot, &opts));
 
-    println!("Table 3: scalar metrics for 2K-random HOT-like graphs ({} seeds)", cfg.seeds);
+    println!(
+        "Table 3: scalar metrics for 2K-random HOT-like graphs ({} seeds)",
+        cfg.seeds
+    );
     println!("{}", table.render());
     let out = cfg.out_dir.join("table3.csv");
     std::fs::write(&out, table.to_csv()).expect("write table3.csv");

@@ -28,7 +28,10 @@ fn main() {
     table.push("3K-targ", targ.mean);
     table.push("origHOT", MetricReport::compute_with(&hot, &opts));
 
-    println!("Table 4: scalar metrics for 3K-random HOT-like graphs ({} seeds)", cfg.seeds);
+    println!(
+        "Table 4: scalar metrics for 3K-random HOT-like graphs ({} seeds)",
+        cfg.seeds
+    );
     println!("{}", table.render());
     let out = cfg.out_dir.join("table4.csv");
     std::fs::write(&out, table.to_csv()).expect("write table4.csv");

@@ -17,7 +17,10 @@ fn main() {
         hot.node_count(),
         hot.edge_count()
     );
-    println!("{:>3} {:>18} {:>26}", "d", "possible", "ignoring obvious isos");
+    println!(
+        "{:>3} {:>18} {:>26}",
+        "d", "possible", "ignoring obvious isos"
+    );
     let mut csv = String::from("d,possible,ignoring_obvious_isomorphisms\n");
     for d in 0..=3u8 {
         let c = count_initial_rewirings(&hot, d);

@@ -28,7 +28,11 @@ fn main() {
         skitter.node_count(),
         skitter.edge_count(),
         cfg.seeds,
-        if cfg.full { ", paper scale" } else { ", CI scale" }
+        if cfg.full {
+            ", paper scale"
+        } else {
+            ", CI scale"
+        }
     );
     println!("{}", table.render());
     let out = cfg.out_dir.join("table6.csv");

@@ -33,8 +33,16 @@ fn main() {
     let runs: [(&str, Objective2K, Direction); 4] = [
         ("minC", Objective2K::MeanClustering, Direction::Minimize),
         ("maxC", Objective2K::MeanClustering, Direction::Maximize),
-        ("minS2", Objective2K::SecondOrderLikelihood, Direction::Minimize),
-        ("maxS2", Objective2K::SecondOrderLikelihood, Direction::Maximize),
+        (
+            "minS2",
+            Objective2K::SecondOrderLikelihood,
+            Direction::Minimize,
+        ),
+        (
+            "maxS2",
+            Objective2K::SecondOrderLikelihood,
+            Direction::Maximize,
+        ),
     ];
     for (name, objective, dir) in runs {
         let mut g = skitter.clone();
@@ -82,5 +90,6 @@ fn main() {
 
 /// Stable small hash so every exploration column gets its own seed lane.
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(7u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+    name.bytes()
+        .fold(7u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
 }

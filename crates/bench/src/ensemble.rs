@@ -4,12 +4,16 @@
 //!
 //! "Our results represent averages over 100 graphs generated with a
 //! different random seed in each case" (paper §5).
+//!
+//! All fan-out goes through [`run`], a thin wrapper over the
+//! deterministic parallel runner [`dk_core::ensemble::run`]: replica `i`
+//! is always seeded with `cfg.run_seed(i)` regardless of the thread
+//! count, so `--threads 1` and `--threads N` produce identical tables.
 
 use crate::Config;
 use dk_graph::{traversal, Graph};
 use dk_metrics::report::{MetricReport, ReportOptions};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Averaged scalar battery over an ensemble.
 #[derive(Clone, Debug)]
@@ -20,24 +24,49 @@ pub struct EnsembleReport {
     pub runs: usize,
 }
 
+/// Runs `job(replica, rng)` for every configured seed, in parallel over
+/// `cfg.threads` workers, returning results in replica order.
+pub fn run<T, F>(cfg: &Config, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, &mut StdRng) -> T + Sync,
+{
+    dk_core::ensemble::run(cfg.seeds, cfg.master_seed, cfg.threads, job)
+}
+
 /// Runs `make` once per seed and averages the full scalar battery.
 ///
 /// `make` receives a seeded RNG and returns the graph to measure (GCC
-/// extraction happens inside the metric battery).
-pub fn scalar_ensemble<F>(cfg: &Config, opts: &ReportOptions, mut make: F) -> EnsembleReport
+/// extraction happens inside the metric battery). Members are computed
+/// in parallel (see [`run`]); the mean is identical to the serial loop.
+pub fn scalar_ensemble<F>(cfg: &Config, opts: &ReportOptions, make: F) -> EnsembleReport
 where
-    F: FnMut(&mut StdRng) -> Graph,
+    F: Fn(&mut StdRng) -> Graph + Sync,
 {
-    let mut reports = Vec::with_capacity(cfg.seeds as usize);
-    for i in 0..cfg.seeds {
-        let mut rng = StdRng::seed_from_u64(cfg.run_seed(i));
-        let g = make(&mut rng);
-        reports.push(MetricReport::compute_with(&g, opts));
-    }
+    let reports = run(cfg, |_i, rng| MetricReport::compute_with(&make(rng), opts));
     EnsembleReport {
         mean: average_reports(&reports),
         runs: reports.len(),
     }
+}
+
+/// Runs `make` once per seed, extracts a `(key, value)` series from each
+/// graph with `series_of`, and returns the per-key ensemble mean.
+///
+/// This is the parallel replacement for the hand-rolled
+/// "loop seeds, [`SeriesAccumulator::add`], mean" pattern the figure
+/// binaries used to carry.
+pub fn series_ensemble<F, S>(cfg: &Config, make: F, series_of: S) -> Vec<(usize, f64)>
+where
+    F: Fn(&mut StdRng) -> Graph + Sync,
+    S: Fn(&Graph) -> Vec<(usize, f64)> + Sync,
+{
+    let all = run(cfg, |_i, rng| series_of(&make(rng)));
+    let mut acc = SeriesAccumulator::new();
+    for series in &all {
+        acc.add(series);
+    }
+    acc.mean()
 }
 
 fn avg(items: impl Iterator<Item = f64>) -> f64 {
@@ -115,11 +144,7 @@ impl SeriesAccumulator {
 pub fn distance_series(g: &Graph) -> Vec<(usize, f64)> {
     let (gcc, _) = traversal::giant_component(g);
     let dd = dk_metrics::distance::DistanceDistribution::from_graph(&gcc);
-    dd.pdf_positive()
-        .into_iter()
-        .enumerate()
-        .skip(1)
-        .collect()
+    dd.pdf_positive().into_iter().enumerate().skip(1).collect()
 }
 
 /// Mean normalized betweenness per degree, of the GCC.
@@ -184,6 +209,63 @@ mod tests {
         );
         assert_eq!(rep.runs, 3);
         assert!(rep.mean.k_avg > 0.0);
+    }
+
+    #[test]
+    fn scalar_ensemble_thread_count_is_invisible() {
+        let base = crate::Config {
+            seeds: 6,
+            out_dir: std::env::temp_dir(),
+            ..Default::default()
+        };
+        let opts = dk_metrics::report::ReportOptions {
+            spectral: false,
+            distances: false,
+            betweenness: false,
+            lanczos_iter: 0,
+        };
+        let make = |rng: &mut rand::rngs::StdRng| {
+            crate::variants::dk_random(&builders::karate_club(), 1, rng)
+        };
+        let serial = scalar_ensemble(
+            &crate::Config {
+                threads: 1,
+                ..base.clone()
+            },
+            &opts,
+            make,
+        );
+        let parallel = scalar_ensemble(&crate::Config { threads: 4, ..base }, &opts, make);
+        assert_eq!(
+            serial.mean, parallel.mean,
+            "threading must not change results"
+        );
+        assert_eq!(serial.runs, parallel.runs);
+    }
+
+    #[test]
+    fn series_ensemble_matches_hand_rolled_loop() {
+        use rand::SeedableRng;
+        let cfg = crate::Config {
+            seeds: 4,
+            out_dir: std::env::temp_dir(),
+            ..Default::default()
+        };
+        let original = builders::karate_club();
+        let fast = series_ensemble(
+            &cfg,
+            |rng| crate::variants::dk_random(&original, 2, rng),
+            clustering_series,
+        );
+        // the pre-facade pattern: serial loop + accumulator
+        let mut acc = SeriesAccumulator::new();
+        for i in 0..cfg.seeds {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.run_seed(i));
+            acc.add(&clustering_series(&crate::variants::dk_random(
+                &original, 2, &mut rng,
+            )));
+        }
+        assert_eq!(fast, acc.mean());
     }
 
     #[test]

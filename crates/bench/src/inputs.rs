@@ -53,7 +53,9 @@ pub fn load(cfg: &Config, input: Input) -> Graph {
     }
     let mut rng = StdRng::seed_from_u64(cfg.master_seed ^ 0xd15c_0b01);
     let g = match (input, cfg.full) {
-        (Input::SkitterLike, true) => as_like::skitter_like(&as_like::AsLikeParams::default(), &mut rng),
+        (Input::SkitterLike, true) => {
+            as_like::skitter_like(&as_like::AsLikeParams::default(), &mut rng)
+        }
         (Input::SkitterLike, false) => {
             as_like::skitter_like(&as_like::AsLikeParams::small(), &mut rng)
         }
@@ -106,7 +108,10 @@ mod tests {
             master_seed: 42,
             ..ci.clone()
         };
-        assert_ne!(cache_path(&ci, Input::SkitterLike), cache_path(&full, Input::SkitterLike));
+        assert_ne!(
+            cache_path(&ci, Input::SkitterLike),
+            cache_path(&full, Input::SkitterLike)
+        );
         assert_ne!(
             cache_path(&ci, Input::SkitterLike),
             cache_path(&other_seed, Input::SkitterLike)

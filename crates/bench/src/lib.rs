@@ -39,6 +39,9 @@ pub struct Config {
     pub out_dir: PathBuf,
     /// Master seed; per-run seeds derive from it.
     pub master_seed: u64,
+    /// Ensemble worker threads (`0` = all available cores). Any value
+    /// produces identical results — see [`ensemble::run`].
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -48,12 +51,14 @@ impl Default for Config {
             seeds: 5,
             out_dir: PathBuf::from("results"),
             master_seed: 20060911, // SIGCOMM'06 started Sept 11, 2006
+            threads: 0,
         }
     }
 }
 
 impl Config {
-    /// Parses flags: `--full`, `--seeds N`, `--out DIR`, `--seed N`.
+    /// Parses flags: `--full`, `--seeds N`, `--out DIR`, `--seed N`,
+    /// `--threads N`.
     ///
     /// Unknown flags abort with a usage message (misspelled flags
     /// silently ignored would corrupt experiments).
@@ -78,6 +83,13 @@ impl Config {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs a number"));
                 }
+                "--threads" => {
+                    i += 1;
+                    cfg.threads = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs a number"));
+                }
                 "--out" => {
                     i += 1;
                     cfg.out_dir = args
@@ -87,7 +99,7 @@ impl Config {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --full (paper scale)  --seeds N (ensemble size, default 5)\n       --seed N (master seed)   --out DIR (default results/)"
+                        "flags: --full (paper scale)  --seeds N (ensemble size, default 5)\n       --seed N (master seed)   --out DIR (default results/)\n       --threads N (ensemble workers, default 0 = all cores)"
                     );
                     std::process::exit(0);
                 }
@@ -99,15 +111,11 @@ impl Config {
         cfg
     }
 
-    /// Derives the i-th run seed from the master seed (splitmix64 step —
-    /// avoids correlated `StdRng` streams from adjacent seeds).
+    /// Derives the i-th run seed from the master seed. Delegates to
+    /// [`dk_core::ensemble::derive_seed`] so hand-rolled loops and the
+    /// parallel runner agree replica by replica.
     pub fn run_seed(&self, i: u64) -> u64 {
-        let mut z = self
-            .master_seed
-            .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        dk_core::ensemble::derive_seed(self.master_seed, i)
     }
 }
 

@@ -48,12 +48,16 @@ impl MetricTable {
             out.push_str(&format!("{name:>width$}"));
         }
         out.push('\n');
-        let rows: Vec<(&str, Box<dyn Fn(&MetricReport) -> Option<f64>>)> = vec![
+        type RowExtractor = Box<dyn Fn(&MetricReport) -> Option<f64>>;
+        let rows: Vec<(&str, RowExtractor)> = vec![
             ("n", Box::new(|r: &MetricReport| Some(r.nodes as f64))),
             ("m", Box::new(|r: &MetricReport| Some(r.edges as f64))),
             ("k_avg", Box::new(|r: &MetricReport| Some(r.k_avg))),
             ("r", Box::new(|r: &MetricReport| Some(r.assortativity))),
-            ("C_mean", Box::new(|r: &MetricReport| Some(r.mean_clustering))),
+            (
+                "C_mean",
+                Box::new(|r: &MetricReport| Some(r.mean_clustering)),
+            ),
             ("d_avg", Box::new(|r: &MetricReport| r.avg_distance)),
             ("d_std", Box::new(|r: &MetricReport| r.distance_std)),
             ("lambda1", Box::new(|r: &MetricReport| r.lambda1)),
@@ -98,12 +102,18 @@ impl MetricTable {
         emit(
             &mut out,
             "n",
-            self.columns.iter().map(|(_, r)| Some(r.nodes as f64)).collect(),
+            self.columns
+                .iter()
+                .map(|(_, r)| Some(r.nodes as f64))
+                .collect(),
         );
         emit(
             &mut out,
             "m",
-            self.columns.iter().map(|(_, r)| Some(r.edges as f64)).collect(),
+            self.columns
+                .iter()
+                .map(|(_, r)| Some(r.edges as f64))
+                .collect(),
         );
         emit(
             &mut out,
@@ -161,7 +171,10 @@ mod tests {
     #[test]
     fn render_contains_all_columns_and_rows() {
         let mut t = MetricTable::new();
-        t.push("orig", MetricReport::compute_cheap(&builders::karate_club()));
+        t.push(
+            "orig",
+            MetricReport::compute_cheap(&builders::karate_club()),
+        );
         t.push("rand", MetricReport::compute_cheap(&builders::petersen()));
         t.push_row("S2/S2max", vec![Some(0.95), Some(1.0)]);
         let s = t.render();

@@ -2,53 +2,35 @@
 //!
 //! Each experiment compares an *original* (skitter-like or HOT-like)
 //! against dK-random counterparts produced by the §4.1 algorithm
-//! families; this module wires the `dk-core` generators into one-call
-//! constructors with the experiment-appropriate defaults.
+//! families. Construction goes through the capability-checked
+//! [`Generator`] facade — the only `(d, method)` dispatch in the
+//! workspace lives in `dk-core`, and this module merely configures it
+//! with experiment-appropriate defaults.
 
-use dk_core::dist::{Dist2K, Dist3K};
-use dk_core::generate::rewire::{randomize, RewireOptions};
-use dk_core::generate::target::{
-    generate_2k_random, generate_3k_random, Bootstrap, TargetOptions,
-};
-use dk_core::generate::{matching, pseudograph, stochastic};
+use dk_core::dist::{AnyDist, Dist2K, Dist3K};
+use dk_core::generate::target::TargetOptions;
+use dk_core::generate::{Generator, Method};
 use dk_graph::Graph;
 use rand::Rng;
 
 /// The five 2K construction algorithms of the paper's §5.1 comparison
-/// (Table 3, Figure 5).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algo2K {
-    /// §4.1.1 stochastic (hidden-variable block model).
-    Stochastic,
-    /// §4.1.2 pseudograph with cleanup.
-    Pseudograph,
-    /// §4.1.3 matching.
-    Matching,
-    /// §4.1.4 2K-randomizing rewiring of the original.
-    Randomizing,
-    /// §4.1.4 2K-targeting 1K-preserving rewiring from a 1K bootstrap.
-    Targeting,
-}
+/// (Table 3, Figure 5), in the paper's column order.
+pub const ALGOS_2K: [Method; 5] = [
+    Method::Stochastic,
+    Method::Pseudograph,
+    Method::Matching,
+    Method::Rewiring,
+    Method::Targeting,
+];
 
-impl Algo2K {
-    /// All five, in the paper's column order.
-    pub const ALL: [Algo2K; 5] = [
-        Algo2K::Stochastic,
-        Algo2K::Pseudograph,
-        Algo2K::Matching,
-        Algo2K::Randomizing,
-        Algo2K::Targeting,
-    ];
-
-    /// Column label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Algo2K::Stochastic => "stochastic",
-            Algo2K::Pseudograph => "pseudogr",
-            Algo2K::Matching => "matching",
-            Algo2K::Randomizing => "2K-rand",
-            Algo2K::Targeting => "2K-targ",
-        }
+/// Paper-style column label for a 2K-comparison method.
+pub fn label_2k(method: Method) -> &'static str {
+    match method {
+        Method::Stochastic => "stochastic",
+        Method::Pseudograph => "pseudogr",
+        Method::Matching => "matching",
+        Method::Rewiring => "2K-rand",
+        Method::Targeting => "2K-targ",
     }
 }
 
@@ -61,53 +43,55 @@ pub fn targeting_opts() -> TargetOptions {
     }
 }
 
-/// Builds a 2K-graph of `original`'s JDD with the chosen algorithm.
-pub fn build_2k<R: Rng + ?Sized>(original: &Graph, algo: Algo2K, rng: &mut R) -> Graph {
-    let jdd = Dist2K::from_graph(original);
-    match algo {
-        Algo2K::Stochastic => stochastic::generate_2k(&jdd, rng)
-            .expect("JDD extracted from a graph is consistent")
-            .graph,
-        Algo2K::Pseudograph => pseudograph::generate_2k(&jdd, rng)
-            .expect("JDD extracted from a graph is consistent")
-            .graph,
-        Algo2K::Matching => matching::generate_2k(&jdd, rng)
-            .expect("JDD extracted from a graph is realizable")
-            .graph,
-        Algo2K::Randomizing => {
-            let mut g = original.clone();
-            randomize(&mut g, 2, &RewireOptions::default(), rng);
-            g
-        }
-        Algo2K::Targeting => {
-            generate_2k_random(&jdd, Bootstrap::Matching, &targeting_opts(), rng)
-                .expect("JDD extracted from a graph is realizable")
-                .0
-        }
+/// Configures the facade for `original`'s order-`d` distribution with
+/// the experiment defaults (rewiring reference attached, long targeting
+/// budget).
+fn generator_for(original: &Graph, method: Method) -> Generator {
+    let mut gen = Generator::new(method).target_options(targeting_opts());
+    if method.needs_reference() {
+        gen = gen.reference(original);
     }
+    gen
+}
+
+/// Builds a 2K-graph of `original`'s JDD with the chosen algorithm.
+pub fn build_2k<R: Rng + ?Sized>(original: &Graph, method: Method, rng: &mut R) -> Graph {
+    let dist = AnyDist::D2(Dist2K::from_graph(original));
+    generator_for(original, method)
+        .build_with_rng(&dist, rng)
+        .expect("JDD extracted from a graph is realizable")
+        .graph
 }
 
 /// Builds a 3K-graph of `original` via randomizing (`true`) or the
 /// targeting chain (`false`) — Table 4 / Figure 5(c).
 pub fn build_3k<R: Rng + ?Sized>(original: &Graph, randomizing: bool, rng: &mut R) -> Graph {
     if randomizing {
-        let mut g = original.clone();
-        randomize(&mut g, 3, &RewireOptions::default(), rng);
-        g
-    } else {
-        let d3 = Dist3K::from_graph(original);
-        generate_3k_random(&d3, Bootstrap::Matching, &targeting_opts(), rng)
-            .expect("3K extracted from a graph is realizable")
-            .0
+        // distribution-free: rewiring preserves the reference's own 3K,
+        // so skip the O(Σ deg²) census that build() would extract
+        return generator_for(original, Method::Rewiring)
+            .build_randomized_with_rng(3, rng)
+            .expect("rewiring with a reference cannot fail")
+            .graph;
     }
+    let dist = AnyDist::D3(Dist3K::from_graph(original));
+    generator_for(original, Method::Targeting)
+        .build_with_rng(&dist, rng)
+        .expect("3K extracted from a graph is realizable")
+        .graph
 }
 
 /// dK-random counterpart of `original` via dK-randomizing rewiring —
 /// "the simplest one" the paper picks for its §5.2 topology comparisons.
+///
+/// Runs once per ensemble replica, so it uses the facade's
+/// distribution-free rewiring entry instead of extracting (and
+/// discarding) a full order-`d` census each call.
 pub fn dk_random<R: Rng + ?Sized>(original: &Graph, d: u8, rng: &mut R) -> Graph {
-    let mut g = original.clone();
-    randomize(&mut g, d, &RewireOptions::default(), rng);
-    g
+    generator_for(original, Method::Rewiring)
+        .build_randomized_with_rng(d, rng)
+        .expect("rewiring with a reference cannot fail")
+        .graph
 }
 
 #[cfg(test)]
@@ -121,13 +105,13 @@ mod tests {
     fn all_2k_algorithms_produce_graphs() {
         let original = builders::karate_club();
         let target = Dist2K::from_graph(&original);
-        for algo in Algo2K::ALL {
+        for method in ALGOS_2K {
             let mut rng = StdRng::seed_from_u64(1);
-            let g = build_2k(&original, algo, &mut rng);
-            assert!(g.node_count() > 0, "{algo:?}");
+            let g = build_2k(&original, method, &mut rng);
+            assert!(g.node_count() > 0, "{method:?}");
             // exact-JDD families must match exactly
-            if matches!(algo, Algo2K::Matching | Algo2K::Randomizing) {
-                assert_eq!(Dist2K::from_graph(&g), target, "{algo:?}");
+            if matches!(method, Method::Matching | Method::Rewiring) {
+                assert_eq!(Dist2K::from_graph(&g), target, "{method:?}");
             }
         }
     }
@@ -149,5 +133,14 @@ mod tests {
         let g1 = dk_random(&original, 1, &mut rng);
         assert_eq!(g1.degrees(), original.degrees());
         assert_ne!(g1, original);
+    }
+
+    #[test]
+    fn labels_cover_paper_columns() {
+        let labels: Vec<&str> = ALGOS_2K.iter().map(|&m| label_2k(m)).collect();
+        assert_eq!(
+            labels,
+            ["stochastic", "pseudogr", "matching", "2K-rand", "2K-targ"]
+        );
     }
 }

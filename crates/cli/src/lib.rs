@@ -22,13 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dk_core::dist::{Dist1K, Dist2K, Dist3K};
-use dk_core::explore::{
-    explore_1k_likelihood, explore_2k, Direction, ExploreOptions, Objective2K,
-};
+use dk_core::dist::{AnyDist, Dist1K, Dist2K, Dist3K};
+use dk_core::explore::{explore_1k_likelihood, explore_2k, Direction, ExploreOptions, Objective2K};
 use dk_core::generate::rewire::{randomize, RewireOptions, SwapBudget};
-use dk_core::generate::target::{generate_2k_random, generate_3k_random, Bootstrap, TargetOptions};
-use dk_core::generate::{matching, pseudograph, stochastic};
+use dk_core::generate::Generator;
 use dk_core::{census, io as dist_io};
 use dk_graph::{io as graph_io, GraphError};
 use rand::rngs::StdRng;
@@ -36,32 +33,11 @@ use rand::SeedableRng;
 use std::path::Path;
 
 /// Construction algorithm selector for `dk generate`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum GenAlgo {
-    /// Stub/edge-end based exact construction with cleanup (default).
-    Pseudograph,
-    /// Loop-avoiding exact construction.
-    Matching,
-    /// Expected-value construction (high variance).
-    Stochastic,
-    /// Bootstrap + targeting rewiring chain (required for d = 3).
-    Targeting,
-}
-
-impl std::str::FromStr for GenAlgo {
-    type Err = String;
-    fn from_str(s: &str) -> Result<Self, String> {
-        match s {
-            "pseudograph" => Ok(GenAlgo::Pseudograph),
-            "matching" => Ok(GenAlgo::Matching),
-            "stochastic" => Ok(GenAlgo::Stochastic),
-            "targeting" => Ok(GenAlgo::Targeting),
-            other => Err(format!(
-                "unknown algorithm {other:?} (pseudograph|matching|stochastic|targeting)"
-            )),
-        }
-    }
-}
+///
+/// The canonical name set (`stochastic | pseudograph | matching |
+/// targeting | rewiring`) lives in core — the CLI, the bench harness,
+/// and tests all parse and print through [`dk_core::generate::Method`].
+pub type GenAlgo = dk_core::generate::Method;
 
 /// `dk extract`: writes the dK-distribution of a graph to a text file.
 pub fn cmd_extract(d: u8, graph_path: &Path, out: &Path) -> Result<String, GraphError> {
@@ -97,6 +73,10 @@ pub fn cmd_extract(d: u8, graph_path: &Path, out: &Path) -> Result<String, Graph
 }
 
 /// `dk generate`: constructs a dK-graph from a distribution file.
+///
+/// Single dispatch through the capability-checked [`Generator`] facade —
+/// unsupported `(d, algorithm)` cells surface as typed errors from core,
+/// not as CLI-side matches.
 pub fn cmd_generate(
     d: u8,
     dist_path: &Path,
@@ -104,61 +84,28 @@ pub fn cmd_generate(
     algo: GenAlgo,
     seed: u64,
 ) -> Result<String, GraphError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    if !(1..=3).contains(&d) {
+        return Err(GraphError::ConstructionFailed(format!(
+            "generate supports d in 1..=3, got {d}"
+        )));
+    }
+    if algo.needs_reference() {
+        return Err(GraphError::ConstructionFailed(
+            "--algo rewiring constructs by rewiring an existing graph, not from a \
+             distribution file — use `dk rewire <d> <graph.edges>` instead"
+                .into(),
+        ));
+    }
     let file = std::fs::File::open(dist_path)?;
-    let g = match (d, algo) {
-        (1, GenAlgo::Pseudograph) => {
-            pseudograph::generate_1k(&dist_io::read_1k(file)?, &mut rng)?.graph
-        }
-        (1, GenAlgo::Matching) => matching::generate_1k(&dist_io::read_1k(file)?, &mut rng)?.graph,
-        (1, GenAlgo::Stochastic) => {
-            stochastic::generate_1k(&dist_io::read_1k(file)?, &mut rng)?.graph
-        }
-        (2, GenAlgo::Pseudograph) => {
-            pseudograph::generate_2k(&dist_io::read_2k(file)?, &mut rng)?.graph
-        }
-        (2, GenAlgo::Matching) => matching::generate_2k(&dist_io::read_2k(file)?, &mut rng)?.graph,
-        (2, GenAlgo::Stochastic) => {
-            stochastic::generate_2k(&dist_io::read_2k(file)?, &mut rng)?.graph
-        }
-        (2, GenAlgo::Targeting) => {
-            generate_2k_random(
-                &dist_io::read_2k(file)?,
-                Bootstrap::Matching,
-                &TargetOptions::default(),
-                &mut rng,
-            )?
-            .0
-        }
-        (3, GenAlgo::Targeting) => {
-            generate_3k_random(
-                &dist_io::read_3k(file)?,
-                Bootstrap::Matching,
-                &TargetOptions::default(),
-                &mut rng,
-            )?
-            .0
-        }
-        (3, other) => {
-            return Err(GraphError::ConstructionFailed(format!(
-                "d = 3 generation requires --algo targeting (got {other:?}); \
-                 pseudograph/matching do not generalize past d = 2 (paper §4.1.2)"
-            )))
-        }
-        (1, GenAlgo::Targeting) => {
-            return Err(GraphError::ConstructionFailed(
-                "d = 1 targeting is pointless: pseudograph/matching are exact".into(),
-            ))
-        }
-        (other, _) => {
-            return Err(GraphError::ConstructionFailed(format!(
-                "generate supports d in 1..=3, got {other}"
-            )))
-        }
-    };
+    let dist = AnyDist::read(d, file)?;
+    let generated = Generator::new(algo)
+        .seed(seed)
+        .build(&dist)
+        .map_err(GraphError::from)?;
+    let g = generated.graph;
     graph_io::save_edge_list(&g, out)?;
     Ok(format!(
-        "generated {d}K-graph via {algo:?}: n = {}, m = {} -> {}",
+        "generated {d}K-graph via {algo}: n = {}, m = {} -> {}",
         g.node_count(),
         g.edge_count(),
         out.display()
@@ -305,7 +252,11 @@ pub fn cmd_viz(graph_path: &Path, out: &Path, seed: u64) -> Result<String, Graph
     let (gcc, _) = dk_graph::giant_component(&g);
     let mut rng = StdRng::seed_from_u64(seed);
     let layout_opts = dk_graph::layout::LayoutOptions {
-        repulsion_sample: if gcc.node_count() > 2500 { Some(32) } else { None },
+        repulsion_sample: if gcc.node_count() > 2500 {
+            Some(32)
+        } else {
+            None
+        },
         ..Default::default()
     };
     let pos = dk_graph::layout::fruchterman_reingold(&gcc, &layout_opts, &mut rng);
@@ -434,5 +385,19 @@ mod tests {
     fn algo_parsing() {
         assert_eq!("matching".parse::<GenAlgo>().unwrap(), GenAlgo::Matching);
         assert!("bogus".parse::<GenAlgo>().is_err());
+    }
+
+    #[test]
+    fn generate_rejects_rewiring_with_cli_worded_hint() {
+        // `rewiring` parses (shared Method name set) but cannot construct
+        // from a distribution file; the error must point at `dk rewire`,
+        // not at library API.
+        let graph = write_karate();
+        let dist = tmp("karate_rw.2k");
+        cmd_extract(2, &graph, &dist).unwrap();
+        let err = cmd_generate(2, &dist, &tmp("z.edges"), GenAlgo::Rewiring, 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("dk rewire"), "{msg}");
+        assert!(!msg.contains("Generator::"), "library API leaked: {msg}");
     }
 }

@@ -44,16 +44,9 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
     while let Some(tok) = raw.pop() {
         match tok.as_str() {
             "-o" | "--out" => {
-                args.out = Some(PathBuf::from(
-                    raw.pop().ok_or("missing value after -o")?,
-                ))
+                args.out = Some(PathBuf::from(raw.pop().ok_or("missing value after -o")?))
             }
-            "--algo" => {
-                args.algo = raw
-                    .pop()
-                    .ok_or("missing value after --algo")?
-                    .parse()?
-            }
+            "--algo" => args.algo = raw.pop().ok_or("missing value after --algo")?.parse()?,
             "--seed" => {
                 args.seed = raw
                     .pop()
@@ -99,14 +92,11 @@ fn run() -> Result<String, String> {
             .get(i)
             .ok_or_else(|| format!("missing argument #{} — see `dk --help`", i + 1))
     };
-    let parse_d = |s: &str| -> Result<u8, String> {
-        s.parse().map_err(|e| format!("bad d {s:?}: {e}"))
-    };
+    let parse_d =
+        |s: &str| -> Result<u8, String> { s.parse().map_err(|e| format!("bad d {s:?}: {e}")) };
     let err = |e: dk_graph::GraphError| e.to_string();
     match cmd.as_str() {
-        "extract" => {
-            cmd_extract(parse_d(p(0)?)?, p(1)?.as_ref(), need_out(&a)?).map_err(err)
-        }
+        "extract" => cmd_extract(parse_d(p(0)?)?, p(1)?.as_ref(), need_out(&a)?).map_err(err),
         "generate" => cmd_generate(
             parse_d(p(0)?)?,
             p(1)?.as_ref(),

@@ -92,6 +92,7 @@ pub fn count_initial_rewirings(g: &Graph, d: u8) -> RewireCensus {
 }
 
 /// Checks the swap `{a,b},{c,d} → {a,d},{c,b}` for validity at level `dk`.
+#[allow(clippy::too_many_arguments)] // four endpoints + level + scratch is the natural shape
 fn swap_ok(
     work: &mut Graph,
     dk: u8,
@@ -176,11 +177,8 @@ mod tests {
     fn leaf_swap_discount_on_double_star() {
         // two hubs joined; leaves on each side: leaf-pair swaps across
         // hubs are valid but isomorphic-obvious.
-        let g = Graph::from_edges(
-            8,
-            [(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7), (0, 4)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(8, [(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7), (0, 4)]).unwrap();
         let c1 = count_initial_rewirings(&g, 1);
         assert!(c1.total > 0);
         let ex = c1.excluding_obvious_isomorphic.unwrap();

@@ -95,7 +95,10 @@ pub fn remove_edge_tracked(g: &mut Graph, x: u32, y: u32, deg: &[Degree], delta:
         }
         if g.has_edge(z, y) {
             // triangle {x,y,z} dies; an induced wedge centered at z is born
-            delta.bump_tri(canon_triangle(deg[x as usize], deg[y as usize], deg[z as usize]), -1);
+            delta.bump_tri(
+                canon_triangle(deg[x as usize], deg[y as usize], deg[z as usize]),
+                -1,
+            );
             delta.bump_wedge(
                 canon_wedge(deg[x as usize], deg[z as usize], deg[y as usize]),
                 1,
@@ -138,7 +141,10 @@ pub fn add_edge_tracked(g: &mut Graph, x: u32, y: u32, deg: &[Degree], delta: &m
                 canon_wedge(deg[x as usize], deg[z as usize], deg[y as usize]),
                 -1,
             );
-            delta.bump_tri(canon_triangle(deg[x as usize], deg[y as usize], deg[z as usize]), 1);
+            delta.bump_tri(
+                canon_triangle(deg[x as usize], deg[y as usize], deg[z as usize]),
+                1,
+            );
         } else {
             // new wedge y−x−z centered at x
             delta.bump_wedge(
@@ -203,8 +209,15 @@ mod tests {
         d
     }
 
-    fn normalize(d: &Delta3K) -> (Vec<((u32, u32, u32), i64)>, Vec<((u32, u32, u32), i64)>) {
-        let mut w: Vec<_> = d.wedges.iter().filter(|(_, &v)| v != 0).map(|(&k, &v)| (k, v)).collect();
+    type SortedDelta = Vec<((u32, u32, u32), i64)>;
+
+    fn normalize(d: &Delta3K) -> (SortedDelta, SortedDelta) {
+        let mut w: Vec<_> = d
+            .wedges
+            .iter()
+            .filter(|(_, &v)| v != 0)
+            .map(|(&k, &v)| (k, v))
+            .collect();
         let mut t: Vec<_> = d
             .triangles
             .iter()

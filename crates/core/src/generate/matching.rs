@@ -138,8 +138,8 @@ pub fn generate_2k<R: Rng + ?Sized>(d: &Dist2K, rng: &mut R) -> Result<Generated
         // node (k1 == k2 with both remaining stubs on one node).
         let u = pick_with_stubs(&class_nodes[k1 as usize], &stubs_left, rng)
             .ok_or_else(|| class_exhausted(k1))?;
-        let v = pick_with_stubs_excluding(&class_nodes[k2 as usize], &stubs_left, rng, u)
-            .unwrap_or(u);
+        let v =
+            pick_with_stubs_excluding(&class_nodes[k2 as usize], &stubs_left, rng, u).unwrap_or(u);
         rotate_repair_2k(&mut g, u, v, &node_class, rng)?;
         stubs_left[u as usize] -= 1;
         stubs_left[v as usize] -= 1;
@@ -149,12 +149,7 @@ pub fn generate_2k<R: Rng + ?Sized>(d: &Dist2K, rng: &mut R) -> Result<Generated
 
 /// Exhaustive scan for a legal `(u, v)` pair with free stubs. O(|c1|·|c2|)
 /// worst case, but only reached on deadlock, when few stubs remain.
-fn exhaustive_pair(
-    g: &Graph,
-    c1: &[u32],
-    c2: &[u32],
-    stubs_left: &[u32],
-) -> Option<(u32, u32)> {
+fn exhaustive_pair(g: &Graph, c1: &[u32], c2: &[u32], stubs_left: &[u32]) -> Option<(u32, u32)> {
     for &u in c1.iter().filter(|&&u| stubs_left[u as usize] > 0) {
         for &v in c2.iter().filter(|&&v| stubs_left[v as usize] > 0) {
             if u != v && !g.has_edge(u, v) {
@@ -272,9 +267,8 @@ fn rotate_repair_2k<R: Rng + ?Sized>(
 ) -> Result<(), GraphError> {
     let try_edge = |g: &mut Graph, x: u32, y: u32| -> bool {
         for (x, y) in [(x, y), (y, x)] {
-            let class_match =
-                node_class[x as usize] == node_class[u as usize]
-                    || node_class[y as usize] == node_class[v as usize];
+            let class_match = node_class[x as usize] == node_class[u as usize]
+                || node_class[y as usize] == node_class[v as usize];
             if !class_match {
                 continue;
             }
@@ -289,7 +283,9 @@ fn rotate_repair_2k<R: Rng + ?Sized>(
         false
     };
     for _ in 0..REPAIR_ATTEMPTS {
-        let Ok((x, y)) = g.random_edge(rng) else { break };
+        let Ok((x, y)) = g.random_edge(rng) else {
+            break;
+        };
         if try_edge(g, x, y) {
             return Ok(());
         }
@@ -329,10 +325,10 @@ mod tests {
         // near-complete core forces deadlocks: 5 nodes of degree 4 (K5) +
         // star hub — rotation repair must still realize it.
         for seq in [
-            vec![4usize, 4, 4, 4, 4],            // K5 exactly
-            vec![5, 5, 4, 4, 4, 4],              // dense, tight
-            vec![7, 1, 1, 1, 1, 1, 1, 1],        // star
-            vec![3, 3, 3, 3, 2, 2, 2, 1, 1],     // mixed
+            vec![4usize, 4, 4, 4, 4],        // K5 exactly
+            vec![5, 5, 4, 4, 4, 4],          // dense, tight
+            vec![7, 1, 1, 1, 1, 1, 1, 1],    // star
+            vec![3, 3, 3, 3, 2, 2, 2, 1, 1], // mixed
         ] {
             let d = Dist1K::from_degree_sequence(&seq);
             assert!(d.is_graphical(), "{seq:?} must be graphical");

@@ -186,10 +186,8 @@ mod tests {
             let (a, b) = (mg.degree(u) as u32, mg.degree(v) as u32);
             *counts.entry(crate::dist::canon_pair(a, b)).or_insert(0) += 1;
         }
-        let want: std::collections::BTreeMap<(u32, u32), u64> = target
-            .sorted_entries()
-            .into_iter()
-            .collect();
+        let want: std::collections::BTreeMap<(u32, u32), u64> =
+            target.sorted_entries().into_iter().collect();
         assert_eq!(counts, want);
     }
 

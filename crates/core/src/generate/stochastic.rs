@@ -247,7 +247,14 @@ mod tests {
             0
         );
         // p ≥ 1 → complete graph
-        let g = generate_0k(&Dist0K { nodes: 5, edges: 50 }, &mut rng).graph;
+        let g = generate_0k(
+            &Dist0K {
+                nodes: 5,
+                edges: 50,
+            },
+            &mut rng,
+        )
+        .graph;
         assert_eq!(g.edge_count(), 10);
     }
 

@@ -135,7 +135,9 @@ pub fn target_1k_from_0k<R: Rng + ?Sized>(
         stats.attempts += 1;
         since_improve += 1;
         // 0K move: move edge (u,v) to empty slot (x,y)
-        let Ok((u, v)) = g.random_edge(rng) else { break };
+        let Ok((u, v)) = g.random_edge(rng) else {
+            break;
+        };
         let x = rng.gen_range(0..n);
         let y = rng.gen_range(0..n);
         if x == y || g.has_edge(x, y) {
@@ -212,11 +214,8 @@ pub fn target_2k_from_1k<R: Rng + ?Sized>(
     for (&k, &v) in &Dist2K::from_graph(g).counts {
         cur.insert(k, v as i64);
     }
-    let tgt: DetHashMap<(Degree, Degree), i64> = target
-        .counts
-        .iter()
-        .map(|(&k, &v)| (k, v as i64))
-        .collect();
+    let tgt: DetHashMap<(Degree, Degree), i64> =
+        target.counts.iter().map(|(&k, &v)| (k, v as i64)).collect();
     let full_dist = |cur: &DetHashMap<(Degree, Degree), i64>| -> f64 {
         let mut acc = 0.0;
         for (k, &a) in cur {
@@ -464,7 +463,7 @@ pub fn generate_3k_random<R: Rng + ?Sized>(
     opts: &TargetOptions,
     rng: &mut R,
 ) -> Result<(Graph, TargetStats), GraphError> {
-    let d2 = target.to_2k();
+    let d2 = target.to_2k_checked()?;
     let (mut g, _) = generate_2k_random(&d2, bootstrap, opts, rng)?;
     let stats = target_3k_from_2k(&mut g, target, opts, rng);
     Ok((g, stats))

@@ -12,7 +12,7 @@
 //! Comments (`#`) and blank lines are ignored. All writers emit sorted,
 //! deterministic output.
 
-use crate::dist::{Dist1K, Dist2K, Dist3K};
+use crate::dist::{Dist0K, Dist1K, Dist2K, Dist3K};
 use dk_graph::GraphError;
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -21,6 +21,50 @@ fn parse_err(line: usize, msg: impl Into<String>) -> GraphError {
         line,
         msg: msg.into(),
     }
+}
+
+/// Writes a 0K-distribution as `nodes N` / `edges M` lines.
+pub fn write_0k<W: Write>(d: &Dist0K, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "# dK-series 0K distribution: nodes/edges totals")?;
+    writeln!(w, "nodes {}", d.nodes)?;
+    writeln!(w, "edges {}", d.edges)?;
+    Ok(())
+}
+
+/// Reads a 0K-distribution.
+pub fn read_0k<R: Read>(r: R) -> Result<Dist0K, GraphError> {
+    let mut d = Dist0K::default();
+    let (mut saw_nodes, mut saw_edges) = (false, false);
+    for (no, line) in BufReader::new(r).lines().enumerate() {
+        let no = no + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 2 {
+            return Err(parse_err(no, "expected `nodes N` or `edges M`"));
+        }
+        let value: usize = toks[1]
+            .parse()
+            .map_err(|e| parse_err(no, format!("bad count: {e}")))?;
+        match toks[0] {
+            "nodes" => {
+                d.nodes = value;
+                saw_nodes = true;
+            }
+            "edges" => {
+                d.edges = value;
+                saw_edges = true;
+            }
+            other => return Err(parse_err(no, format!("unknown field {other:?}"))),
+        }
+    }
+    if !saw_nodes || !saw_edges {
+        return Err(parse_err(0, "0K file must define both nodes and edges"));
+    }
+    Ok(d)
 }
 
 /// Writes a 1K-distribution as `k n(k)` lines.
@@ -98,9 +142,7 @@ pub fn read_2k<R: Read>(r: R) -> Result<Dist2K, GraphError> {
         let c: u64 = toks[2]
             .parse()
             .map_err(|e| parse_err(no, format!("bad count: {e}")))?;
-        *d.counts
-            .entry(crate::dist::canon_pair(k1, k2))
-            .or_insert(0) += c;
+        *d.counts.entry(crate::dist::canon_pair(k1, k2)).or_insert(0) += c;
     }
     Ok(d)
 }
@@ -133,9 +175,14 @@ pub fn read_3k<R: Read>(r: R) -> Result<Dist3K, GraphError> {
             return Err(parse_err(no, "expected `W|T k1 k2 k3 count`"));
         }
         let parse_u32 = |s: &str| -> Result<u32, GraphError> {
-            s.parse().map_err(|e| parse_err(no, format!("bad degree: {e}")))
+            s.parse()
+                .map_err(|e| parse_err(no, format!("bad degree: {e}")))
         };
-        let (a, b, c) = (parse_u32(toks[1])?, parse_u32(toks[2])?, parse_u32(toks[3])?);
+        let (a, b, c) = (
+            parse_u32(toks[1])?,
+            parse_u32(toks[2])?,
+            parse_u32(toks[3])?,
+        );
         let n: u64 = toks[4]
             .parse()
             .map_err(|e| parse_err(no, format!("bad count: {e}")))?;
@@ -160,6 +207,18 @@ pub fn read_3k<R: Read>(r: R) -> Result<Dist3K, GraphError> {
 mod tests {
     use super::*;
     use dk_graph::builders;
+
+    #[test]
+    fn roundtrip_0k() {
+        let d = crate::dist::Dist0K::from_graph(&builders::karate_club());
+        let mut buf = Vec::new();
+        write_0k(&d, &mut buf).unwrap();
+        let back = read_0k(buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+        assert!(read_0k("nodes 5\n".as_bytes()).is_err(), "missing edges");
+        assert!(read_0k("nodes x\nedges 1\n".as_bytes()).is_err());
+        assert!(read_0k("frob 3\n".as_bytes()).is_err());
+    }
 
     #[test]
     fn roundtrip_1k() {

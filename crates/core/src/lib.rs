@@ -37,22 +37,43 @@
 //!
 //! ## Quickstart
 //!
+//! The dK-series is *one* family indexed by `d`, and the public API
+//! treats it that way: extract a distribution of runtime-chosen order
+//! into an [`AnyDist`], then construct graphs through the capability-
+//! checked [`Generator`] builder — no per-`(d, algorithm)` dispatch on
+//! the caller's side:
+//!
 //! ```
-//! use dk_core::{Dist2K, generate};
+//! use dk_core::{AnyDist, Generator, Method};
 //! use dk_graph::builders;
-//! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! let original = builders::karate_club();
-//! let mut rng = StdRng::seed_from_u64(7);
+//! let observed = builders::karate_club();
 //!
-//! // Extract the joint degree distribution and build a 2K-random graph.
-//! let jdd = Dist2K::from_graph(&original);
-//! let random2k = generate::pseudograph::generate_2k(&jdd, &mut rng).unwrap();
+//! // Extract the joint degree distribution (d = 2)...
+//! let jdd = AnyDist::from_graph(2, &observed).unwrap();
 //!
-//! // The (pre-cleanup) construction reproduces the JDD exactly; the
-//! // simplified graph approximates it.
-//! assert_eq!(random2k.graph.node_count(), original.node_count());
+//! // ...and build a 2K-random graph with the pseudograph family.
+//! let random2k = Generator::new(Method::Pseudograph)
+//!     .seed(7)
+//!     .build(&jdd)
+//!     .unwrap();
+//! assert_eq!(random2k.graph.node_count(), observed.node_count());
+//!
+//! // Impossible combinations are typed errors, not panics or footguns:
+//! let d3 = AnyDist::from_graph(3, &observed).unwrap();
+//! assert!(Generator::new(Method::Pseudograph).build(&d3).is_err());
+//!
+//! // Ensembles fan out in parallel, bit-identical to the serial loop:
+//! let graphs = Generator::new(Method::Pseudograph)
+//!     .seed(7)
+//!     .sample_ensemble(&jdd, 4, 0);
+//! assert_eq!(graphs.len(), 4);
 //! ```
+//!
+//! The per-family modules ([`generate::pseudograph`],
+//! [`generate::matching`], …) remain available as the low-level layer
+//! for callers that thread their own RNG; the facade's output is
+//! byte-identical to them under the same seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,12 +82,16 @@ pub mod annotate;
 pub mod census;
 pub mod constraints;
 pub mod dist;
+pub mod ensemble;
 pub mod explore;
 pub mod generate;
 pub mod io;
 pub mod rescale;
 pub mod space;
 
-pub use dist::{canon_triangle, canon_wedge, Dist0K, Dist1K, Dist2K, Dist3K};
+pub use dist::{
+    canon_triangle, canon_wedge, AnyDist, Dist0K, Dist1K, Dist2K, Dist3K, DkDistribution,
+};
 pub use generate::rewire::{randomize, RewireOptions};
 pub use generate::target::{target_rewire, TargetOptions};
+pub use generate::{GenError, Generated, Generator, Method};

@@ -65,7 +65,9 @@ fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
 /// impossible (single degree class of odd parity contribution).
 pub fn rescale_1k(d: &Dist1K, new_nodes: usize) -> Result<Dist1K, GraphError> {
     if d.nodes() == 0 {
-        return Err(GraphError::NotGraphical("cannot rescale an empty 1K".into()));
+        return Err(GraphError::NotGraphical(
+            "cannot rescale an empty 1K".into(),
+        ));
     }
     let weights: Vec<f64> = d.counts.iter().map(|&c| c as f64).collect();
     let mut counts = apportion(&weights, new_nodes);
@@ -105,7 +107,9 @@ pub fn rescale_2k(d: &Dist2K, new_nodes: usize) -> Result<Dist2K, GraphError> {
     let d1 = d.to_1k()?;
     let old_nodes = d1.nodes();
     if old_nodes == 0 {
-        return Err(GraphError::NotGraphical("cannot rescale an empty 2K".into()));
+        return Err(GraphError::NotGraphical(
+            "cannot rescale an empty 2K".into(),
+        ));
     }
     let factor = new_nodes as f64 / old_nodes as f64;
     let new_edges = (d.edges() as f64 * factor).round() as usize;
@@ -132,11 +136,7 @@ fn repair_divisibility(d: &mut Dist2K) -> Result<(), GraphError> {
     // iterate to fixpoint: adding an edge for class k changes k''s count
     for _round in 0..64 {
         let mut deficits: Vec<(Degree, u64)> = Vec::new();
-        let mut classes: Vec<Degree> = d
-            .counts
-            .keys()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let mut classes: Vec<Degree> = d.counts.keys().flat_map(|&(a, b)| [a, b]).collect();
         classes.sort_unstable();
         classes.dedup();
         for &k in &classes {

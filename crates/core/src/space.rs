@@ -218,11 +218,8 @@ mod tests {
         // hub−hub joined; leaves at distance 2 from the opposite hub and
         // from sibling leaves: mixture of (1, high) and (1,1) pairs →
         // negative correlation (high degrees pair with low).
-        let g = Graph::from_edges(
-            8,
-            [(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7), (0, 4)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(8, [(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7), (0, 4)]).unwrap();
         let c = degree_correlation_at_distance(&g, 2).unwrap();
         assert!(c < 0.0, "c = {c}");
     }

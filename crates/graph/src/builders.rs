@@ -11,7 +11,8 @@ use crate::graph::{Graph, NodeId};
 pub fn path(n: usize) -> Graph {
     let mut g = Graph::with_nodes(n);
     for u in 1..n {
-        g.add_edge((u - 1) as NodeId, u as NodeId).expect("distinct consecutive ids");
+        g.add_edge((u - 1) as NodeId, u as NodeId)
+            .expect("distinct consecutive ids");
     }
     g
 }
@@ -20,7 +21,8 @@ pub fn path(n: usize) -> Graph {
 pub fn cycle(n: usize) -> Graph {
     let mut g = path(n);
     if n >= 3 {
-        g.add_edge((n - 1) as NodeId, 0).expect("closing edge is new");
+        g.add_edge((n - 1) as NodeId, 0)
+            .expect("closing edge is new");
     }
     g
 }
@@ -30,7 +32,8 @@ pub fn complete(n: usize) -> Graph {
     let mut g = Graph::with_nodes(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(u as NodeId, v as NodeId).expect("each pair added once");
+            g.add_edge(u as NodeId, v as NodeId)
+                .expect("each pair added once");
         }
     }
     g
@@ -50,7 +53,8 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     let mut g = Graph::with_nodes(a + b);
     for u in 0..a {
         for v in a..a + b {
-            g.add_edge(u as NodeId, v as NodeId).expect("distinct parts");
+            g.add_edge(u as NodeId, v as NodeId)
+                .expect("distinct parts");
         }
     }
     g
@@ -64,10 +68,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                g.add_edge(id(r, c), id(r, c + 1)).expect("grid edges unique");
+                g.add_edge(id(r, c), id(r, c + 1))
+                    .expect("grid edges unique");
             }
             if r + 1 < rows {
-                g.add_edge(id(r, c), id(r + 1, c)).expect("grid edges unique");
+                g.add_edge(id(r, c), id(r + 1, c))
+                    .expect("grid edges unique");
             }
         }
     }
@@ -89,7 +95,8 @@ pub fn balanced_tree(b: usize, depth: usize) -> Graph {
         for j in 1..=b {
             let c = b * u + j;
             if c < nodes {
-                g.add_edge(u as NodeId, c as NodeId).expect("tree edges unique");
+                g.add_edge(u as NodeId, c as NodeId)
+                    .expect("tree edges unique");
             }
         }
     }
@@ -115,32 +122,83 @@ pub fn petersen() -> Graph {
 /// structure, which exercises metric code paths that regular graphs miss.
 pub fn karate_club() -> Graph {
     const EDGES: [(NodeId, NodeId); 78] = [
-        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
-        (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31),
-        (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30),
-        (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32),
-        (3, 7), (3, 12), (3, 13),
-        (4, 6), (4, 10),
-        (5, 6), (5, 10), (5, 16),
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (0, 8),
+        (0, 10),
+        (0, 11),
+        (0, 12),
+        (0, 13),
+        (0, 17),
+        (0, 19),
+        (0, 21),
+        (0, 31),
+        (1, 2),
+        (1, 3),
+        (1, 7),
+        (1, 13),
+        (1, 17),
+        (1, 19),
+        (1, 21),
+        (1, 30),
+        (2, 3),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (2, 13),
+        (2, 27),
+        (2, 28),
+        (2, 32),
+        (3, 7),
+        (3, 12),
+        (3, 13),
+        (4, 6),
+        (4, 10),
+        (5, 6),
+        (5, 10),
+        (5, 16),
         (6, 16),
-        (8, 30), (8, 32), (8, 33),
+        (8, 30),
+        (8, 32),
+        (8, 33),
         (9, 33),
         (13, 33),
-        (14, 32), (14, 33),
-        (15, 32), (15, 33),
-        (18, 32), (18, 33),
+        (14, 32),
+        (14, 33),
+        (15, 32),
+        (15, 33),
+        (18, 32),
+        (18, 33),
         (19, 33),
-        (20, 32), (20, 33),
-        (22, 32), (22, 33),
-        (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
-        (24, 25), (24, 27), (24, 31),
+        (20, 32),
+        (20, 33),
+        (22, 32),
+        (22, 33),
+        (23, 25),
+        (23, 27),
+        (23, 29),
+        (23, 32),
+        (23, 33),
+        (24, 25),
+        (24, 27),
+        (24, 31),
         (25, 31),
-        (26, 29), (26, 33),
+        (26, 29),
+        (26, 33),
         (27, 33),
-        (28, 31), (28, 33),
-        (29, 32), (29, 33),
-        (30, 32), (30, 33),
-        (31, 32), (31, 33),
+        (28, 31),
+        (28, 33),
+        (29, 32),
+        (29, 33),
+        (30, 32),
+        (30, 33),
+        (31, 32),
+        (31, 33),
         (32, 33),
     ];
     Graph::from_edges(34, EDGES).expect("karate edge list is simple")

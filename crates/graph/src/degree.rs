@@ -88,7 +88,11 @@ pub fn havel_hakimi(seq: &[usize]) -> Result<Graph, GraphError> {
     let n = seq.len();
     let mut g = Graph::with_nodes(n);
     // (remaining degree, node id)
-    let mut rem: Vec<(usize, u32)> = seq.iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
+    let mut rem: Vec<(usize, u32)> = seq
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d, i as u32))
+        .collect();
     while !rem.is_empty() {
         rem.sort_unstable_by(|a, b| b.cmp(a));
         let (d, u) = rem[0];

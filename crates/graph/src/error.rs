@@ -47,7 +47,9 @@ impl fmt::Display for GraphError {
             GraphError::NodeOutOfRange { node, nodes } => {
                 write!(f, "node {node} out of range for graph with {nodes} nodes")
             }
-            GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} not allowed in a simple graph"),
+            GraphError::SelfLoop(u) => {
+                write!(f, "self-loop on node {u} not allowed in a simple graph")
+            }
             GraphError::DuplicateEdge(u, v) => {
                 write!(f, "edge ({u}, {v}) already present in a simple graph")
             }
@@ -81,7 +83,10 @@ mod tests {
                 "node 7 out of range",
             ),
             (GraphError::SelfLoop(2), "self-loop on node 2"),
-            (GraphError::DuplicateEdge(1, 2), "edge (1, 2) already present"),
+            (
+                GraphError::DuplicateEdge(1, 2),
+                "edge (1, 2) already present",
+            ),
             (GraphError::MissingEdge(0, 9), "edge (0, 9) not present"),
             (
                 GraphError::NotGraphical("odd sum".into()),

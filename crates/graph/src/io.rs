@@ -83,7 +83,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
 
 /// Writes a graph in edge-list format (with `nodes` header).
 pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
-    writeln!(writer, "# dk-graph edge list: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    writeln!(
+        writer,
+        "# dk-graph edge list: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    )?;
     writeln!(writer, "nodes {}", g.node_count())?;
     for &(u, v) in g.edges() {
         writeln!(writer, "{u} {v}")?;

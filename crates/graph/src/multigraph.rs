@@ -128,7 +128,9 @@ impl MultiGraph {
 
     /// Sum of degrees; equals `2 × edge_count()` (loops included).
     pub fn degree_sum(&self) -> usize {
-        (0..self.node_count() as NodeId).map(|u| self.degree(u)).sum()
+        (0..self.node_count() as NodeId)
+            .map(|u| self.degree(u))
+            .sum()
     }
 }
 

@@ -75,7 +75,10 @@ pub fn render_svg(g: &Graph, positions: &[Point], opts: &SvgOptions) -> String {
             xml_escape(&opts.title)
         );
     }
-    let _ = writeln!(out, r##"  <rect width="{c}" height="{c}" fill="#ffffff"/>"##);
+    let _ = writeln!(
+        out,
+        r##"  <rect width="{c}" height="{c}" fill="#ffffff"/>"##
+    );
 
     // Rescale layout into the canvas minus margins.
     let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
@@ -92,7 +95,10 @@ pub fn render_svg(g: &Graph, positions: &[Point], opts: &SvgOptions) -> String {
     let sx = |x: f64| opts.margin + (x - min_x) / span_x * usable;
     let sy = |y: f64| opts.margin + (y - min_y) / span_y * usable;
 
-    let _ = writeln!(out, r##"  <g stroke="#9999aa" stroke-width="0.4" stroke-opacity="0.6">"##);
+    let _ = writeln!(
+        out,
+        r##"  <g stroke="#9999aa" stroke-width="0.4" stroke-opacity="0.6">"##
+    );
     for &(u, v) in g.edges() {
         let (pu, pv) = (positions[u as usize], positions[v as usize]);
         let _ = writeln!(

@@ -77,7 +77,7 @@ pub fn lanczos_ritz_values(a: &SparseSym, deflate: &[Vec<f64>], opts: &LanczosOp
     let m = opts.max_iter.min(dim);
 
     // Deterministic start vector, projected into the deflated subspace.
-    let mut q = vec![Vec::new(); 0];
+    let mut q: Vec<Vec<f64>> = Vec::new();
     let mut v: Vec<f64> = (0..n)
         .map(|i| {
             let x = (i + 1) as f64 / n as f64;

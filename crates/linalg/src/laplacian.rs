@@ -188,7 +188,12 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!((ritz[0] - eig[1]).abs() < 1e-7, "λ1 {} vs {}", ritz[0], eig[1]);
+        assert!(
+            (ritz[0] - eig[1]).abs() < 1e-7,
+            "λ1 {} vs {}",
+            ritz[0],
+            eig[1]
+        );
         assert!((ritz.last().unwrap() - eig.last().unwrap()).abs() < 1e-7);
     }
 

@@ -98,12 +98,12 @@ impl SparseSym {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
+        for (i, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[i] = acc;
+            *out = acc;
         }
     }
 
@@ -185,12 +185,12 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         let y = l.apply(&x);
         // dense re-computation
-        for i in 0..n {
+        for (i, &yi) in y.iter().enumerate() {
             let mut acc = 0.0;
-            for j in 0..n {
-                acc += l.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate() {
+                acc += l.get(i, j) * xj;
             }
-            assert!((acc - y[i]).abs() < 1e-10, "row {i}");
+            assert!((acc - yi).abs() < 1e-10, "row {i}");
         }
     }
 

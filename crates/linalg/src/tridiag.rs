@@ -165,11 +165,11 @@ mod tests {
             let e: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-2.0..2.0)).collect();
             let ql = tridiag_eigenvalues(&d, &e);
             let mut m = DenseSym::zeros(n);
-            for i in 0..n {
-                m.set_sym(i, i, d[i]);
+            for (i, &di) in d.iter().enumerate() {
+                m.set_sym(i, i, di);
             }
-            for i in 0..n - 1 {
-                m.set_sym(i, i + 1, e[i]);
+            for (i, &ei) in e.iter().enumerate() {
+                m.set_sym(i, i + 1, ei);
             }
             let jac = jacobi_eigenvalues(&m);
             assert_close(&ql, &jac, 1e-9);

@@ -109,11 +109,8 @@ pub fn normalized_betweenness(g: &Graph) -> Vec<f64> {
 /// each DAG edge is accumulated per graph edge.
 pub fn edge_betweenness(g: &Graph) -> Vec<((NodeId, NodeId), f64)> {
     let n = g.node_count();
-    let mut acc: std::collections::BTreeMap<(NodeId, NodeId), f64> = g
-        .edges()
-        .iter()
-        .map(|&e| (e, 0.0))
-        .collect();
+    let mut acc: std::collections::BTreeMap<(NodeId, NodeId), f64> =
+        g.edges().iter().map(|&e| (e, 0.0)).collect();
     if n == 0 {
         return Vec::new();
     }
@@ -207,8 +204,8 @@ mod tests {
         let g = builders::star(6);
         let bc = node_betweenness(&g);
         assert!((bc[0] - 15.0).abs() < 1e-12);
-        for leaf in 1..=6 {
-            assert_eq!(bc[leaf], 0.0);
+        for &leaf_bc in &bc[1..=6] {
+            assert_eq!(leaf_bc, 0.0);
         }
         // normalized: center = 1, leaves = 0
         let nb = normalized_betweenness(&g);

@@ -166,8 +166,8 @@ mod tests {
         let g = builders::star(4);
         let local = local_clustering(&g);
         assert_eq!(local[0], Some(0.0)); // hub: 0 links among neighbors
-        for leaf in 1..=4 {
-            assert_eq!(local[leaf], None);
+        for &leaf_c in &local[1..=4] {
+            assert_eq!(leaf_c, None);
         }
         assert_eq!(mean_clustering(&g), 0.0);
         assert_eq!(mean_clustering_all_nodes(&g), 0.0);

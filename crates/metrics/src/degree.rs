@@ -43,7 +43,12 @@ impl DegreeDistribution {
         if self.nodes == 0 {
             return 0.0;
         }
-        let sum: usize = self.counts.iter().enumerate().map(|(k, &c)| k * k * c).sum();
+        let sum: usize = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k * k * c)
+            .sum();
         sum as f64 / self.nodes as f64
     }
 

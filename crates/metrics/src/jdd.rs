@@ -68,7 +68,8 @@ pub fn avg_neighbor_degree(g: &Graph) -> Vec<(usize, f64)> {
 /// the metric-side view used by figure generators (the authoritative
 /// distribution type is `dk_core::Dist2K`).
 pub fn jdd_counts(g: &Graph) -> Vec<((usize, usize), usize)> {
-    let mut map: std::collections::BTreeMap<(usize, usize), usize> = std::collections::BTreeMap::new();
+    let mut map: std::collections::BTreeMap<(usize, usize), usize> =
+        std::collections::BTreeMap::new();
     for &(u, v) in g.edges() {
         let a = g.degree(u);
         let b = g.degree(v);
@@ -100,11 +101,8 @@ mod tests {
     fn double_star_is_disassortative_not_extreme() {
         // Two hubs joined, each with 3 leaves: r < 0 but > −1 because the
         // hub–hub edge is assortative.
-        let g = Graph::from_edges(
-            8,
-            [(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7), (0, 4)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(8, [(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7), (0, 4)]).unwrap();
         let r = assortativity(&g);
         assert!(r < 0.0 && r > -1.0, "r = {r}");
     }

@@ -76,8 +76,8 @@ pub fn core_sizes(g: &Graph) -> Vec<usize> {
     let kmax = core.iter().copied().max().unwrap_or(0);
     let mut sizes = vec![0usize; kmax + 1];
     for c in core {
-        for k in 0..=c {
-            sizes[k] += 1;
+        for slot in &mut sizes[..=c] {
+            *slot += 1;
         }
     }
     sizes

@@ -82,7 +82,10 @@ pub fn likelihood_s_upper_bound(g: &Graph) -> f64 {
         }
     }
     stubs.sort_by(|a, b| b.partial_cmp(a).expect("degrees are finite"));
-    stubs.chunks(2).map(|c| if c.len() == 2 { c[0] * c[1] } else { 0.0 }).sum()
+    stubs
+        .chunks(2)
+        .map(|c| if c.len() == 2 { c[0] * c[1] } else { 0.0 })
+        .sum()
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@
 //! the full Table 2 battery; the heavy lifting (Jacobi/Lanczos) lives in
 //! [`dk_linalg`].
 
-pub use dk_linalg::laplacian::{SpectralError, SpectralExtremes};
 use dk_graph::Graph;
+pub use dk_linalg::laplacian::{SpectralError, SpectralExtremes};
 
 /// `λ1` and `λ_{n−1}` of the normalized Laplacian of a **connected** graph.
 ///

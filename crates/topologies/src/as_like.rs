@@ -24,8 +24,8 @@
 //! same clustering regime. EXPERIMENTS.md reports our measured values
 //! next to the paper's.
 
-use dk_core::explore::{explore_2k, Direction, ExploreOptions, Objective2K};
 use dk_core::dist::Dist1K;
+use dk_core::explore::{explore_2k, Direction, ExploreOptions, Objective2K};
 use dk_core::generate::matching;
 use dk_graph::{giant_component, Graph};
 use rand::Rng;

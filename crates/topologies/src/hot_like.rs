@@ -256,10 +256,7 @@ mod tests {
         // The defining HOT feature: the max-degree node is an access
         // router whose neighbors are almost all degree-1 hosts.
         let g = default_instance();
-        let vmax = g
-            .nodes()
-            .max_by_key(|&u| g.degree(u))
-            .expect("non-empty");
+        let vmax = g.nodes().max_by_key(|&u| g.degree(u)).expect("non-empty");
         let leafy = g
             .neighbors(vmax)
             .iter()

@@ -67,7 +67,9 @@ pub fn sample_sequence<R: Rng + ?Sized>(p: &PowerLawParams, rng: &mut R) -> Vec<
     assert!(p.gamma > 1.0, "power law needs gamma > 1");
     assert!(p.k_min >= 1 && p.k_min <= kmax);
     // inverse-CDF table
-    let weights: Vec<f64> = (p.k_min..=kmax).map(|k| (k as f64).powf(-p.gamma)).collect();
+    let weights: Vec<f64> = (p.k_min..=kmax)
+        .map(|k| (k as f64).powf(-p.gamma))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(weights.len());
     let mut acc = 0.0;
@@ -99,9 +101,7 @@ pub fn make_graphical(seq: &mut Vec<usize>) {
     }
     if seq.iter().sum::<usize>() % 2 == 1 {
         // bump the first minimal entry up (keeps the tail intact)
-        let i = (0..n)
-            .min_by_key(|&i| seq[i])
-            .expect("non-empty");
+        let i = (0..n).min_by_key(|&i| seq[i]).expect("non-empty");
         seq[i] += 1;
     }
     let mut guard = 0;

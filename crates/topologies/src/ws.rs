@@ -34,7 +34,10 @@ impl Default for WsParams {
 /// # Panics
 /// Panics if `lattice_degree` is odd, zero, or ≥ `nodes`.
 pub fn watts_strogatz<R: Rng + ?Sized>(p: &WsParams, rng: &mut R) -> Graph {
-    assert!(p.lattice_degree.is_multiple_of(2), "lattice degree must be even");
+    assert!(
+        p.lattice_degree.is_multiple_of(2),
+        "lattice degree must be even"
+    );
     assert!(
         p.lattice_degree > 0 && p.lattice_degree < p.nodes,
         "lattice degree out of range"

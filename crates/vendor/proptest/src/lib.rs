@@ -1,0 +1,150 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`, range and
+//! tuple strategies, [`collection::vec`], `prop_assert!` /
+//! `prop_assert_eq!`, and [`test_runner::Config`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs via the assertion message only), and the case RNG is seeded
+//! deterministically from the test name, so failures reproduce exactly on
+//! re-run.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each entry is a `#[test]` function whose
+/// arguments are drawn from strategies: `fn name(x in strat, ...) { .. }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // the closure gives `prop_assert!`'s `return Err(..)` a scope
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, cfg.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Property assertion: on failure returns a `TestCaseError` from the
+/// enclosing property body (usable only inside [`proptest!`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assert_eq failed: {:?} vs {:?}", lhs, rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assert_eq failed: {:?} vs {:?} — {}", lhs, rhs, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(*lhs != *rhs, "assert_ne failed: both {:?}", lhs);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u32..10, y in 0u8..=3) {
+            prop_assert!(x < 10);
+            prop_assert!(y <= 3);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in crate::collection::vec((0u32..5, 0u32..5), 0..8)) {
+            prop_assert!(v.len() < 8);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 5);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_is_respected(_x in 0u64..1000) {
+            // runs 3 cases; nothing to assert beyond not panicking
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        use crate::strategy::Strategy;
+        let strat = (0u32..10).prop_map(|x| x * 2);
+        let mut rng = crate::test_runner::rng_for("prop_map_applies");
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+/root/repo/crates/vendor/proptest/target/debug/deps/proptest-b280f3ec6e372190.d: src/lib.rs src/collection.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/crates/vendor/proptest/target/debug/deps/libproptest-b280f3ec6e372190.rlib: src/lib.rs src/collection.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/crates/vendor/proptest/target/debug/deps/libproptest-b280f3ec6e372190.rmeta: src/lib.rs src/collection.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/collection.rs:
+src/strategy.rs:
+src/test_runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/crates/vendor/proptest/target/debug/deps/proptest-b3f2ecbfada9aea2.d: src/lib.rs src/collection.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/crates/vendor/proptest/target/debug/deps/proptest-b3f2ecbfada9aea2: src/lib.rs src/collection.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/collection.rs:
+src/strategy.rs:
+src/test_runner.rs:

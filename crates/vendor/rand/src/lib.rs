@@ -1,0 +1,291 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment for this workspace has no network access and no
+//! vendored crates.io registry, so the real `rand` cannot be fetched.
+//! This shim implements exactly the slice of the 0.8 API the workspace
+//! uses — [`Rng::gen_range`], [`Rng::gen_bool`], [`Rng::gen`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::shuffle`] — on top of xoshiro256++ (seeded via
+//! SplitMix64), which passes the usual statistical batteries.
+//!
+//! Determinism contract: like the workspace's fixed-seed discipline, the
+//! same seed always yields the same stream, on every platform. The stream
+//! differs from upstream `rand`'s ChaCha12-based `StdRng` — all tests in
+//! this workspace assert *self*-consistency and statistics, never
+//! upstream-exact values.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+pub mod seq;
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable RNG constructors.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a single `u64` seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step — the standard seed expander for xoshiro generators.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be drawn uniformly from a half-open or closed range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as u128 - lo as u128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "cannot sample from an empty range");
+                // multiply-shift bounded draw (bias < 2^-64, irrelevant here)
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as u128;
+                lo + draw as $t
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = ((hi as i128 - lo as i128) + if inclusive { 1 } else { 0 }) as u128;
+                assert!(span > 0, "cannot sample from an empty range");
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(lo < hi || (_inclusive && lo <= hi), "cannot sample from an empty range");
+                let u = unit_f64(rng) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Value distributions for [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution of the type.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a range (`lo..hi` or `lo..=hi`).
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self) < p
+    }
+
+    /// Draw from the standard distribution of `T`.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0u64;
+        const N: u64 = 100_000;
+        for _ in 0..N {
+            let x = rng.gen_range(0..10u32);
+            assert!(x < 10);
+            sum += x as u64;
+        }
+        let mean = sum as f64 / N as f64;
+        assert!((mean - 4.5).abs() < 0.05, "mean {mean}");
+        // inclusive ranges reach the upper bound
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            if rng.gen_range(0u8..=3) == 3 {
+                saw_hi = true;
+            }
+        }
+        assert!(saw_hi);
+    }
+
+    #[test]
+    fn float_ranges_and_unit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&x));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.gen_range(3u32..3);
+    }
+}

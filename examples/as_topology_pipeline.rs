@@ -3,13 +3,15 @@
 //! small text file, and let anyone regenerate statistically equivalent
 //! topologies at will (including rescaled ones).
 //!
+//! The whole pipeline runs through the unified API: [`AnyDist`] holds
+//! "a dK-distribution of runtime-chosen d", and the [`Generator`]
+//! builder constructs from it — no per-(d, algorithm) dispatch.
+//!
 //! ```text
 //! cargo run --release --example as_topology_pipeline
 //! ```
 
-use dk_repro::core::dist::Dist2K;
-use dk_repro::core::generate::pseudograph;
-use dk_repro::core::{io as dk_io, rescale};
+use dk_repro::core::{AnyDist, Generator, Method};
 use dk_repro::metrics::MetricReport;
 use dk_repro::topologies::as_like::{skitter_like, AsLikeParams};
 use rand::rngs::StdRng;
@@ -32,31 +34,44 @@ fn main() {
     );
 
     // 2. Extract the JDD and write it in the Orbis-style text format.
-    let jdd = Dist2K::from_graph(&measured);
+    let jdd = AnyDist::from_graph(2, &measured).expect("d ≤ 3");
     let mut file = Vec::new();
-    dk_io::write_2k(&jdd, &mut file).expect("serialize 2K");
+    jdd.write(&mut file).expect("serialize 2K");
     println!(
         "2K distribution: {} cells, {} bytes as text",
-        jdd.counts.len(),
+        jdd.as_2k().expect("order 2").counts.len(),
         file.len()
     );
 
     // 3. Anyone can now regenerate topologies from the file alone.
-    let restored = dk_io::read_2k(file.as_slice()).expect("parse 2K");
-    assert_eq!(restored, jdd);
-    let synthetic = pseudograph::generate_2k(&restored, &mut rng)
-        .expect("consistent")
-        .graph;
+    let restored = AnyDist::read(2, file.as_slice()).expect("parse 2K");
+    assert_eq!(restored.distance_sq(&jdd), Some(0.0));
+    let generator = Generator::new(Method::Pseudograph).seed(7);
+    let synthetic = generator.build(&restored).expect("consistent").graph;
 
     println!("\n{:<14}{}", "", MetricReport::table_header());
-    println!("{:<14}{}", "measured", MetricReport::compute(&measured).table_row());
-    println!("{:<14}{}", "synthetic-2K", MetricReport::compute(&synthetic).table_row());
+    println!(
+        "{:<14}{}",
+        "measured",
+        MetricReport::compute(&measured).table_row()
+    );
+    println!(
+        "{:<14}{}",
+        "synthetic-2K",
+        MetricReport::compute(&synthetic).table_row()
+    );
 
     // 4. Rescale the JDD to twice the size and generate again — the §6
     //    extension: "skitter at 2× the size".
-    let scaled = rescale::rescale_2k(&jdd, 2 * measured.node_count()).expect("rescale");
-    let big = pseudograph::generate_2k(&scaled, &mut rng).expect("consistent").graph;
-    println!("{:<14}{}", "rescaled-2x", MetricReport::compute(&big).table_row());
+    let scaled = restored
+        .rescale(2 * measured.node_count())
+        .expect("rescale");
+    let big = generator.seed(8).build(&scaled).expect("consistent").graph;
+    println!(
+        "{:<14}{}",
+        "rescaled-2x",
+        MetricReport::compute(&big).table_row()
+    );
     println!(
         "\nrescaled graph: n = {} (target {}), same degree-correlation shape",
         big.node_count(),

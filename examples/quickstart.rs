@@ -2,43 +2,75 @@
 //! same degree correlations, and see what each level of `d` does and does
 //! not reproduce.
 //!
+//! All construction runs through the unified builder API:
+//! [`AnyDist`] holds a dK-distribution of runtime-chosen `d`, and
+//! [`Generator`] checks the paper's capability matrix before dispatching
+//! to a construction family.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use dk_repro::core::dist::{Dist1K, Dist2K, Dist3K};
-use dk_repro::core::generate::rewire::{randomize, RewireOptions};
-use dk_repro::core::generate::{matching, pseudograph};
+use dk_repro::core::{AnyDist, GenError, Generator, Method};
 use dk_repro::graph::builders;
 use dk_repro::metrics::MetricReport;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
-
     // 1. Take an "observed" graph — Zachary's karate club stands in for a
     //    measured topology.
     let observed = builders::karate_club();
-    println!("observed: n = {}, m = {}", observed.node_count(), observed.edge_count());
-
-    // 2. Extract its dK-distributions.
-    let d1 = Dist1K::from_graph(&observed);
-    let d2 = Dist2K::from_graph(&observed);
-    let d3 = Dist3K::from_graph(&observed);
     println!(
-        "1K: {} degree classes | 2K: {} JDD cells | 3K: {} wedge + {} triangle cells",
-        d1.counts.iter().filter(|&&c| c > 0).count(),
-        d2.counts.len(),
-        d3.wedges.len(),
-        d3.triangles.len()
+        "observed: n = {}, m = {}",
+        observed.node_count(),
+        observed.edge_count()
     );
 
-    // 3. Construct random graphs at each level.
-    let g1 = pseudograph::generate_1k(&d1, &mut rng).expect("graphical").graph;
-    let g2 = matching::generate_2k(&d2, &mut rng).expect("consistent JDD").graph;
-    let mut g3 = observed.clone();
-    randomize(&mut g3, 3, &RewireOptions::default(), &mut rng);
+    // 2. Extract its dK-distributions into the runtime-d container.
+    let dists: Vec<AnyDist> = (1..=3)
+        .map(|d| AnyDist::from_graph(d, &observed).expect("d ≤ 3"))
+        .collect();
+    let (d1, d2, d3) = (&dists[0], &dists[1], &dists[2]);
+    println!(
+        "1K: {} degree classes | 2K: {} JDD cells | 3K: {} wedge + {} triangle cells",
+        d1.as_1k()
+            .unwrap()
+            .counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .count(),
+        d2.as_2k().unwrap().counts.len(),
+        d3.as_3k().unwrap().wedges.len(),
+        d3.as_3k().unwrap().triangles.len()
+    );
+
+    // 3. Construct a random graph at each level. One builder per family;
+    //    the capability matrix picks what is possible at each d:
+    //    pseudograph covers 1K, matching covers 2K, and 3K needs the
+    //    rewiring family seeded with the observed graph.
+    let g1 = Generator::new(Method::Pseudograph)
+        .seed(7)
+        .build(d1)
+        .expect("graphical")
+        .graph;
+    let g2 = Generator::new(Method::Matching)
+        .seed(7)
+        .build(d2)
+        .expect("consistent JDD")
+        .graph;
+    let g3 = Generator::new(Method::Rewiring)
+        .reference(&observed)
+        .seed(7)
+        .build(d3)
+        .expect("rewiring with a reference cannot fail")
+        .graph;
+
+    // Impossible cells are typed errors, not panics:
+    match Generator::new(Method::Pseudograph).build(d3) {
+        Err(GenError::Unsupported { method, d }) => {
+            println!("(as expected: {method} cannot build d = {d} — capability matrix)")
+        }
+        other => panic!("expected a typed capability error, got {other:?}"),
+    }
 
     // 4. Compare the metric battery (Table 2 of the paper).
     println!("\n{:<12}{}", "", MetricReport::table_header());

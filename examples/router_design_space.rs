@@ -28,7 +28,10 @@ fn main() {
     );
 
     println!("\nrewiring-space census (how many graphs share this dK?):");
-    println!("{:>3} {:>14} {:>22}", "d", "rewirings", "minus leaf-swap isos");
+    println!(
+        "{:>3} {:>14} {:>22}",
+        "d", "rewirings", "minus leaf-swap isos"
+    );
     for d in 0..=3u8 {
         let c = count_initial_rewirings(&hot, d);
         println!(
@@ -41,7 +44,11 @@ fn main() {
 
     println!("\nmetric drift under dK-randomizing rewiring:");
     println!("{:<12}{}", "", MetricReport::table_header());
-    println!("{:<12}{}", "original", MetricReport::compute(&hot).table_row());
+    println!(
+        "{:<12}{}",
+        "original",
+        MetricReport::compute(&hot).table_row()
+    );
     for d in 0..=3u8 {
         let mut g = hot.clone();
         let stats = randomize(&mut g, d, &RewireOptions::default(), &mut rng);

@@ -89,7 +89,10 @@ fn main() {
     });
     let annotated = Annotated2K::from_graph(&labeled).expect("all edges labeled");
     let labels = annotated.labels();
-    println!("\nannotated 2K on AS-like: labels {labels:?}, {} cells", annotated.counts.len());
+    println!(
+        "\nannotated 2K on AS-like: labels {labels:?}, {} cells",
+        annotated.counts.len()
+    );
     let regen = generate_annotated_2k(&annotated, &mut rng).expect("consistent");
     let regen_annotated = Annotated2K::from_graph(&regen).expect("labeled output");
     println!(

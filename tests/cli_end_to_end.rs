@@ -9,7 +9,11 @@ fn dk_bin() -> PathBuf {
     // as a dependency of the test profile
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.push("target");
-    p.push(if cfg!(debug_assertions) { "debug" } else { "release" });
+    p.push(if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    });
     p.push("dk");
     p
 }
@@ -67,7 +71,13 @@ fn extract_generate_compare_workflow() {
     let dist = dir.join("karate.2k");
     let out = dir.join("karate_regen.edges");
 
-    let (ok, text) = run(&["extract", "2", graph.to_str().unwrap(), "-o", dist.to_str().unwrap()]);
+    let (ok, text) = run(&[
+        "extract",
+        "2",
+        graph.to_str().unwrap(),
+        "-o",
+        dist.to_str().unwrap(),
+    ]);
     assert!(ok, "{text}");
     assert!(text.contains("n = 34"));
 
@@ -86,7 +96,10 @@ fn extract_generate_compare_workflow() {
 
     let (ok, text) = run(&["compare", graph.to_str().unwrap(), out.to_str().unwrap()]);
     assert!(ok, "{text}");
-    assert!(text.contains("D1 = 0"), "degrees must match exactly: {text}");
+    assert!(
+        text.contains("D1 = 0"),
+        "degrees must match exactly: {text}"
+    );
     assert!(text.contains("D2 = 0"), "JDD must match exactly: {text}");
 }
 

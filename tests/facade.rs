@@ -1,0 +1,204 @@
+//! Facade-equivalence tests: the `Generator` builder must be a *pure
+//! re-plumbing* of the legacy free functions — byte-identical output for
+//! every supported `(d, method)` cell under the same seed — and every
+//! unsupported cell must come back as a typed `GenError::Unsupported`.
+
+use dk_repro::core::dist::{AnyDist, Dist0K, Dist1K, Dist2K, Dist3K};
+use dk_repro::core::generate::rewire::{randomize, RewireOptions, SwapBudget};
+use dk_repro::core::generate::target::{
+    generate_2k_random, generate_3k_random, Bootstrap, TargetOptions,
+};
+use dk_repro::core::generate::{matching, pseudograph, stochastic};
+use dk_repro::core::generate::{GenError, Generated, Generator, Method};
+use dk_repro::graph::{builders, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn karate() -> Graph {
+    builders::karate_club()
+}
+
+/// Short targeting budget: equivalence only needs both sides to run the
+/// same protocol, not to converge.
+fn quick_target_opts() -> TargetOptions {
+    TargetOptions {
+        max_attempts: 60_000,
+        patience: Some(15_000),
+        ..Default::default()
+    }
+}
+
+fn assert_same(a: &Generated, b: &Generated, cell: &str) {
+    assert_eq!(a.graph, b.graph, "graph mismatch in cell {cell}");
+    assert_eq!(a.badness, b.badness, "badness mismatch in cell {cell}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every exact-construction cell: facade output equals the legacy
+    /// free function called with `StdRng::seed_from_u64(seed)`.
+    #[test]
+    fn facade_matches_legacy_construction_cells(seed in 0u64..10_000) {
+        let g = karate();
+
+        // (0, stochastic)
+        let d0 = Dist0K::from_graph(&g);
+        let legacy = stochastic::generate_0k(&d0, &mut StdRng::seed_from_u64(seed));
+        let facade = Generator::new(Method::Stochastic)
+            .seed(seed)
+            .build(&AnyDist::D0(d0))
+            .unwrap();
+        assert_same(&facade, &legacy, "(0, stochastic)");
+
+        // (1, *) and (2, *) for the three distribution-driven families
+        let d1 = Dist1K::from_graph(&g);
+        let d2 = Dist2K::from_graph(&g);
+        for method in [Method::Stochastic, Method::Pseudograph, Method::Matching] {
+            let legacy1 = match method {
+                Method::Stochastic => stochastic::generate_1k(&d1, &mut StdRng::seed_from_u64(seed)),
+                Method::Pseudograph => pseudograph::generate_1k(&d1, &mut StdRng::seed_from_u64(seed)),
+                Method::Matching => matching::generate_1k(&d1, &mut StdRng::seed_from_u64(seed)),
+                _ => unreachable!(),
+            }
+            .unwrap();
+            let facade1 = Generator::new(method)
+                .seed(seed)
+                .build(&AnyDist::D1(d1.clone()))
+                .unwrap();
+            assert_same(&facade1, &legacy1, &format!("(1, {method})"));
+
+            let legacy2 = match method {
+                Method::Stochastic => stochastic::generate_2k(&d2, &mut StdRng::seed_from_u64(seed)),
+                Method::Pseudograph => pseudograph::generate_2k(&d2, &mut StdRng::seed_from_u64(seed)),
+                Method::Matching => matching::generate_2k(&d2, &mut StdRng::seed_from_u64(seed)),
+                _ => unreachable!(),
+            }
+            .unwrap();
+            let facade2 = Generator::new(method)
+                .seed(seed)
+                .build(&AnyDist::D2(d2.clone()))
+                .unwrap();
+            assert_same(&facade2, &legacy2, &format!("(2, {method})"));
+        }
+    }
+
+    /// Rewiring cells: facade equals `randomize` on a clone, d = 0..=3.
+    #[test]
+    fn facade_matches_legacy_rewiring_cells(seed in 0u64..10_000) {
+        let g = karate();
+        let opts = RewireOptions { budget: SwapBudget::Attempts(500) };
+        for d in 0..=3u8 {
+            let mut legacy = g.clone();
+            randomize(&mut legacy, d, &opts, &mut StdRng::seed_from_u64(seed));
+            let facade = Generator::new(Method::Rewiring)
+                .reference(&g)
+                .rewire_options(opts)
+                .seed(seed)
+                .build(&AnyDist::from_graph(d, &g).unwrap())
+                .unwrap();
+            prop_assert_eq!(&facade.graph, &legacy, "(d = {}, rewiring)", d);
+        }
+    }
+
+    /// Targeting cells, both bootstraps: facade equals the legacy chain.
+    #[test]
+    fn facade_matches_legacy_targeting_cells(seed in 0u64..1_000) {
+        let g = karate();
+        let d2 = Dist2K::from_graph(&g);
+        let opts = quick_target_opts();
+        for bootstrap in [Bootstrap::Matching, Bootstrap::Pseudograph] {
+            let (legacy, _) =
+                generate_2k_random(&d2, bootstrap, &opts, &mut StdRng::seed_from_u64(seed))
+                    .unwrap();
+            let facade = Generator::new(Method::Targeting)
+                .bootstrap(bootstrap)
+                .target_options(opts)
+                .seed(seed)
+                .build(&AnyDist::D2(d2.clone()))
+                .unwrap();
+            prop_assert_eq!(&facade.graph, &legacy, "(2, targeting, {:?})", bootstrap);
+        }
+    }
+}
+
+#[test]
+fn facade_matches_legacy_3k_targeting() {
+    // one seed is enough for the slowest cell (full 1K → 2K → 3K chain)
+    let g = karate();
+    let d3 = Dist3K::from_graph(&g);
+    let opts = quick_target_opts();
+    let (legacy, _) = generate_3k_random(
+        &d3,
+        Bootstrap::Matching,
+        &opts,
+        &mut StdRng::seed_from_u64(9),
+    )
+    .unwrap();
+    let facade = Generator::new(Method::Targeting)
+        .target_options(opts)
+        .seed(9)
+        .build(&AnyDist::D3(d3))
+        .unwrap();
+    assert_eq!(facade.graph, legacy);
+}
+
+#[test]
+fn every_unsupported_cell_is_a_typed_error() {
+    let g = karate();
+    let mut checked = 0;
+    for method in Method::ALL {
+        for d in 0..=3u8 {
+            if method.supports(d) {
+                continue;
+            }
+            let dist = AnyDist::from_graph(d, &g).unwrap();
+            let mut gen = Generator::new(method).seed(1);
+            if method.needs_reference() {
+                gen = gen.reference(&g);
+            }
+            match gen.build(&dist) {
+                Err(GenError::Unsupported { method: m, d: dd }) => {
+                    assert_eq!((m, dd), (method, d));
+                }
+                other => panic!("cell ({method}, {d}) must be Unsupported, got {other:?}"),
+            }
+            checked += 1;
+        }
+    }
+    // the capability matrix has exactly seven empty cells:
+    // stochastic@3, pseudograph@{0,3}, matching@{0,3}, targeting@{0,1}
+    assert_eq!(checked, 7);
+}
+
+#[test]
+fn capability_matrix_counts() {
+    let supported: usize = Method::ALL.iter().map(|m| m.supported_orders().len()).sum();
+    // 3 + 2 + 2 + 2 + 4 = 13 supported cells out of 20
+    assert_eq!(supported, 13);
+}
+
+#[test]
+fn parallel_ensemble_identical_to_serial_iterator() {
+    let g = karate();
+    let dist = AnyDist::from_graph(2, &g).unwrap();
+    let gen = Generator::new(Method::Matching).seed(77);
+    let serial: Vec<Graph> = gen
+        .sample_iter(&dist, 8)
+        .map(|r| r.unwrap().graph)
+        .collect();
+    for threads in [2, 4, 0] {
+        let parallel: Vec<Graph> = gen
+            .sample_ensemble(&dist, 8, threads)
+            .into_iter()
+            .map(|r| r.unwrap().graph)
+            .collect();
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+    // and every replica preserves the JDD (matching is exact)
+    let jdd = Dist2K::from_graph(&g);
+    for s in &serial {
+        assert_eq!(Dist2K::from_graph(s), jdd);
+    }
+}

@@ -39,8 +39,13 @@ fn inconsistent_jdd_rejected_everywhere() {
     assert!(pseudograph::generate_2k(&d, &mut rng()).is_err());
     assert!(matching::generate_2k(&d, &mut rng()).is_err());
     assert!(stochastic::generate_2k(&d, &mut rng()).is_err());
-    assert!(generate_2k_random(&d, Bootstrap::Matching, &TargetOptions::default(), &mut rng())
-        .is_err());
+    assert!(generate_2k_random(
+        &d,
+        Bootstrap::Matching,
+        &TargetOptions::default(),
+        &mut rng()
+    )
+    .is_err());
 }
 
 #[test]

@@ -64,10 +64,7 @@ fn one_k_random_jdd_is_product_form_on_pseudographs() {
         // count edge instances by PRESCRIBED degrees (multigraph degrees
         // equal the sequence exactly)
         for &(u, v) in res.multigraph.edges() {
-            let (a, b) = (
-                res.multigraph.degree(u),
-                res.multigraph.degree(v),
-            );
+            let (a, b) = (res.multigraph.degree(u), res.multigraph.degree(v));
             let key = (a.min(b), a.max(b));
             *observed.entry(key).or_insert(0.0) += 1.0;
         }
