@@ -1,0 +1,54 @@
+//! Criterion: the analyzer's shared-computation cache vs the old
+//! per-metric recomputation.
+//!
+//! The ISSUE-2 acceptance criterion: computing distances and betweenness
+//! *together* (one fused all-source traversal in the cache) must cost
+//! measurably less than computing them *separately* (two traversals —
+//! what the pre-facade battery did).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dk_metrics::Analyzer;
+use dk_topologies::hot_like::{hot_like, HotLikeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_report(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let hot = hot_like(&HotLikeParams::default(), &mut rng);
+    let er = dk_topologies::er::gnm(2000, 6000, &mut rng);
+    let mut group = c.benchmark_group("metrics_report");
+
+    let fused = Analyzer::new()
+        .metric_names("d_avg,d_std,b_max,b_k")
+        .expect("registered");
+    let d_only = Analyzer::new()
+        .metric_names("d_avg,d_std")
+        .expect("registered");
+    let b_only = Analyzer::new()
+        .metric_names("b_max,b_k")
+        .expect("registered");
+    for (name, g) in [("hot939", &hot), ("er2000", &er)] {
+        group.bench_with_input(BenchmarkId::new("shared_cache", name), g, |b, g| {
+            b.iter(|| fused.analyze(g))
+        });
+        group.bench_with_input(BenchmarkId::new("separate_passes", name), g, |b, g| {
+            b.iter(|| (d_only.analyze(g), b_only.analyze(g)))
+        });
+    }
+
+    // the whole default battery through the facade, for the record
+    let battery = Analyzer::new();
+    group.bench_with_input(
+        BenchmarkId::new("default_battery", "hot939"),
+        &hot,
+        |b, g| b.iter(|| battery.analyze(g)),
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_report
+}
+criterion_main!(benches);

@@ -4,6 +4,9 @@
 //! * (b) distance distribution in HOT for the five 2K algorithms,
 //! * (c) distance distribution in HOT for 3K randomizing vs targeting.
 //!
+//! Ensembles dispatch through the `Analyzer` facade by metric name
+//! (`c_k`, `d_x`).
+//!
 //! ```text
 //! cargo run -p dk-bench --release --bin fig5 -- [--seeds N] [--full]
 //! # → results/fig5{a,b,c}.csv
@@ -23,11 +26,7 @@ fn main() {
     // (a) clustering in skitter per 2K algorithm
     let mut a = SeriesSet::new();
     for method in ALGOS_2K {
-        let mean = series_ensemble(
-            &cfg,
-            |rng| build_2k(&skitter, method, rng),
-            clustering_series,
-        );
+        let mean = series_ensemble(&cfg, "c_k", |rng| build_2k(&skitter, method, rng));
         a.push(label_2k(method), mean);
     }
     a.push("skitter", clustering_series(&skitter));
@@ -38,7 +37,7 @@ fn main() {
     // (b) distance distribution in HOT per 2K algorithm
     let mut b = SeriesSet::new();
     for method in ALGOS_2K {
-        let mean = series_ensemble(&cfg, |rng| build_2k(&hot, method, rng), distance_series);
+        let mean = series_ensemble(&cfg, "d_x", |rng| build_2k(&hot, method, rng));
         b.push(label_2k(method), mean);
     }
     b.push("origHOT", distance_series(&hot));
@@ -49,11 +48,7 @@ fn main() {
     // (c) distance distribution in HOT, 3K randomizing vs targeting
     let mut c = SeriesSet::new();
     for (name, randomizing) in [("3K-rand", true), ("3K-targ", false)] {
-        let mean = series_ensemble(
-            &cfg,
-            |rng| build_3k(&hot, randomizing, rng),
-            distance_series,
-        );
+        let mean = series_ensemble(&cfg, "d_x", |rng| build_3k(&hot, randomizing, rng));
         c.push(name, mean);
     }
     c.push("origHOT", distance_series(&hot));

@@ -2,30 +2,37 @@
 //! (a) distance distribution, (b) normalized betweenness by degree,
 //! (c) clustering by degree.
 //!
+//! Each panel is one series metric from the analyzer registry (`d_x`,
+//! `b_k`, `c_k`), averaged over the ensemble by
+//! `dk_bench::ensemble::series_ensemble`.
+//!
 //! ```text
 //! cargo run -p dk-bench --release --bin fig6 -- [--seeds N] [--full]
 //! # → results/fig6{a,b,c}.csv
 //! ```
 
 use dk_bench::csv::SeriesSet;
-use dk_bench::ensemble::{betweenness_series, clustering_series, distance_series, series_ensemble};
+use dk_bench::ensemble::series_ensemble;
 use dk_bench::inputs::{self, Input};
 use dk_bench::variants::dk_random;
 use dk_bench::Config;
 use dk_graph::Graph;
+use dk_metrics::Analyzer;
 
-fn panel(
-    cfg: &Config,
-    original: &Graph,
-    original_name: &str,
-    series_of: impl Fn(&Graph) -> Vec<(usize, f64)> + Sync,
-) -> SeriesSet {
+fn panel(cfg: &Config, original: &Graph, original_name: &str, metric: &str) -> SeriesSet {
     let mut set = SeriesSet::new();
     for d in 0..=3u8 {
-        let mean = series_ensemble(cfg, |rng| dk_random(original, d, rng), &series_of);
+        let mean = series_ensemble(cfg, metric, |rng| dk_random(original, d, rng));
         set.push(format!("{d}K-random"), mean);
     }
-    set.push(original_name, series_of(original));
+    let original_series = Analyzer::new()
+        .metric_names(metric)
+        .expect("registered series metric")
+        .analyze(original)
+        .series(metric)
+        .expect("series metric")
+        .to_vec();
+    set.push(original_name, original_series);
     set
 }
 
@@ -33,17 +40,17 @@ fn main() {
     let cfg = Config::from_args();
     let skitter = inputs::load(&cfg, Input::SkitterLike);
 
-    let a = panel(&cfg, &skitter, "skitter", distance_series);
+    let a = panel(&cfg, &skitter, "skitter", "d_x");
     let path = cfg.out_dir.join("fig6a.csv");
     a.write(&path, "distance").expect("write fig6a");
     println!("wrote {}", path.display());
 
-    let b = panel(&cfg, &skitter, "skitter", betweenness_series);
+    let b = panel(&cfg, &skitter, "skitter", "b_k");
     let path = cfg.out_dir.join("fig6b.csv");
     b.write(&path, "degree").expect("write fig6b");
     println!("wrote {}", path.display());
 
-    let c = panel(&cfg, &skitter, "skitter", clustering_series);
+    let c = panel(&cfg, &skitter, "skitter", "c_k");
     let path = cfg.out_dir.join("fig6c.csv");
     c.write(&path, "degree").expect("write fig6c");
     println!("wrote {}", path.display());

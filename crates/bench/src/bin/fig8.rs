@@ -17,7 +17,7 @@ fn main() {
     let hot = inputs::load(&cfg, Input::HotLike);
     let mut set = SeriesSet::new();
     for d in 0..=3u8 {
-        let mean = series_ensemble(&cfg, |rng| dk_random(&hot, d, rng), distance_series);
+        let mean = series_ensemble(&cfg, "d_x", |rng| dk_random(&hot, d, rng));
         set.push(format!("{d}K-random"), mean);
     }
     set.push("origHOT", distance_series(&hot));

@@ -21,7 +21,7 @@ fn main() {
     let hot = inputs::load(&cfg, Input::HotLike);
     let mut set = SeriesSet::new();
     for d in 0..=3u8 {
-        let mean = series_ensemble(&cfg, |rng| dk_random(&hot, d, rng), betweenness_series);
+        let mean = series_ensemble(&cfg, "b_k", |rng| dk_random(&hot, d, rng));
         set.push(format!("{d}K-random"), mean);
     }
     set.push("origHOT", betweenness_series(&hot));

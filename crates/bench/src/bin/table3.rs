@@ -8,27 +8,23 @@
 
 use dk_bench::ensemble::scalar_ensemble;
 use dk_bench::inputs::{self, Input};
-use dk_bench::table::MetricTable;
 use dk_bench::variants::{build_2k, label_2k, ALGOS_2K};
 use dk_bench::Config;
-use dk_metrics::report::{MetricReport, ReportOptions};
+use dk_metrics::{Analyzer, MetricTable};
 
 fn main() {
     let cfg = Config::from_args();
     let hot = inputs::load(&cfg, Input::HotLike);
     // Table 3 reports k̄, r, d̄, σd — no spectral columns
-    let opts = ReportOptions {
-        spectral: false,
-        distances: true,
-        betweenness: false,
-        lanczos_iter: 0,
-    };
+    let analyzer = Analyzer::new()
+        .metric_names("n,m,gcc_fraction,k_avg,r,c_mean,d_avg,d_std,s,s2")
+        .expect("registered metrics");
     let mut table = MetricTable::new();
     for method in ALGOS_2K {
-        let rep = scalar_ensemble(&cfg, &opts, |rng| build_2k(&hot, method, rng));
-        table.push(label_2k(method), rep.mean);
+        let summary = scalar_ensemble(&cfg, &analyzer, |rng| build_2k(&hot, method, rng));
+        table.push_summary(label_2k(method), &summary);
     }
-    table.push("origHOT", MetricReport::compute_with(&hot, &opts));
+    table.push("origHOT", analyzer.analyze(&hot));
 
     println!(
         "Table 3: scalar metrics for 2K-random HOT-like graphs ({} seeds)",

@@ -7,26 +7,22 @@
 
 use dk_bench::ensemble::scalar_ensemble;
 use dk_bench::inputs::{self, Input};
-use dk_bench::table::MetricTable;
 use dk_bench::variants::build_3k;
 use dk_bench::Config;
-use dk_metrics::report::{MetricReport, ReportOptions};
+use dk_metrics::{Analyzer, MetricTable};
 
 fn main() {
     let cfg = Config::from_args();
     let hot = inputs::load(&cfg, Input::HotLike);
-    let opts = ReportOptions {
-        spectral: false,
-        distances: true,
-        betweenness: false,
-        lanczos_iter: 0,
-    };
+    let analyzer = Analyzer::new()
+        .metric_names("n,m,gcc_fraction,k_avg,r,c_mean,d_avg,d_std,s,s2")
+        .expect("registered metrics");
     let mut table = MetricTable::new();
-    let rand = scalar_ensemble(&cfg, &opts, |rng| build_3k(&hot, true, rng));
-    table.push("3K-rand", rand.mean);
-    let targ = scalar_ensemble(&cfg, &opts, |rng| build_3k(&hot, false, rng));
-    table.push("3K-targ", targ.mean);
-    table.push("origHOT", MetricReport::compute_with(&hot, &opts));
+    let rand = scalar_ensemble(&cfg, &analyzer, |rng| build_3k(&hot, true, rng));
+    table.push_summary("3K-rand", &rand);
+    let targ = scalar_ensemble(&cfg, &analyzer, |rng| build_3k(&hot, false, rng));
+    table.push_summary("3K-targ", &targ);
+    table.push("origHOT", analyzer.analyze(&hot));
 
     println!(
         "Table 4: scalar metrics for 3K-random HOT-like graphs ({} seeds)",

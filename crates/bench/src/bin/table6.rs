@@ -7,21 +7,20 @@
 
 use dk_bench::ensemble::scalar_ensemble;
 use dk_bench::inputs::{self, Input};
-use dk_bench::table::MetricTable;
 use dk_bench::variants::dk_random;
 use dk_bench::Config;
-use dk_metrics::report::{MetricReport, ReportOptions};
+use dk_metrics::{Analyzer, MetricTable};
 
 fn main() {
     let cfg = Config::from_args();
     let skitter = inputs::load(&cfg, Input::SkitterLike);
-    let opts = ReportOptions::default(); // full battery incl. spectral
+    let analyzer = Analyzer::new(); // the paper's full battery incl. spectral
     let mut table = MetricTable::new();
     for d in 0..=3u8 {
-        let rep = scalar_ensemble(&cfg, &opts, |rng| dk_random(&skitter, d, rng));
-        table.push(format!("{d}K"), rep.mean);
+        let summary = scalar_ensemble(&cfg, &analyzer, |rng| dk_random(&skitter, d, rng));
+        table.push_summary(format!("{d}K"), &summary);
     }
-    table.push("skitter", MetricReport::compute_with(&skitter, &opts));
+    table.push("skitter", analyzer.analyze(&skitter));
 
     println!(
         "Table 6: dK-random vs skitter-like (n = {}, m = {}, {} seeds{})",

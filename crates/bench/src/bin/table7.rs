@@ -10,18 +10,17 @@
 //! ```
 
 use dk_bench::inputs::{self, Input};
-use dk_bench::table::MetricTable;
 use dk_bench::variants::dk_random;
 use dk_bench::Config;
 use dk_core::explore::{explore_2k, Direction, ExploreOptions, Objective2K};
-use dk_metrics::report::{MetricReport, ReportOptions};
+use dk_metrics::{Analyzer, MetricTable, Report};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let cfg = Config::from_args();
     let skitter = inputs::load(&cfg, Input::SkitterLike);
-    let opts = ReportOptions::default();
+    let analyzer = Analyzer::new(); // default battery includes s2
     let explore_opts = ExploreOptions {
         max_attempts: if cfg.full { 3_000_000 } else { 600_000 },
         patience: Some(if cfg.full { 400_000 } else { 120_000 }),
@@ -29,7 +28,7 @@ fn main() {
 
     // exploration columns are single runs (they are deterministic hill
     // climbs, not random ensembles — the paper reports one per direction)
-    let mut cols: Vec<(String, MetricReport, f64)> = Vec::new();
+    let mut cols: Vec<(String, Report)> = Vec::new();
     let runs: [(&str, Objective2K, Direction); 4] = [
         ("minC", Objective2K::MeanClustering, Direction::Minimize),
         ("maxC", Objective2K::MeanClustering, Direction::Maximize),
@@ -52,27 +51,28 @@ fn main() {
             "{name}: {} → {} ({} accepted / {} attempts)",
             stats.initial_value, stats.final_value, stats.accepted, stats.attempts
         );
-        let rep = MetricReport::compute_with(&g, &opts);
-        let s2 = rep.likelihood_s2;
-        cols.push((name.to_string(), rep, s2));
+        cols.push((name.to_string(), analyzer.analyze(&g)));
     }
     // 2K-random column
     let mut rng = StdRng::seed_from_u64(cfg.run_seed(999));
-    let rep2k = MetricReport::compute_with(&dk_random(&skitter, 2, &mut rng), &opts);
-    let s2_rand = rep2k.likelihood_s2;
-    cols.push(("2K-rand".into(), rep2k, s2_rand));
+    cols.push((
+        "2K-rand".into(),
+        analyzer.analyze(&dk_random(&skitter, 2, &mut rng)),
+    ));
     // original
-    let rep_orig = MetricReport::compute_with(&skitter, &opts);
-    let s2_orig = rep_orig.likelihood_s2;
-    cols.push(("skitter".into(), rep_orig, s2_orig));
+    cols.push(("skitter".into(), analyzer.analyze(&skitter)));
 
+    let s2_of = |rep: &Report| rep.scalar("s2").expect("s2 selected");
     let s2_max = cols
         .iter()
-        .map(|&(_, _, s2)| s2)
+        .map(|(_, rep)| s2_of(rep))
         .fold(f64::NEG_INFINITY, f64::max);
+    let ratios: Vec<Option<f64>> = cols
+        .iter()
+        .map(|(_, rep)| Some(s2_of(rep) / s2_max))
+        .collect();
     let mut table = MetricTable::new();
-    let ratios: Vec<Option<f64>> = cols.iter().map(|&(_, _, s2)| Some(s2 / s2_max)).collect();
-    for (name, rep, _) in cols {
+    for (name, rep) in cols {
         table.push(name, rep);
     }
     table.push_row("S2/S2max", ratios);

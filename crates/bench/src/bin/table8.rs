@@ -7,21 +7,20 @@
 
 use dk_bench::ensemble::scalar_ensemble;
 use dk_bench::inputs::{self, Input};
-use dk_bench::table::MetricTable;
 use dk_bench::variants::dk_random;
 use dk_bench::Config;
-use dk_metrics::report::{MetricReport, ReportOptions};
+use dk_metrics::{Analyzer, MetricTable};
 
 fn main() {
     let cfg = Config::from_args();
     let hot = inputs::load(&cfg, Input::HotLike);
-    let opts = ReportOptions::default();
+    let analyzer = Analyzer::new();
     let mut table = MetricTable::new();
     for d in 0..=3u8 {
-        let rep = scalar_ensemble(&cfg, &opts, |rng| dk_random(&hot, d, rng));
-        table.push(format!("{d}K"), rep.mean);
+        let summary = scalar_ensemble(&cfg, &analyzer, |rng| dk_random(&hot, d, rng));
+        table.push_summary(format!("{d}K"), &summary);
     }
-    table.push("origHOT", MetricReport::compute_with(&hot, &opts));
+    table.push("origHOT", analyzer.analyze(&hot));
 
     println!(
         "Table 8: dK-random vs HOT-like (n = {}, m = {}, {} seeds)",

@@ -1,28 +1,20 @@
-//! Ensemble execution: run a graph-producing closure across seeds and
-//! average the results (scalars, degree-indexed series,
-//! distance-indexed series).
+//! Ensemble execution for the reproduction binaries: run a
+//! graph-producing closure across seeds and summarize the metric
+//! batteries through the [`Analyzer`] facade.
 //!
 //! "Our results represent averages over 100 graphs generated with a
 //! different random seed in each case" (paper §5).
 //!
-//! All fan-out goes through [`run`], a thin wrapper over the
-//! deterministic parallel runner [`dk_core::ensemble::run`]: replica `i`
-//! is always seeded with `cfg.run_seed(i)` regardless of the thread
-//! count, so `--threads 1` and `--threads N` produce identical tables.
+//! All fan-out goes through [`dk_metrics::Analyzer::run_ensemble`] (and
+//! thus the deterministic runner `dk_graph::ensemble`): replica `i` is
+//! always seeded from `(cfg.master_seed, i)` regardless of the thread
+//! count, so `--threads 1` and `--threads N` produce identical tables
+//! and CSVs.
 
 use crate::Config;
-use dk_graph::{traversal, Graph};
-use dk_metrics::report::{MetricReport, ReportOptions};
+use dk_graph::Graph;
+use dk_metrics::{Analyzer, EnsembleSummary};
 use rand::rngs::StdRng;
-
-/// Averaged scalar battery over an ensemble.
-#[derive(Clone, Debug)]
-pub struct EnsembleReport {
-    /// Mean of each scalar over the ensemble (missing values skipped).
-    pub mean: MetricReport,
-    /// Number of ensemble members.
-    pub runs: usize,
-}
 
 /// Runs `job(replica, rng)` for every configured seed, in parallel over
 /// `cfg.threads` workers, returning results in replica order.
@@ -34,129 +26,63 @@ where
     dk_core::ensemble::run(cfg.seeds, cfg.master_seed, cfg.threads, job)
 }
 
-/// Runs `make` once per seed and averages the full scalar battery.
+/// Runs `make` once per seed and summarizes the analyzer's battery:
+/// per-metric mean/std/min/max over the ensemble.
 ///
 /// `make` receives a seeded RNG and returns the graph to measure (GCC
-/// extraction happens inside the metric battery). Members are computed
-/// in parallel (see [`run`]); the mean is identical to the serial loop.
-pub fn scalar_ensemble<F>(cfg: &Config, opts: &ReportOptions, make: F) -> EnsembleReport
+/// extraction happens inside the analyzer). Members are computed in
+/// parallel; the statistics are identical to the serial loop.
+pub fn scalar_ensemble<F>(cfg: &Config, analyzer: &Analyzer, make: F) -> EnsembleSummary
 where
     F: Fn(&mut StdRng) -> Graph + Sync,
 {
-    let reports = run(cfg, |_i, rng| MetricReport::compute_with(&make(rng), opts));
-    EnsembleReport {
-        mean: average_reports(&reports),
-        runs: reports.len(),
-    }
+    analyzer
+        .clone()
+        .threads(cfg.threads)
+        .run_ensemble(cfg.seeds, cfg.master_seed, make)
 }
 
-/// Runs `make` once per seed, extracts a `(key, value)` series from each
-/// graph with `series_of`, and returns the per-key ensemble mean.
-///
-/// This is the parallel replacement for the hand-rolled
-/// "loop seeds, [`SeriesAccumulator::add`], mean" pattern the figure
-/// binaries used to carry.
-pub fn series_ensemble<F, S>(cfg: &Config, make: F, series_of: S) -> Vec<(usize, f64)>
+/// Runs `make` once per seed and returns the per-key ensemble mean of
+/// one series metric (registry name, e.g. `"d_x"`, `"c_k"`, `"b_k"`) —
+/// the series the paper's figures plot.
+pub fn series_ensemble<F>(cfg: &Config, metric: &str, make: F) -> Vec<(usize, f64)>
 where
     F: Fn(&mut StdRng) -> Graph + Sync,
-    S: Fn(&Graph) -> Vec<(usize, f64)> + Sync,
 {
-    let all = run(cfg, |_i, rng| series_of(&make(rng)));
-    let mut acc = SeriesAccumulator::new();
-    for series in &all {
-        acc.add(series);
-    }
-    acc.mean()
+    let analyzer = Analyzer::new()
+        .metric_names(metric)
+        .expect("known series metric")
+        .threads(cfg.threads);
+    analyzer
+        .run_ensemble(cfg.seeds, cfg.master_seed, make)
+        .series_means(metric)
+        .expect("series metric")
 }
 
-fn avg(items: impl Iterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = items.collect();
-    if v.is_empty() {
-        0.0
-    } else {
-        v.iter().sum::<f64>() / v.len() as f64
-    }
-}
-
-fn avg_opt(items: impl Iterator<Item = Option<f64>>) -> Option<f64> {
-    let v: Vec<f64> = items.flatten().collect();
-    if v.is_empty() {
-        None
-    } else {
-        Some(v.iter().sum::<f64>() / v.len() as f64)
-    }
-}
-
-/// Field-wise mean of metric reports.
-pub fn average_reports(reports: &[MetricReport]) -> MetricReport {
-    assert!(!reports.is_empty(), "cannot average an empty ensemble");
-    MetricReport {
-        nodes: (avg(reports.iter().map(|r| r.nodes as f64))).round() as usize,
-        edges: (avg(reports.iter().map(|r| r.edges as f64))).round() as usize,
-        gcc_fraction: avg(reports.iter().map(|r| r.gcc_fraction)),
-        k_avg: avg(reports.iter().map(|r| r.k_avg)),
-        assortativity: avg(reports.iter().map(|r| r.assortativity)),
-        mean_clustering: avg(reports.iter().map(|r| r.mean_clustering)),
-        avg_distance: avg_opt(reports.iter().map(|r| r.avg_distance)),
-        distance_std: avg_opt(reports.iter().map(|r| r.distance_std)),
-        likelihood_s: avg(reports.iter().map(|r| r.likelihood_s)),
-        likelihood_s2: avg(reports.iter().map(|r| r.likelihood_s2)),
-        lambda1: avg_opt(reports.iter().map(|r| r.lambda1)),
-        lambda_max: avg_opt(reports.iter().map(|r| r.lambda_max)),
-        max_betweenness: avg_opt(reports.iter().map(|r| r.max_betweenness)),
-    }
-}
-
-/// Averaged `(x, y)` series where x is an integer key (degree or hop
-/// count): y values are averaged per key over ensemble members that
-/// define the key.
-#[derive(Clone, Debug, Default)]
-pub struct SeriesAccumulator {
-    sums: std::collections::BTreeMap<usize, (f64, usize)>,
-}
-
-impl SeriesAccumulator {
-    /// Creates an empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds one member's series.
-    pub fn add(&mut self, series: &[(usize, f64)]) {
-        for &(x, y) in series {
-            let e = self.sums.entry(x).or_insert((0.0, 0));
-            e.0 += y;
-            e.1 += 1;
-        }
-    }
-
-    /// Per-key means.
-    pub fn mean(&self) -> Vec<(usize, f64)> {
-        self.sums
-            .iter()
-            .map(|(&x, &(sum, n))| (x, sum / n as f64))
-            .collect()
-    }
+fn one_series(g: &Graph, metric: &str) -> Vec<(usize, f64)> {
+    Analyzer::new()
+        .metric_names(metric)
+        .expect("known series metric")
+        .analyze(g)
+        .series(metric)
+        .expect("series metric")
+        .to_vec()
 }
 
 /// Distance-distribution PDF of the GCC as an integer-keyed series
 /// (positive distances, paper figure convention).
 pub fn distance_series(g: &Graph) -> Vec<(usize, f64)> {
-    let (gcc, _) = traversal::giant_component(g);
-    let dd = dk_metrics::distance::DistanceDistribution::from_graph(&gcc);
-    dd.pdf_positive().into_iter().enumerate().skip(1).collect()
+    one_series(g, "d_x")
 }
 
 /// Mean normalized betweenness per degree, of the GCC.
 pub fn betweenness_series(g: &Graph) -> Vec<(usize, f64)> {
-    let (gcc, _) = traversal::giant_component(g);
-    dk_metrics::betweenness::betweenness_by_degree(&gcc)
+    one_series(g, "b_k")
 }
 
 /// Mean clustering per degree, of the GCC.
 pub fn clustering_series(g: &Graph) -> Vec<(usize, f64)> {
-    let (gcc, _) = traversal::giant_component(g);
-    dk_metrics::clustering::clustering_by_degree(&gcc)
+    one_series(g, "c_k")
 }
 
 #[cfg(test)]
@@ -165,50 +91,16 @@ mod tests {
     use dk_graph::builders;
 
     #[test]
-    fn averaging_identical_reports_is_identity() {
-        let r = MetricReport::compute_cheap(&builders::karate_club());
-        let mean = average_reports(&[r.clone(), r.clone(), r.clone()]);
-        assert_eq!(mean.nodes, r.nodes);
-        assert!((mean.k_avg - r.k_avg).abs() < 1e-12);
-        assert!((mean.assortativity - r.assortativity).abs() < 1e-12);
-    }
-
-    #[test]
-    fn optional_fields_skip_missing() {
-        let a = MetricReport::compute_cheap(&builders::karate_club()); // no distances
-        let mut b = a.clone();
-        b.avg_distance = Some(4.0);
-        let mean = average_reports(&[a, b]);
-        assert_eq!(mean.avg_distance, Some(4.0)); // only one defined value
-    }
-
-    #[test]
-    fn series_accumulator_averages_per_key() {
-        let mut acc = SeriesAccumulator::new();
-        acc.add(&[(1, 1.0), (2, 4.0)]);
-        acc.add(&[(1, 3.0)]);
-        assert_eq!(acc.mean(), vec![(1, 2.0), (2, 4.0)]);
-    }
-
-    #[test]
     fn ensemble_runs_with_config_seeds() {
         let cfg = crate::Config {
             seeds: 3,
             out_dir: std::env::temp_dir(),
             ..Default::default()
         };
-        let rep = scalar_ensemble(
-            &cfg,
-            &dk_metrics::report::ReportOptions {
-                spectral: false,
-                distances: false,
-                betweenness: false,
-                lanczos_iter: 0,
-            },
-            |rng| dk_topologies::er::gnm(50, 100, rng),
-        );
-        assert_eq!(rep.runs, 3);
-        assert!(rep.mean.k_avg > 0.0);
+        let analyzer = Analyzer::new().metric_names("cheap").unwrap();
+        let rep = scalar_ensemble(&cfg, &analyzer, |rng| dk_topologies::er::gnm(50, 100, rng));
+        assert_eq!(rep.replicas, 3);
+        assert!(rep.scalar("k_avg").unwrap().mean > 0.0);
     }
 
     #[test]
@@ -218,12 +110,7 @@ mod tests {
             out_dir: std::env::temp_dir(),
             ..Default::default()
         };
-        let opts = dk_metrics::report::ReportOptions {
-            spectral: false,
-            distances: false,
-            betweenness: false,
-            lanczos_iter: 0,
-        };
+        let analyzer = Analyzer::new().metric_names("cheap").unwrap();
         let make = |rng: &mut rand::rngs::StdRng| {
             crate::variants::dk_random(&builders::karate_club(), 1, rng)
         };
@@ -232,15 +119,11 @@ mod tests {
                 threads: 1,
                 ..base.clone()
             },
-            &opts,
+            &analyzer,
             make,
         );
-        let parallel = scalar_ensemble(&crate::Config { threads: 4, ..base }, &opts, make);
-        assert_eq!(
-            serial.mean, parallel.mean,
-            "threading must not change results"
-        );
-        assert_eq!(serial.runs, parallel.runs);
+        let parallel = scalar_ensemble(&crate::Config { threads: 4, ..base }, &analyzer, make);
+        assert_eq!(serial, parallel, "threading must not change results");
     }
 
     #[test]
@@ -252,20 +135,24 @@ mod tests {
             ..Default::default()
         };
         let original = builders::karate_club();
-        let fast = series_ensemble(
-            &cfg,
-            |rng| crate::variants::dk_random(&original, 2, rng),
-            clustering_series,
-        );
-        // the pre-facade pattern: serial loop + accumulator
-        let mut acc = SeriesAccumulator::new();
+        let fast = series_ensemble(&cfg, "c_k", |rng| {
+            crate::variants::dk_random(&original, 2, rng)
+        });
+        // the pre-facade pattern: serial loop + per-key accumulation
+        let mut sums: std::collections::BTreeMap<usize, (f64, usize)> = Default::default();
         for i in 0..cfg.seeds {
             let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.run_seed(i));
-            acc.add(&clustering_series(&crate::variants::dk_random(
-                &original, 2, &mut rng,
-            )));
+            for (x, y) in clustering_series(&crate::variants::dk_random(&original, 2, &mut rng)) {
+                let e = sums.entry(x).or_insert((0.0, 0));
+                e.0 += y;
+                e.1 += 1;
+            }
         }
-        assert_eq!(fast, acc.mean());
+        let slow: Vec<(usize, f64)> = sums
+            .iter()
+            .map(|(&x, &(sum, n))| (x, sum / n as f64))
+            .collect();
+        assert_eq!(fast, slow);
     }
 
     #[test]
@@ -277,5 +164,16 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-9);
         assert!(!betweenness_series(&g).is_empty());
         assert!(!clustering_series(&g).is_empty());
+    }
+
+    #[test]
+    fn series_helpers_extract_gcc_first() {
+        // isolated nodes must not dilute the series
+        let mut g = builders::karate_club();
+        g.add_node();
+        assert_eq!(
+            clustering_series(&g),
+            clustering_series(&builders::karate_club())
+        );
     }
 }

@@ -9,9 +9,11 @@
 //! * [`inputs`] — the two evaluation inputs (skitter-like, HOT-like) at
 //!   CI or paper scale, disk-cached per (kind, scale, seed) so repeated
 //!   experiment runs reuse identical inputs;
-//! * [`ensemble`] — seed fan-out, scalar averaging, and per-degree /
-//!   per-distance series averaging;
-//! * [`table`] / [`csv`] — formatting.
+//! * [`ensemble`] — seed fan-out through `dk_metrics::Analyzer`
+//!   (per-metric mean/std/min/max, per-degree / per-distance series
+//!   means);
+//! * [`csv`] — series CSV output (tables use the shared
+//!   `dk_metrics::MetricTable` formatter).
 //!
 //! Paper-scale notes: the paper averages over 100 graphs; the default
 //! here is 5 seeds at CI scale so every experiment finishes in minutes —
@@ -23,7 +25,6 @@
 pub mod csv;
 pub mod ensemble;
 pub mod inputs;
-pub mod table;
 pub mod variants;
 
 use std::path::PathBuf;

@@ -10,8 +10,8 @@
 //! dk generate <d> <dist.dk>     -o <out.edges>    construct a dK-graph
 //! dk rewire   <d> <graph.edges> -o <out.edges>    dK-randomizing rewiring
 //! dk explore  <s|s2|c> <min|max> <graph.edges> -o <out.edges>
-//! dk metrics  <graph.edges>                       Table 2 battery
-//! dk compare  <a.edges> <b.edges>                 D1/D2/D3 distances
+//! dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc]
+//! dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc]
 //! dk census   <graph.edges>                       Table 5 census
 //! dk viz      <graph.edges>     -o <out.svg>      layout + SVG
 //! ```
@@ -28,9 +28,11 @@ use dk_core::generate::rewire::{randomize, RewireOptions, SwapBudget};
 use dk_core::generate::Generator;
 use dk_core::{census, io as dist_io};
 use dk_graph::{io as graph_io, GraphError};
+use dk_metrics::{json, Analyzer, AnyMetric, GccPolicy, MetricTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
+use std::str::FromStr;
 
 /// Construction algorithm selector for `dk generate`.
 ///
@@ -181,45 +183,133 @@ pub fn cmd_explore(
     ))
 }
 
+/// Output format shared by `dk metrics` and `dk compare`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable text (the default).
+    #[default]
+    Text,
+    /// Machine-readable JSON (hand-rolled; see `dk_metrics::json`).
+    Json,
+}
+
+impl FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "json" => Ok(OutputFormat::Json),
+            other => Err(format!("unknown format {other:?} (text|json)")),
+        }
+    }
+}
+
+/// Options for [`cmd_metrics`], mapped one-to-one from CLI flags.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsOptions {
+    /// `--metrics LIST`: comma-separated names/sets (see
+    /// [`AnyMetric::parse_list`]); `None` = the paper's default battery,
+    /// `Some("help")` prints the capability listing.
+    pub metrics: Option<String>,
+    /// `--format text|json`.
+    pub format: OutputFormat,
+    /// `--no-gcc` clears this (default: extract the GCC, §5.2).
+    pub gcc_off: bool,
+}
+
+fn build_analyzer(metrics: Option<&str>, gcc_off: bool) -> Result<Analyzer, GraphError> {
+    let mut analyzer = Analyzer::new();
+    if let Some(list) = metrics {
+        analyzer = analyzer
+            .metric_names(list)
+            .map_err(GraphError::ConstructionFailed)?;
+    }
+    if gcc_off {
+        analyzer = analyzer.gcc(GccPolicy::Whole);
+    }
+    Ok(analyzer)
+}
+
 /// `dk compare`: the paper's abstract promises we "can quantitatively
 /// measure the distance between two graphs" — this prints `D_1`, `D_2`,
-/// `D_3` between two edge lists, plus their scalar batteries.
-pub fn cmd_compare(a_path: &Path, b_path: &Path) -> Result<String, GraphError> {
+/// `D_3` between two edge lists, plus their scalar batteries side by
+/// side (one [`Analyzer`] pass per graph, shared `MetricTable`
+/// formatter).
+///
+/// Honors the full flag set: `--metrics` (default: the `cheap` scalar
+/// set), `--no-gcc`, `--format`.
+pub fn cmd_compare(
+    a_path: &Path,
+    b_path: &Path,
+    opts: &MetricsOptions,
+) -> Result<String, GraphError> {
+    if opts.metrics.as_deref() == Some("help") {
+        return Ok(AnyMetric::listing());
+    }
     let a = graph_io::load_edge_list(a_path)?;
     let b = graph_io::load_edge_list(b_path)?;
     let d1 = Dist1K::from_graph(&a).distance_sq(&Dist1K::from_graph(&b));
     let d2 = Dist2K::from_graph(&a).distance_sq(&Dist2K::from_graph(&b));
     let d3 = Dist3K::from_graph(&a).distance_sq(&Dist3K::from_graph(&b));
-    let ra = dk_metrics::MetricReport::compute_cheap(&a);
-    let rb = dk_metrics::MetricReport::compute_cheap(&b);
-    Ok(format!(
-        "dK distances (sums of squared count differences; 0 = same distribution):\n\
-         D1 = {d1}\nD2 = {d2}\nD3 = {d3}\n\n\
-         {:<14}{}\n{:<14}{}\n{:<14}{}",
-        "",
-        dk_metrics::MetricReport::table_header(),
-        a_path.display(),
-        ra.table_row(),
-        b_path.display(),
-        rb.table_row()
-    ))
+    let analyzer = build_analyzer(
+        Some(opts.metrics.as_deref().unwrap_or("cheap")),
+        opts.gcc_off,
+    )?;
+    let ra = analyzer.analyze(&a);
+    let rb = analyzer.analyze(&b);
+    match opts.format {
+        OutputFormat::Json => {
+            // reports nest under fixed keys — raw paths as keys could
+            // collide with each other or with d1/d2/d3
+            let side = |path: &Path, rep: dk_metrics::Report| {
+                json::object([
+                    (
+                        "path".into(),
+                        format!("\"{}\"", json::escape(&path.display().to_string())),
+                    ),
+                    ("report".into(), rep.to_json()),
+                ])
+            };
+            Ok(json::object([
+                ("d1".into(), json::number(d1)),
+                ("d2".into(), json::number(d2)),
+                ("d3".into(), json::number(d3)),
+                ("a".into(), side(a_path, ra)),
+                ("b".into(), side(b_path, rb)),
+            ]))
+        }
+        OutputFormat::Text => {
+            let mut table = MetricTable::new();
+            table.push(a_path.display().to_string(), ra);
+            table.push(b_path.display().to_string(), rb);
+            Ok(format!(
+                "dK distances (sums of squared count differences; 0 = same distribution):\n\
+                 D1 = {d1}\nD2 = {d2}\nD3 = {d3}\n\n{}",
+                table.render()
+            ))
+        }
+    }
 }
 
-/// `dk metrics`: prints the Table 2 battery of a graph (GCC).
-pub fn cmd_metrics(graph_path: &Path) -> Result<String, GraphError> {
+/// `dk metrics`: analyzes one graph through the [`Analyzer`] facade.
+///
+/// The default selection is the paper's Table 2 battery; `--metrics`
+/// takes any registry names or sets (`--metrics all` includes
+/// betweenness, `--metrics help` lists capabilities), `--no-gcc` skips
+/// GCC extraction, and `--format json` emits the machine-readable
+/// report.
+pub fn cmd_metrics(graph_path: &Path, opts: &MetricsOptions) -> Result<String, GraphError> {
+    if opts.metrics.as_deref() == Some("help") {
+        return Ok(AnyMetric::listing());
+    }
     let g = graph_io::load_edge_list(graph_path)?;
-    let rep = dk_metrics::MetricReport::compute(&g);
-    Ok(format!(
-        "{}\nn = {}, m = {}, GCC fraction = {:.3}, S = {:.0}, S2 = {:.0}\n{}\n{}",
-        graph_path.display(),
-        rep.nodes,
-        rep.edges,
-        rep.gcc_fraction,
-        rep.likelihood_s,
-        rep.likelihood_s2,
-        dk_metrics::MetricReport::table_header(),
-        rep.table_row()
-    ))
+    let analyzer = build_analyzer(opts.metrics.as_deref(), opts.gcc_off)?;
+    let rep = analyzer.analyze(&g);
+    Ok(match opts.format {
+        OutputFormat::Json => rep.to_json(),
+        OutputFormat::Text => format!("{}\n{}", graph_path.display(), rep.to_text()),
+    })
 }
 
 /// `dk census`: prints the Table 5 rewiring census.
@@ -350,26 +440,143 @@ mod tests {
     #[test]
     fn compare_zero_on_identical_graphs() {
         let graph = write_karate();
-        let out = cmd_compare(&graph, &graph).unwrap();
+        let out = cmd_compare(&graph, &graph, &MetricsOptions::default()).unwrap();
         assert!(out.contains("D1 = 0"), "{out}");
         assert!(out.contains("D2 = 0"));
         assert!(out.contains("D3 = 0"));
+        assert!(out.contains("k_avg"), "side-by-side battery: {out}");
         // and nonzero against a rewired version
         let rw = tmp("karate_cmp.edges");
         cmd_rewire(1, &graph, &rw, Some(2000), 9).unwrap();
-        let out = cmd_compare(&graph, &rw).unwrap();
+        let out = cmd_compare(&graph, &rw, &MetricsOptions::default()).unwrap();
         assert!(out.contains("D1 = 0"), "1K preserved: {out}");
         assert!(!out.contains("D2 = 0"), "JDD should differ: {out}");
     }
 
     #[test]
+    fn compare_json_carries_distances_and_reports() {
+        let graph = write_karate();
+        let out = cmd_compare(
+            &graph,
+            &graph,
+            &MetricsOptions {
+                format: OutputFormat::Json,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("\"d1\":0"), "{out}");
+        assert!(out.contains("\"d3\":0"), "{out}");
+        assert!(out.contains("\"k_avg\":"), "{out}");
+        // identical paths must not collide: reports nest under a/b
+        assert!(out.contains("\"a\":{\"path\":"), "{out}");
+        assert!(out.contains("\"b\":{\"path\":"), "{out}");
+    }
+
+    #[test]
+    fn compare_honors_metrics_and_gcc_flags() {
+        let graph = write_karate();
+        // custom metric selection flows into the side-by-side battery
+        let out = cmd_compare(
+            &graph,
+            &graph,
+            &MetricsOptions {
+                metrics: Some("k_avg,b_max".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("b_max"), "{out}");
+        // bad selections fail instead of being silently ignored
+        assert!(cmd_compare(
+            &graph,
+            &graph,
+            &MetricsOptions {
+                metrics: Some("bogus".into()),
+                ..Default::default()
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
     fn metrics_and_census_render() {
         let graph = write_karate();
-        let m = cmd_metrics(&graph).unwrap();
+        let m = cmd_metrics(&graph, &MetricsOptions::default()).unwrap();
         assert!(m.contains("n = 34"));
         assert!(m.contains("k_avg"));
+        assert!(m.contains("lambda1"), "default battery is full: {m}");
         let c = cmd_census(&graph, 1).unwrap();
         assert!(c.lines().count() >= 4);
+    }
+
+    #[test]
+    fn metrics_selection_reaches_betweenness() {
+        // pre-facade, betweenness was unreachable from the CLI
+        let graph = write_karate();
+        let m = cmd_metrics(
+            &graph,
+            &MetricsOptions {
+                metrics: Some("b_max,b_k".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.contains("b_max"), "{m}");
+        assert!(m.contains("b_k:"), "series block: {m}");
+        let err = cmd_metrics(
+            &graph,
+            &MetricsOptions {
+                metrics: Some("bogus".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown metric"), "{err}");
+    }
+
+    #[test]
+    fn metrics_json_and_no_gcc() {
+        // karate + isolated node: GCC drops it, --no-gcc keeps it
+        let p = tmp("karate_iso.edges");
+        let mut g = builders::karate_club();
+        g.add_node();
+        graph_io::save_edge_list(&g, &p).unwrap();
+        let json_out = cmd_metrics(
+            &p,
+            &MetricsOptions {
+                format: OutputFormat::Json,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(json_out.contains("\"analyzed_nodes\":34"), "{json_out}");
+        let whole = cmd_metrics(
+            &p,
+            &MetricsOptions {
+                format: OutputFormat::Json,
+                gcc_off: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(whole.contains("\"analyzed_nodes\":35"), "{whole}");
+        assert!(whole.contains("\"gcc\":false"), "{whole}");
+    }
+
+    #[test]
+    fn metrics_help_lists_capabilities() {
+        let graph = write_karate();
+        let m = cmd_metrics(
+            &graph,
+            &MetricsOptions {
+                metrics: Some("help".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.contains("all-pairs"), "{m}");
+        assert!(m.contains("b_max"), "{m}");
     }
 
     #[test]

@@ -14,13 +14,15 @@ USAGE:
   dk generate <d: 1..3> <dist.dk>     -o <out.edges> [--algo pseudograph|matching|stochastic|targeting] [--seed N]
   dk rewire   <d: 0..3> <graph.edges> -o <out.edges> [--attempts N] [--seed N]
   dk explore  <s|s2|c>  <min|max> <graph.edges> -o <out.edges> [--seed N]
-  dk metrics  <graph.edges>
-  dk compare  <a.edges> <b.edges>
+  dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc]
+  dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc]
   dk census   <graph.edges> [--max-d D]
   dk viz      <graph.edges> -o <out.svg> [--seed N]
 
 Graphs are whitespace edge lists (`#` comments, optional `nodes N` header);
-distribution files are the Orbis-style formats documented in dk-core.";
+distribution files are the Orbis-style formats documented in dk-core.
+`--metrics` takes comma-separated metric names or sets (default, cheap,
+scalars, series, all) — `--metrics help` lists every metric.";
 
 struct Args {
     positional: Vec<String>,
@@ -29,6 +31,9 @@ struct Args {
     seed: u64,
     attempts: Option<u64>,
     max_d: u8,
+    metrics: Option<String>,
+    format: OutputFormat,
+    no_gcc: bool,
 }
 
 fn parse(mut raw: Vec<String>) -> Result<Args, String> {
@@ -39,6 +44,9 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
         seed: 1,
         attempts: None,
         max_d: 3,
+        metrics: None,
+        format: OutputFormat::Text,
+        no_gcc: false,
     };
     raw.reverse();
     while let Some(tok) = raw.pop() {
@@ -47,6 +55,9 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
                 args.out = Some(PathBuf::from(raw.pop().ok_or("missing value after -o")?))
             }
             "--algo" => args.algo = raw.pop().ok_or("missing value after --algo")?.parse()?,
+            "--metrics" => args.metrics = Some(raw.pop().ok_or("missing value after --metrics")?),
+            "--format" => args.format = raw.pop().ok_or("missing value after --format")?.parse()?,
+            "--no-gcc" => args.no_gcc = true,
             "--seed" => {
                 args.seed = raw
                     .pop()
@@ -114,8 +125,35 @@ fn run() -> Result<String, String> {
         )
         .map_err(err),
         "explore" => cmd_explore(p(0)?, p(1)?, p(2)?.as_ref(), need_out(&a)?, a.seed).map_err(err),
-        "metrics" => cmd_metrics(p(0)?.as_ref()).map_err(err),
-        "compare" => cmd_compare(p(0)?.as_ref(), p(1)?.as_ref()).map_err(err),
+        // `--metrics help` needs no graph files — don't demand any
+        "metrics" | "compare" if a.metrics.as_deref() == Some("help") => cmd_metrics(
+            std::path::Path::new(""),
+            &MetricsOptions {
+                metrics: a.metrics.clone(),
+                format: a.format,
+                gcc_off: a.no_gcc,
+            },
+        )
+        .map_err(err),
+        "metrics" => cmd_metrics(
+            p(0)?.as_ref(),
+            &MetricsOptions {
+                metrics: a.metrics.clone(),
+                format: a.format,
+                gcc_off: a.no_gcc,
+            },
+        )
+        .map_err(err),
+        "compare" => cmd_compare(
+            p(0)?.as_ref(),
+            p(1)?.as_ref(),
+            &MetricsOptions {
+                metrics: a.metrics.clone(),
+                format: a.format,
+                gcc_off: a.no_gcc,
+            },
+        )
+        .map_err(err),
         "census" => cmd_census(p(0)?.as_ref(), a.max_d).map_err(err),
         "viz" => cmd_viz(p(0)?.as_ref(), need_out(&a)?, a.seed).map_err(err),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),

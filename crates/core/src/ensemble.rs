@@ -1,145 +1,28 @@
-//! Deterministic parallel ensemble execution.
+//! Deterministic parallel ensemble execution (historical path).
 //!
 //! "Our results represent averages over 100 graphs generated with a
 //! different random seed in each case" (paper §5) — every reproduction
-//! experiment is an embarrassingly parallel fan-out over seeds. This
-//! module is the one fan-out primitive the workspace uses: the bench
-//! harness, the [`crate::generate::Generator`] ensemble methods, and the
-//! fig/table binaries all run replicas through [`run`].
+//! experiment is an embarrassingly parallel fan-out over seeds. The
+//! runner itself now lives in [`dk_graph::ensemble`] so that the analysis
+//! stack (`dk-metrics`, which `dk-core` depends on) can share the same
+//! deterministic fan-out without a dependency cycle; this module
+//! re-exports it under the path the generation stack and the bench
+//! harness have always used.
 //!
-//! ## Determinism contract
-//!
-//! Replica `i` always computes with `StdRng::seed_from_u64(`
-//! [`derive_seed`]`(master, i))` — a function of the master seed and the
-//! replica index only. Work distribution (which thread runs which
-//! replica) therefore cannot affect any result: the parallel runner is
-//! **bit-identical** to a serial loop, and results come back ordered by
-//! replica index.
-//!
-//! The build environment has no rayon, so the pool is hand-rolled on
-//! `std::thread::scope` with an atomic work queue — replicas have wildly
-//! unequal costs (e.g. targeting chains vs stochastic draws), so dynamic
-//! stealing beats static chunking.
+//! See [`dk_graph::ensemble`] for the determinism contract: replica `i`
+//! is seeded from `(master, i)` only, so any thread count is
+//! bit-identical to a serial loop.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-/// Derives the replica-`i` seed from a master seed (SplitMix64 step over
-/// a golden-ratio stride — avoids the correlated streams that adjacent
-/// raw seeds would give some generators).
-pub fn derive_seed(master: u64, i: u64) -> u64 {
-    let mut z = master.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Number of worker threads for a requested `threads` value (`0` = all
-/// available cores) and a job count — never more workers than jobs.
-fn worker_count(threads: usize, replicas: u64) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let want = if threads == 0 { hw } else { threads };
-    want.clamp(1, replicas.max(1) as usize)
-}
-
-/// Runs `job(i, rng_i)` for every replica `i < replicas` across
-/// `threads` workers (`0` = all cores) and returns results **in replica
-/// order**. With `threads = 1` the loop is strictly serial; any other
-/// thread count returns bit-identical results (see the module docs).
-pub fn run<T, F>(replicas: u64, master_seed: u64, threads: usize, job: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(u64, &mut StdRng) -> T + Sync,
-{
-    let workers = worker_count(threads, replicas);
-    if workers <= 1 {
-        return (0..replicas)
-            .map(|i| {
-                let mut rng = StdRng::seed_from_u64(derive_seed(master_seed, i));
-                job(i, &mut rng)
-            })
-            .collect();
-    }
-
-    let next = AtomicU64::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..replicas).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= replicas {
-                    break;
-                }
-                let mut rng = StdRng::seed_from_u64(derive_seed(master_seed, i));
-                let out = job(i, &mut rng);
-                results.lock().expect("no worker panicked holding the lock")[i as usize] =
-                    Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("all workers joined")
-        .into_iter()
-        .map(|slot| slot.expect("every replica index was dispatched exactly once"))
-        .collect()
-}
+pub use dk_graph::ensemble::{derive_seed, run};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn seeds_are_distinct_and_master_dependent() {
-        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|i| derive_seed(7, i)).collect();
-        assert_eq!(seeds.len(), 1000);
-        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
-    }
-
-    #[test]
-    fn parallel_identical_to_serial() {
-        use rand::Rng;
-        let job = |i: u64, rng: &mut StdRng| -> (u64, u64) { (i, rng.gen_range(0..1_000_000)) };
-        let serial = run(64, 99, 1, job);
-        for threads in [2, 3, 8, 0] {
-            let parallel = run(64, 99, threads, job);
-            assert_eq!(serial, parallel, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn results_come_back_in_replica_order() {
-        let out = run(32, 5, 4, |i, _| i);
-        assert_eq!(out, (0..32).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn zero_replicas_and_single_replica() {
-        assert!(run(0, 1, 0, |i, _| i).is_empty());
-        assert_eq!(run(1, 1, 0, |i, _| i), vec![0]);
-    }
-
-    #[test]
-    fn worker_count_clamps() {
-        assert_eq!(worker_count(1, 100), 1);
-        assert_eq!(worker_count(8, 3), 3);
-        assert!(worker_count(0, 1000) >= 1);
-    }
-
-    #[test]
-    fn uneven_job_costs_still_ordered() {
-        // longer work for low indices: stealing reorders execution, but
-        // never the results
-        let out = run(16, 3, 4, |i, _| {
-            if i < 4 {
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            }
-            i * 10
-        });
-        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    fn reexport_is_the_graph_runner() {
+        // the historical path and the new home must be the same function
+        assert_eq!(derive_seed(7, 3), dk_graph::ensemble::derive_seed(7, 3));
+        assert_eq!(run(4, 1, 2, |i, _| i), vec![0, 1, 2, 3]);
     }
 }

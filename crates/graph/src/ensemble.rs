@@ -1,0 +1,147 @@
+//! Deterministic parallel fan-out — the one work-distribution primitive
+//! the workspace uses.
+//!
+//! "Our results represent averages over 100 graphs generated with a
+//! different random seed in each case" (paper §5) — every reproduction
+//! experiment is an embarrassingly parallel fan-out over seeds, and the
+//! metric analyzer fans independent metrics out over the same runner.
+//! The module lives in `dk-graph` (the workspace root crate) so that both
+//! the generation stack (`dk_core::generate::Generator`) and the analysis
+//! stack (`dk_metrics::Analyzer`) can share it without a dependency
+//! cycle; `dk_core::ensemble` re-exports it under its historical path.
+//!
+//! ## Determinism contract
+//!
+//! Job `i` always computes with `StdRng::seed_from_u64(`[`derive_seed`]
+//! `(master, i))` — a function of the master seed and the job index
+//! only. Work distribution (which thread runs which job) therefore
+//! cannot affect any result: the parallel runner is **bit-identical** to
+//! a serial loop, and results come back ordered by job index.
+//!
+//! The build environment has no rayon, so the pool is hand-rolled on
+//! `std::thread::scope` with an atomic work queue — jobs have wildly
+//! unequal costs (e.g. targeting chains vs stochastic draws, or spectral
+//! solves vs degree sums), so dynamic stealing beats static chunking.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Derives the job-`i` seed from a master seed (SplitMix64 step over
+/// a golden-ratio stride — avoids the correlated streams that adjacent
+/// raw seeds would give some generators).
+pub fn derive_seed(master: u64, i: u64) -> u64 {
+    let mut z = master.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Number of worker threads for a requested `threads` value (`0` = all
+/// available cores) and a job count — never more workers than jobs.
+fn worker_count(threads: usize, jobs: u64) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let want = if threads == 0 { hw } else { threads };
+    want.clamp(1, jobs.max(1) as usize)
+}
+
+/// Runs `job(i, rng_i)` for every index `i < jobs` across `threads`
+/// workers (`0` = all cores) and returns results **in job order**. With
+/// `threads = 1` the loop is strictly serial; any other thread count
+/// returns bit-identical results (see the module docs).
+pub fn run<T, F>(jobs: u64, master_seed: u64, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, &mut StdRng) -> T + Sync,
+{
+    let workers = worker_count(threads, jobs);
+    if workers <= 1 {
+        return (0..jobs)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(master_seed, i));
+                job(i, &mut rng)
+            })
+            .collect();
+    }
+
+    let next = AtomicU64::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let mut rng = StdRng::seed_from_u64(derive_seed(master_seed, i));
+                let out = job(i, &mut rng);
+                results.lock().expect("no worker panicked holding the lock")[i as usize] =
+                    Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every job index was dispatched exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct_and_master_dependent() {
+        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn parallel_identical_to_serial() {
+        use rand::Rng;
+        let job = |i: u64, rng: &mut StdRng| -> (u64, u64) { (i, rng.gen_range(0..1_000_000)) };
+        let serial = run(64, 99, 1, job);
+        for threads in [2, 3, 8, 0] {
+            let parallel = run(64, 99, threads, job);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let out = run(32, 5, 4, |i, _| i);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_and_single_job() {
+        assert!(run(0, 1, 0, |i, _| i).is_empty());
+        assert_eq!(run(1, 1, 0, |i, _| i), vec![0]);
+    }
+
+    #[test]
+    fn worker_count_clamps() {
+        assert_eq!(worker_count(1, 100), 1);
+        assert_eq!(worker_count(8, 3), 3);
+        assert!(worker_count(0, 1000) >= 1);
+    }
+
+    #[test]
+    fn uneven_job_costs_still_ordered() {
+        // longer work for low indices: stealing reorders execution, but
+        // never the results
+        let out = run(16, 3, 4, |i, _| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+}

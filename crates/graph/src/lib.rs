@@ -52,6 +52,7 @@
 
 pub mod builders;
 pub mod degree;
+pub mod ensemble;
 pub mod error;
 pub mod graph;
 pub mod hashers;

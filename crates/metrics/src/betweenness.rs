@@ -6,24 +6,51 @@
 //! exactly in O(n·m) on unweighted graphs — one BFS plus one dependency
 //! back-propagation per source — and sources are embarrassingly parallel.
 
-use crate::distance::{default_threads, run_chunked};
+use crate::distance::{default_threads, run_chunked, DistanceDistribution};
 use dk_graph::{Graph, NodeId};
 use std::collections::VecDeque;
 
-/// Exact node betweenness, **unordered-pair convention**: each `{s, t}`
-/// pair contributes once, endpoints excluded.
-pub fn node_betweenness(g: &Graph) -> Vec<f64> {
-    node_betweenness_with_threads(g, default_threads())
+/// Joint result of the fused all-source traversal: Brandes' BFS already
+/// discovers the distance of every reachable node from every source, so
+/// the exact distance distribution falls out of the same pass for the
+/// cost of a counter increment per visit.
+///
+/// This is the shared-computation path behind the analyzer cache: when a
+/// metric battery requests both the distance family and the betweenness
+/// family, one traversal serves both instead of two all-source sweeps.
+#[derive(Clone, Debug)]
+pub struct FusedTraversal {
+    /// Exact node betweenness, unordered-pair convention (identical to
+    /// [`node_betweenness`]).
+    pub betweenness: Vec<f64>,
+    /// Exact distance distribution (identical to
+    /// [`DistanceDistribution::from_graph`]).
+    pub distances: DistanceDistribution,
 }
 
-/// As [`node_betweenness`] with an explicit worker count.
-pub fn node_betweenness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
+/// Fused all-source pass computing node betweenness **and** the distance
+/// distribution in one sweep. See [`FusedTraversal`].
+pub fn betweenness_and_distances(g: &Graph) -> FusedTraversal {
+    betweenness_and_distances_with_threads(g, default_threads())
+}
+
+/// As [`betweenness_and_distances`] with an explicit worker count.
+pub fn betweenness_and_distances_with_threads(g: &Graph, threads: usize) -> FusedTraversal {
     let n = g.node_count();
     if n == 0 {
-        return Vec::new();
+        return FusedTraversal {
+            betweenness: Vec::new(),
+            distances: DistanceDistribution {
+                counts: vec![],
+                nodes: 0,
+                unreachable_pairs: 0,
+            },
+        };
     }
     let partials = run_chunked(n as u32, threads.clamp(1, n), |range| {
         let mut bc = vec![0.0f64; n];
+        let mut counts: Vec<u64> = Vec::new();
+        let mut unreachable = 0u64;
         // reusable per-source buffers
         let mut dist = vec![-1i32; n];
         let mut sigma = vec![0.0f64; n];
@@ -44,6 +71,11 @@ pub fn node_betweenness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
             while let Some(u) = queue.pop_front() {
                 order.push(u);
                 let du = dist[u as usize];
+                let dx = du as usize;
+                if counts.len() <= dx {
+                    counts.resize(dx + 1, 0);
+                }
+                counts[dx] += 1;
                 for &v in g.neighbors(u) {
                     let vi = v as usize;
                     if dist[vi] < 0 {
@@ -55,6 +87,7 @@ pub fn node_betweenness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
                     }
                 }
             }
+            unreachable += n as u64 - order.len() as u64;
             // dependency accumulation in reverse BFS order
             for &w in order.iter().rev() {
                 let wi = w as usize;
@@ -71,19 +104,50 @@ pub fn node_betweenness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
                 }
             }
         }
-        bc
+        (bc, counts, unreachable)
     });
     let mut bc = vec![0.0f64; n];
-    for p in partials {
+    let mut counts: Vec<u64> = Vec::new();
+    let mut unreachable = 0u64;
+    for (p, c, u) in partials {
         for (acc, v) in bc.iter_mut().zip(p) {
             *acc += v;
         }
+        if counts.len() < c.len() {
+            counts.resize(c.len(), 0);
+        }
+        for (x, v) in c.into_iter().enumerate() {
+            counts[x] += v;
+        }
+        unreachable += u;
     }
     // each unordered pair was counted from both endpoints
     for v in bc.iter_mut() {
         *v /= 2.0;
     }
-    bc
+    FusedTraversal {
+        betweenness: bc,
+        distances: DistanceDistribution {
+            counts,
+            nodes: n,
+            unreachable_pairs: unreachable,
+        },
+    }
+}
+
+/// Exact node betweenness, **unordered-pair convention**: each `{s, t}`
+/// pair contributes once, endpoints excluded.
+pub fn node_betweenness(g: &Graph) -> Vec<f64> {
+    node_betweenness_with_threads(g, default_threads())
+}
+
+/// As [`node_betweenness`] with an explicit worker count.
+///
+/// Delegates to the fused pass — the distance counters it also maintains
+/// cost one array increment per BFS visit, noise next to the Brandes
+/// dependency accumulation.
+pub fn node_betweenness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
+    betweenness_and_distances_with_threads(g, threads).betweenness
 }
 
 /// Betweenness normalized to `\[0, 1\]` by the number of unordered pairs
@@ -92,8 +156,13 @@ pub fn node_betweenness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
 /// This is the "normalized node betweenness" of the paper's Figures 6(b)
 /// and 9. Returns zeros for `n < 3`.
 pub fn normalized_betweenness(g: &Graph) -> Vec<f64> {
-    let n = g.node_count();
-    let raw = node_betweenness(g);
+    normalize_raw(node_betweenness(g), g.node_count())
+}
+
+/// Normalizes raw per-node betweenness (unordered-pair convention) by the
+/// `(n−1)(n−2)/2` pair count — the shared step between the whole-graph
+/// entry point above and the analyzer cache, which holds raw values.
+pub(crate) fn normalize_raw(raw: Vec<f64>, n: usize) -> Vec<f64> {
     if n < 3 {
         return vec![0.0; n];
     }
@@ -167,7 +236,12 @@ pub fn edge_betweenness(g: &Graph) -> Vec<((NodeId, NodeId), f64)> {
 /// Mean normalized betweenness of `k`-degree nodes, as `(k, b̄(k))` pairs —
 /// the series plotted in the paper's betweenness figures.
 pub fn betweenness_by_degree(g: &Graph) -> Vec<(usize, f64)> {
-    let bc = normalized_betweenness(g);
+    by_degree_from(g, &normalized_betweenness(g))
+}
+
+/// `(k, b̄(k))` series from precomputed normalized betweenness values —
+/// lets the analyzer cache reuse one traversal for `b_max` and `b_k`.
+pub(crate) fn by_degree_from(g: &Graph, bc: &[f64]) -> Vec<(usize, f64)> {
     let kmax = g.max_degree();
     let mut sum = vec![0.0f64; kmax + 1];
     let mut cnt = vec![0usize; kmax + 1];
@@ -279,6 +353,26 @@ mod tests {
         assert!((series[0].1).abs() < 1e-12);
         assert_eq!(series[1].0, 5);
         assert!((series[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_distances_match_distance_module() {
+        // the fused pass must reproduce DistanceDistribution exactly,
+        // including unreachable-pair accounting on disconnected graphs
+        for g in [
+            builders::karate_club(),
+            builders::grid(5, 7),
+            Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap(),
+        ] {
+            let fused = betweenness_and_distances_with_threads(&g, 3);
+            assert_eq!(
+                fused.distances,
+                crate::distance::DistanceDistribution::from_graph_with_threads(&g, 1)
+            );
+        }
+        let empty = betweenness_and_distances(&Graph::new());
+        assert!(empty.betweenness.is_empty());
+        assert_eq!(empty.distances.nodes, 0);
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Shared-computation cache behind the [`Analyzer`](crate::analyzer::Analyzer).
+//!
+//! The legacy battery recomputed everything per metric: requesting the
+//! distance distribution *and* betweenness meant two independent
+//! all-source sweeps, and every clustering-family scalar re-ran the
+//! triangle census. [`AnalysisCache::build`] instead unions the
+//! [`Dep`]s of the selected metrics and computes each shared pass once:
+//!
+//! * **GCC extraction** happens once, up front (§5.2 of the paper: "We
+//!   report all the metrics calculated for the giant connected
+//!   component"); [`GccPolicy::Whole`] opts out.
+//! * **Distances + betweenness** share one fused all-source traversal
+//!   ([`crate::betweenness::betweenness_and_distances`]) whenever both
+//!   are requested — Brandes' BFS already knows every distance.
+//! * **Triangles** are censused once for `c_mean`/`c_k`/`transitivity`.
+//! * Each pass owns the full thread budget while it runs (the traversal
+//!   parallelizes over BFS sources via the deterministic chunked
+//!   scheduler); passes execute sequentially so an explicit `threads`
+//!   cap is never oversubscribed.
+//!
+//! Metrics computed outside an [`Analyzer`](crate::analyzer::Analyzer)
+//! run (no prepared dep) fall back to computing on demand, so
+//! [`Metric::compute`](crate::metric::Metric::compute) is total either
+//! way.
+
+use crate::betweenness;
+use crate::distance::{default_threads, DistanceDistribution};
+use crate::metric::{AnyMetric, Dep};
+use crate::{clustering, spectral};
+use dk_graph::{traversal, Graph};
+use dk_linalg::laplacian::SpectralExtremes;
+use std::borrow::Cow;
+
+/// Whether metrics describe the giant connected component (the paper's
+/// §5.2 convention, the default) or the whole input graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GccPolicy {
+    /// Extract the GCC first; `gcc_fraction` reports the retained share.
+    #[default]
+    Extract,
+    /// Analyze the graph as given (CLI `--no-gcc`).
+    Whole,
+}
+
+/// Tuning knobs shared by the cache and the analyzer.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyzeOptions {
+    /// GCC extraction policy.
+    pub gcc: GccPolicy,
+    /// Lanczos budget for spectral extremes above the dense cutoff.
+    pub lanczos_iter: usize,
+    /// Worker threads for shared passes and the metric fan-out
+    /// (`0` = all cores). Any value produces identical results.
+    pub threads: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            gcc: GccPolicy::Extract,
+            lanczos_iter: 300,
+            threads: 0,
+        }
+    }
+}
+
+/// One traversal's worth of shared all-pairs results.
+struct TraversalData {
+    distances: DistanceDistribution,
+    /// Normalized node betweenness; `None` when only distances were
+    /// requested.
+    betweenness: Option<Vec<f64>>,
+}
+
+enum DepOut {
+    Triangles(Vec<usize>),
+    Traversal(TraversalData),
+    Spectral(Option<SpectralExtremes>),
+}
+
+/// Prepared per-graph state every [`Metric`](crate::metric::Metric)
+/// computes from.
+pub struct AnalysisCache<'g> {
+    original_nodes: usize,
+    original_edges: usize,
+    target: Cow<'g, Graph>,
+    gcc_fraction: f64,
+    gcc_applied: bool,
+    lanczos_iter: usize,
+    threads: usize,
+    triangles: Option<Vec<usize>>,
+    traversal: Option<TraversalData>,
+    /// `Some(None)` = computed but undefined (disconnected / too small).
+    spectral: Option<Option<SpectralExtremes>>,
+}
+
+impl<'g> AnalysisCache<'g> {
+    /// Prepares the cache for `metrics` over `g`: applies the GCC
+    /// policy, then computes the union of the metrics' [`Dep`]s, one
+    /// pass at a time (each pass owns the full thread budget
+    /// internally), with distances and betweenness fused into one
+    /// traversal when both are needed.
+    pub fn build(g: &'g Graph, metrics: &[AnyMetric], opts: &AnalyzeOptions) -> Self {
+        let deps: Vec<Dep> = {
+            let mut d: Vec<Dep> = metrics.iter().flat_map(|m| m.deps()).copied().collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        };
+        let (target, gcc_fraction, gcc_applied) = match opts.gcc {
+            GccPolicy::Extract => {
+                let (gcc, _) = traversal::giant_component(g);
+                let fraction = if g.node_count() == 0 {
+                    1.0
+                } else {
+                    gcc.node_count() as f64 / g.node_count() as f64
+                };
+                (Cow::Owned(gcc), fraction, true)
+            }
+            GccPolicy::Whole => (Cow::Borrowed(g), 1.0, false),
+        };
+        let mut cache = AnalysisCache {
+            original_nodes: g.node_count(),
+            original_edges: g.edge_count(),
+            target,
+            gcc_fraction,
+            gcc_applied,
+            lanczos_iter: opts.lanczos_iter,
+            threads: opts.threads,
+            triangles: None,
+            traversal: None,
+            spectral: None,
+        };
+
+        #[derive(Clone, Copy)]
+        enum Job {
+            Triangles,
+            Traversal { betweenness: bool },
+            Spectral,
+        }
+        let mut jobs: Vec<Job> = Vec::new();
+        if deps.contains(&Dep::Triangles) {
+            jobs.push(Job::Triangles);
+        }
+        if deps.contains(&Dep::Betweenness) {
+            // the fused pass hands back distances for free
+            jobs.push(Job::Traversal { betweenness: true });
+        } else if deps.contains(&Dep::Distances) {
+            jobs.push(Job::Traversal { betweenness: false });
+        }
+        if deps.contains(&Dep::Spectral) {
+            jobs.push(Job::Spectral);
+        }
+        if jobs.is_empty() {
+            return cache;
+        }
+
+        let target = cache.target.as_ref();
+        let inner_threads = cache.inner_threads();
+        // Passes run one after another; the heavy ones (traversal) use
+        // the *full* thread budget internally, parallelizing over BFS
+        // sources. Running passes concurrently on top of that would
+        // oversubscribe an explicit `threads` cap.
+        let outs = jobs.iter().map(|job| match *job {
+            Job::Triangles => DepOut::Triangles(clustering::triangles_per_node(target)),
+            Job::Traversal { betweenness: true } => {
+                let fused =
+                    betweenness::betweenness_and_distances_with_threads(target, inner_threads);
+                DepOut::Traversal(TraversalData {
+                    distances: fused.distances,
+                    betweenness: Some(betweenness::normalize_raw(
+                        fused.betweenness,
+                        target.node_count(),
+                    )),
+                })
+            }
+            Job::Traversal { betweenness: false } => DepOut::Traversal(TraversalData {
+                distances: DistanceDistribution::from_graph_with_threads(target, inner_threads),
+                betweenness: None,
+            }),
+            Job::Spectral => DepOut::Spectral(if target.node_count() >= 2 {
+                spectral::spectral_extremes_with(target, opts.lanczos_iter).ok()
+            } else {
+                None
+            }),
+        });
+        for out in outs {
+            match out {
+                DepOut::Triangles(t) => cache.triangles = Some(t),
+                DepOut::Traversal(t) => cache.traversal = Some(t),
+                DepOut::Spectral(s) => cache.spectral = Some(s),
+            }
+        }
+        cache
+    }
+
+    /// A cache with no precomputed deps — metric computations fall back
+    /// to on-demand evaluation. Used by the legacy one-shot entry points.
+    pub fn bare(g: &'g Graph, opts: &AnalyzeOptions) -> Self {
+        Self::build(g, &[], opts)
+    }
+
+    /// The analyzed graph (the GCC under [`GccPolicy::Extract`]).
+    pub fn graph(&self) -> &Graph {
+        self.target.as_ref()
+    }
+
+    /// Node count of the original (pre-GCC) input.
+    pub fn original_nodes(&self) -> usize {
+        self.original_nodes
+    }
+
+    /// Edge count of the original (pre-GCC) input.
+    pub fn original_edges(&self) -> usize {
+        self.original_edges
+    }
+
+    /// Fraction of original nodes retained (1.0 under [`GccPolicy::Whole`]).
+    pub fn gcc_fraction(&self) -> f64 {
+        self.gcc_fraction
+    }
+
+    /// Whether GCC extraction was applied.
+    pub fn gcc_applied(&self) -> bool {
+        self.gcc_applied
+    }
+
+    fn inner_threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// Per-node triangle counts (cached or computed on demand).
+    pub fn triangles(&self) -> Cow<'_, [usize]> {
+        match &self.triangles {
+            Some(t) => Cow::Borrowed(t.as_slice()),
+            None => Cow::Owned(clustering::triangles_per_node(self.graph())),
+        }
+    }
+
+    /// Exact distance distribution (cached or computed on demand).
+    pub fn distances(&self) -> Cow<'_, DistanceDistribution> {
+        match &self.traversal {
+            Some(t) => Cow::Borrowed(&t.distances),
+            None => Cow::Owned(DistanceDistribution::from_graph_with_threads(
+                self.graph(),
+                self.inner_threads(),
+            )),
+        }
+    }
+
+    /// Normalized node betweenness (cached or computed on demand).
+    pub fn betweenness(&self) -> Cow<'_, [f64]> {
+        match &self.traversal {
+            Some(TraversalData {
+                betweenness: Some(b),
+                ..
+            }) => Cow::Borrowed(b.as_slice()),
+            _ => {
+                let fused = betweenness::betweenness_and_distances_with_threads(
+                    self.graph(),
+                    self.inner_threads(),
+                );
+                Cow::Owned(betweenness::normalize_raw(
+                    fused.betweenness,
+                    self.graph().node_count(),
+                ))
+            }
+        }
+    }
+
+    /// Spectral extremes; `None` when undefined on this graph
+    /// (fewer than 2 nodes, disconnected under [`GccPolicy::Whole`], or
+    /// solver failure).
+    pub fn spectral(&self) -> Option<SpectralExtremes> {
+        match &self.spectral {
+            Some(s) => *s,
+            None => {
+                if self.graph().node_count() >= 2 {
+                    spectral::spectral_extremes_with(self.graph(), self.lanczos_iter).ok()
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::MetricValue;
+    use dk_graph::builders;
+
+    fn metrics(names: &str) -> Vec<AnyMetric> {
+        AnyMetric::parse_list(names).unwrap()
+    }
+
+    #[test]
+    fn gcc_policy_extract_vs_whole() {
+        let mut g = builders::path(4);
+        g.add_node();
+        g.add_node();
+        let opts = AnalyzeOptions::default();
+        let cache = AnalysisCache::build(&g, &[], &opts);
+        assert_eq!(cache.graph().node_count(), 4);
+        assert!((cache.gcc_fraction() - 4.0 / 6.0).abs() < 1e-12);
+        assert!(cache.gcc_applied());
+        assert_eq!(cache.original_nodes(), 6);
+
+        let whole = AnalysisCache::build(
+            &g,
+            &[],
+            &AnalyzeOptions {
+                gcc: GccPolicy::Whole,
+                ..opts
+            },
+        );
+        assert_eq!(whole.graph().node_count(), 6);
+        assert_eq!(whole.gcc_fraction(), 1.0);
+        assert!(!whole.gcc_applied());
+    }
+
+    #[test]
+    fn cached_deps_match_on_demand_fallback() {
+        let g = builders::karate_club();
+        let opts = AnalyzeOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let warm = AnalysisCache::build(&g, &metrics("c_mean,d_avg,b_max,lambda1"), &opts);
+        let cold = AnalysisCache::bare(&g, &opts);
+        assert_eq!(warm.triangles(), cold.triangles());
+        assert_eq!(warm.distances(), cold.distances());
+        assert_eq!(warm.betweenness(), cold.betweenness());
+        assert_eq!(
+            warm.spectral().map(|s| s.lambda1),
+            cold.spectral().map(|s| s.lambda1)
+        );
+    }
+
+    #[test]
+    fn fused_traversal_serves_both_families() {
+        let g = builders::karate_club();
+        let opts = AnalyzeOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let cache = AnalysisCache::build(&g, &metrics("d_avg,b_max"), &opts);
+        // both deps present without recomputation: the traversal slot
+        // holds distances AND betweenness
+        assert!(cache.traversal.as_ref().unwrap().betweenness.is_some());
+        assert_eq!(
+            cache.distances().as_ref(),
+            &DistanceDistribution::from_graph_with_threads(&g, 1)
+        );
+        assert_eq!(
+            cache.betweenness().as_ref(),
+            betweenness::normalized_betweenness(&g).as_slice()
+        );
+    }
+
+    #[test]
+    fn distance_only_request_skips_betweenness() {
+        let g = builders::cycle(8);
+        let cache = AnalysisCache::build(&g, &metrics("d_avg"), &AnalyzeOptions::default());
+        assert!(cache.traversal.as_ref().unwrap().betweenness.is_none());
+    }
+
+    #[test]
+    fn spectral_undefined_below_two_nodes() {
+        let g = builders::path(1);
+        let cache = AnalysisCache::build(&g, &metrics("lambda1"), &AnalyzeOptions::default());
+        assert!(cache.spectral().is_none());
+        assert_eq!(
+            AnyMetric::get("lambda1").unwrap().compute(&cache),
+            MetricValue::Undefined
+        );
+    }
+}

@@ -45,7 +45,13 @@ pub fn triangle_count(g: &Graph) -> usize {
 
 /// Local clustering coefficient per node; `None` for degree < 2.
 pub fn local_clustering(g: &Graph) -> Vec<Option<f64>> {
-    let tri = triangles_per_node(g);
+    local_clustering_from(g, &triangles_per_node(g))
+}
+
+/// [`local_clustering`] from precomputed per-node triangle counts — lets
+/// the analyzer cache amortize one triangle census across `c_mean`,
+/// `c_k`, and `transitivity`.
+pub(crate) fn local_clustering_from(g: &Graph, tri: &[usize]) -> Vec<Option<f64>> {
     (0..g.node_count())
         .map(|v| {
             let k = g.degree(v as u32);
@@ -61,7 +67,12 @@ pub fn local_clustering(g: &Graph) -> Vec<Option<f64>> {
 /// Degree-dependent clustering `C(k)`: mean local clustering of `k`-degree
 /// nodes, as `(k, C(k))` pairs for degrees with at least one defined value.
 pub fn clustering_by_degree(g: &Graph) -> Vec<(usize, f64)> {
-    let local = local_clustering(g);
+    clustering_by_degree_from(g, &triangles_per_node(g))
+}
+
+/// [`clustering_by_degree`] from precomputed triangle counts.
+pub(crate) fn clustering_by_degree_from(g: &Graph, tri: &[usize]) -> Vec<(usize, f64)> {
+    let local = local_clustering_from(g, tri);
     let kmax = g.max_degree();
     let mut sum = vec![0.0f64; kmax + 1];
     let mut cnt = vec![0usize; kmax + 1];
@@ -82,7 +93,12 @@ pub fn clustering_by_degree(g: &Graph) -> Vec<(usize, f64)> {
 ///
 /// Returns 0.0 if no node has degree ≥ 2.
 pub fn mean_clustering(g: &Graph) -> f64 {
-    let local = local_clustering(g);
+    mean_clustering_from(g, &triangles_per_node(g))
+}
+
+/// [`mean_clustering`] from precomputed triangle counts.
+pub(crate) fn mean_clustering_from(g: &Graph, tri: &[usize]) -> f64 {
+    let local = local_clustering_from(g, tri);
     let (mut sum, mut cnt) = (0.0, 0usize);
     for c in local.into_iter().flatten() {
         sum += c;
@@ -108,7 +124,12 @@ pub fn mean_clustering_all_nodes(g: &Graph) -> f64 {
 /// Global transitivity: `3 × #triangles / #wedges` — a wedge-weighted
 /// alternative to `C̄` (dominated by hubs in heavy-tailed graphs).
 pub fn transitivity(g: &Graph) -> f64 {
-    let tri = triangle_count(g);
+    transitivity_from(g, &triangles_per_node(g))
+}
+
+/// [`transitivity`] from precomputed triangle counts.
+pub(crate) fn transitivity_from(g: &Graph, tri: &[usize]) -> f64 {
+    let tri = tri.iter().sum::<usize>() / 3;
     let wedges: usize = g
         .nodes()
         .map(|v| {

@@ -156,31 +156,31 @@ pub(crate) fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |p| p.get())
 }
 
-/// Splits `0..n` into `threads` contiguous chunks and runs `work` on each
-/// in a scoped thread, returning the per-chunk results in order.
+/// Splits `0..n` into contiguous chunks and runs `work` on each across
+/// `threads` workers, returning the per-chunk results in order.
+///
+/// Chunk boundaries are a function of `n` **only** — never of the worker
+/// count — so callers that merge floating-point partials in chunk order
+/// (betweenness, the fused traversal) produce bit-identical results for
+/// every thread count. Scheduling rides the deterministic work-stealing
+/// runner [`dk_graph::ensemble::run`].
 pub(crate) fn run_chunked<A, F>(n: u32, threads: usize, work: F) -> Vec<A>
 where
     F: Fn(std::ops::Range<u32>) -> A + Sync,
     A: Send,
 {
-    let threads = threads.max(1).min(n.max(1) as usize);
-    if threads == 1 {
-        return vec![work(0..n)];
+    if n == 0 {
+        return vec![work(0..0)];
     }
-    let chunk = n.div_ceil(threads as u32);
-    let work = &work;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads as u32)
-            .map(|i| {
-                let lo = i * chunk;
-                let hi = ((i + 1) * chunk).min(n);
-                s.spawn(move || work(lo..hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+    // enough chunks that stealing balances uneven BFS costs, few enough
+    // that per-chunk buffer setup stays negligible
+    const TARGET_CHUNKS: u32 = 64;
+    let chunk = n.div_ceil(TARGET_CHUNKS).max(1);
+    let chunks = n.div_ceil(chunk);
+    dk_graph::ensemble::run(chunks as u64, 0, threads, |i, _rng| {
+        let lo = i as u32 * chunk;
+        let hi = (lo + chunk).min(n);
+        work(lo..hi)
     })
 }
 

@@ -1,0 +1,79 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace builds offline with no serde (dropped in PR 1); report
+//! serialization needs exactly three things — escaped strings, finite
+//! numbers, and assembled objects/arrays — so they are written by hand
+//! here and shared by [`crate::report`] and [`crate::analyzer`].
+
+/// Escapes a string for use inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value: shortest round-trip representation
+/// for finite numbers, `null` for NaN/infinities (JSON has no encoding
+/// for them).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Joins already-serialized members into a JSON object.
+pub fn object(fields: impl IntoIterator<Item = (String, String)>) -> String {
+    let body: Vec<String> = fields
+        .into_iter()
+        .map(|(k, v)| format!("\"{}\":{v}", escape(&k)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Joins already-serialized members into a JSON array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(-0.25), "-0.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        // round-trips exactly
+        assert_eq!(number(0.1).parse::<f64>().unwrap(), 0.1);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(object([("a".to_string(), "1".to_string())]), "{\"a\":1}");
+        assert_eq!(array(["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(object([]), "{}");
+        assert_eq!(array([]), "[]");
+    }
+}

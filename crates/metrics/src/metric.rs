@@ -1,0 +1,659 @@
+//! The [`Metric`] trait and its type-erased registry ([`AnyMetric`]).
+//!
+//! Mirrors the design of `dk_core::generate::Method` on the generation
+//! side: one canonical name set, parsed and printed everywhere (CLI
+//! `--metrics` flag, bench harness, JSON reports), with machine-checkable
+//! capability metadata — here a [`Cost`] class and the shared
+//! computations ([`Dep`]) a metric reads from the [`AnalysisCache`].
+//!
+//! ## The registry
+//!
+//! | name | kind | cost | paper notation |
+//! |------|------|------|----------------|
+//! | `n`, `m`, `gcc_fraction`, `k_avg` | scalar | trivial | `n`, `m`, —, `k̄` (§2) |
+//! | `r` | scalar | linear | assortativity `r` (§2) |
+//! | `c_mean`, `transitivity` | scalar | linear | `C̄` (§2) |
+//! | `s`, `s2` | scalar | linear | likelihood `S`, `S2` (§4.3) |
+//! | `kcore_max` | scalar | linear | — (beyond-paper check) |
+//! | `d_avg`, `d_std`, `diameter` | scalar | all-pairs | `d̄`, `σ_d` (§2) |
+//! | `b_max` | scalar | all-pairs | max normalized betweenness (§2) |
+//! | `lambda1`, `lambda_n` | scalar | spectral | `λ1`, `λ_{n−1}` (§2) |
+//! | `degree_dist` | series | trivial | `P(k)` (§2) |
+//! | `knn` | series | linear | `k_nn(k)` |
+//! | `c_k` | series | linear | `C(k)` (§2) |
+//! | `rich_club` | series | linear | — (beyond-paper check) |
+//! | `d_x` | series | all-pairs | `d(x)` (§2) |
+//! | `b_k` | series | all-pairs | `b̄(k)` (figs 6b, 9) |
+//!
+//! Metrics sharing a [`Dep`] are computed from one shared pass: `d_*` and
+//! `b_*` both ride the fused all-source traversal
+//! ([`crate::betweenness::betweenness_and_distances`]), and the
+//! clustering family shares one triangle census.
+
+use crate::cache::AnalysisCache;
+use crate::{betweenness, clustering, jdd, kcore, likelihood, richclub};
+use std::fmt;
+use std::str::FromStr;
+
+/// Value of one metric on one graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A single number (most Table 2 columns).
+    Scalar(f64),
+    /// An integer-keyed `(x, y)` series (degree- or distance-indexed).
+    Series(Vec<(usize, f64)>),
+    /// The metric is not defined on this graph (e.g. spectral extremes
+    /// of a graph with fewer than 2 nodes). Serialized as JSON `null`.
+    Undefined,
+}
+
+impl MetricValue {
+    /// The scalar payload, if any.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            MetricValue::Scalar(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The series payload, if any.
+    pub fn as_series(&self) -> Option<&[(usize, f64)]> {
+        match self {
+            MetricValue::Series(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Output shape of a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// One number per graph.
+    Scalar,
+    /// An `(x, y)` series per graph.
+    Series,
+}
+
+/// Asymptotic cost class, used for capability listings and for choosing
+/// default metric sets (`cheap` excludes everything super-linear).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cost {
+    /// O(n) or better — degree sums, counts.
+    Trivial,
+    /// O(m·log) — triangle census, edge scans.
+    Linear,
+    /// O(n·m) — all-source BFS (distances, betweenness).
+    AllPairs,
+    /// Eigensolver (Jacobi / Lanczos).
+    Spectral,
+}
+
+impl Cost {
+    /// Canonical lowercase label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Cost::Trivial => "trivial",
+            Cost::Linear => "linear",
+            Cost::AllPairs => "all-pairs",
+            Cost::Spectral => "spectral",
+        }
+    }
+}
+
+/// A shared computation a metric reads from the [`AnalysisCache`].
+///
+/// The analyzer unions the deps of every selected metric and computes
+/// each shared pass **once**; metrics then read the cached result. When
+/// both [`Dep::Distances`] and [`Dep::Betweenness`] are requested, one
+/// fused all-source traversal serves both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Dep {
+    /// Per-node triangle counts (clustering family).
+    Triangles,
+    /// Exact distance distribution (all-source BFS).
+    Distances,
+    /// Exact node betweenness (Brandes; subsumes [`Dep::Distances`]).
+    Betweenness,
+    /// Normalized-Laplacian spectral extremes.
+    Spectral,
+}
+
+/// A topology metric: name, capability metadata, and the computation
+/// over the shared cache.
+///
+/// All built-in metrics are registered in [`AnyMetric::all`]; external
+/// code normally consumes them through the type-erased [`AnyMetric`]
+/// handle and the [`Analyzer`](crate::analyzer::Analyzer) facade.
+pub trait Metric: Sync {
+    /// Canonical lowercase name (the [`AnyMetric::from_str`] inverse).
+    fn name(&self) -> &'static str;
+    /// Accepted alternative spellings.
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+    /// One-line human description (capability listings).
+    fn description(&self) -> &'static str;
+    /// Scalar or series output.
+    fn kind(&self) -> Kind;
+    /// Asymptotic cost class.
+    fn cost(&self) -> Cost;
+    /// Shared computations read from the cache.
+    fn deps(&self) -> &'static [Dep] {
+        &[]
+    }
+    /// Computes the metric over a prepared cache.
+    fn compute(&self, cx: &AnalysisCache<'_>) -> MetricValue;
+}
+
+/// Table-driven [`Metric`] implementation backing the registry.
+struct Def {
+    name: &'static str,
+    aliases: &'static [&'static str],
+    description: &'static str,
+    kind: Kind,
+    cost: Cost,
+    deps: &'static [Dep],
+    compute: fn(&AnalysisCache<'_>) -> MetricValue,
+}
+
+impl Metric for Def {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        self.aliases
+    }
+    fn description(&self) -> &'static str {
+        self.description
+    }
+    fn kind(&self) -> Kind {
+        self.kind
+    }
+    fn cost(&self) -> Cost {
+        self.cost
+    }
+    fn deps(&self) -> &'static [Dep] {
+        self.deps
+    }
+    fn compute(&self, cx: &AnalysisCache<'_>) -> MetricValue {
+        (self.compute)(cx)
+    }
+}
+
+fn scalar(x: f64) -> MetricValue {
+    MetricValue::Scalar(x)
+}
+
+static REGISTRY: &[Def] = &[
+    Def {
+        name: "n",
+        aliases: &["nodes"],
+        description: "node count of the analyzed graph (GCC by default)",
+        kind: Kind::Scalar,
+        cost: Cost::Trivial,
+        deps: &[],
+        compute: |cx| scalar(cx.graph().node_count() as f64),
+    },
+    Def {
+        name: "m",
+        aliases: &["edges"],
+        description: "edge count of the analyzed graph",
+        kind: Kind::Scalar,
+        cost: Cost::Trivial,
+        deps: &[],
+        compute: |cx| scalar(cx.graph().edge_count() as f64),
+    },
+    Def {
+        name: "gcc_fraction",
+        aliases: &[],
+        description: "fraction of the original nodes retained by the GCC (§5.2)",
+        kind: Kind::Scalar,
+        cost: Cost::Trivial,
+        deps: &[],
+        compute: |cx| scalar(cx.gcc_fraction()),
+    },
+    Def {
+        name: "k_avg",
+        aliases: &["avg_degree"],
+        description: "average degree k̄ (§2)",
+        kind: Kind::Scalar,
+        cost: Cost::Trivial,
+        deps: &[],
+        compute: |cx| scalar(cx.graph().avg_degree()),
+    },
+    Def {
+        name: "r",
+        aliases: &["assortativity"],
+        description: "Newman assortativity coefficient r (§2)",
+        kind: Kind::Scalar,
+        cost: Cost::Linear,
+        deps: &[],
+        compute: |cx| scalar(jdd::assortativity(cx.graph())),
+    },
+    Def {
+        name: "c_mean",
+        aliases: &["mean_clustering"],
+        description: "mean clustering C̄ over degree-≥2 nodes (§2)",
+        kind: Kind::Scalar,
+        cost: Cost::Linear,
+        deps: &[Dep::Triangles],
+        compute: |cx| {
+            scalar(clustering::mean_clustering_from(
+                cx.graph(),
+                &cx.triangles(),
+            ))
+        },
+    },
+    Def {
+        name: "transitivity",
+        aliases: &[],
+        description: "global transitivity 3·triangles/wedges",
+        kind: Kind::Scalar,
+        cost: Cost::Linear,
+        deps: &[Dep::Triangles],
+        compute: |cx| scalar(clustering::transitivity_from(cx.graph(), &cx.triangles())),
+    },
+    Def {
+        name: "s",
+        aliases: &["likelihood"],
+        description: "likelihood S = Σ_(i,j)∈E k_i·k_j (§2)",
+        kind: Kind::Scalar,
+        cost: Cost::Linear,
+        deps: &[],
+        compute: |cx| scalar(likelihood::likelihood_s(cx.graph())),
+    },
+    Def {
+        name: "s2",
+        aliases: &["likelihood_s2"],
+        description: "second-order likelihood S2 over induced wedges (§4.3)",
+        kind: Kind::Scalar,
+        cost: Cost::Linear,
+        deps: &[],
+        compute: |cx| scalar(likelihood::likelihood_s2(cx.graph())),
+    },
+    Def {
+        name: "kcore_max",
+        aliases: &["degeneracy"],
+        description: "graph degeneracy (maximum k-core index)",
+        kind: Kind::Scalar,
+        cost: Cost::Linear,
+        deps: &[],
+        compute: |cx| scalar(kcore::degeneracy(cx.graph()) as f64),
+    },
+    Def {
+        name: "d_avg",
+        aliases: &["avg_distance"],
+        description: "average distance d̄ over connected pairs (§2)",
+        kind: Kind::Scalar,
+        cost: Cost::AllPairs,
+        deps: &[Dep::Distances],
+        compute: |cx| {
+            if cx.graph().node_count() <= 1 {
+                MetricValue::Undefined
+            } else {
+                scalar(cx.distances().mean())
+            }
+        },
+    },
+    Def {
+        name: "d_std",
+        aliases: &["distance_std"],
+        description: "distance standard deviation σ_d (§2)",
+        kind: Kind::Scalar,
+        cost: Cost::AllPairs,
+        deps: &[Dep::Distances],
+        compute: |cx| {
+            if cx.graph().node_count() <= 1 {
+                MetricValue::Undefined
+            } else {
+                scalar(cx.distances().std_dev())
+            }
+        },
+    },
+    Def {
+        name: "diameter",
+        aliases: &[],
+        description: "longest finite shortest-path distance",
+        kind: Kind::Scalar,
+        cost: Cost::AllPairs,
+        deps: &[Dep::Distances],
+        compute: |cx| {
+            if cx.graph().node_count() == 0 {
+                MetricValue::Undefined
+            } else {
+                scalar(cx.distances().diameter() as f64)
+            }
+        },
+    },
+    Def {
+        name: "b_max",
+        aliases: &["max_betweenness"],
+        description: "maximum normalized node betweenness (§2)",
+        kind: Kind::Scalar,
+        cost: Cost::AllPairs,
+        deps: &[Dep::Betweenness],
+        compute: |cx| {
+            if cx.graph().node_count() < 3 {
+                return MetricValue::Undefined;
+            }
+            cx.betweenness()
+                .iter()
+                .copied()
+                .max_by(|a, b| a.partial_cmp(b).expect("finite betweenness"))
+                .map_or(MetricValue::Undefined, scalar)
+        },
+    },
+    Def {
+        name: "lambda1",
+        aliases: &[],
+        description: "smallest nonzero normalized-Laplacian eigenvalue λ1 (§2)",
+        kind: Kind::Scalar,
+        cost: Cost::Spectral,
+        deps: &[Dep::Spectral],
+        compute: |cx| {
+            cx.spectral()
+                .map_or(MetricValue::Undefined, |s| scalar(s.lambda1))
+        },
+    },
+    Def {
+        name: "lambda_n",
+        aliases: &["lambda_max"],
+        description: "largest normalized-Laplacian eigenvalue λ_{n−1} (§2)",
+        kind: Kind::Scalar,
+        cost: Cost::Spectral,
+        deps: &[Dep::Spectral],
+        compute: |cx| {
+            cx.spectral()
+                .map_or(MetricValue::Undefined, |s| scalar(s.lambda_max))
+        },
+    },
+    Def {
+        name: "degree_dist",
+        aliases: &["pk"],
+        description: "degree distribution P(k) over observed degrees (§2)",
+        kind: Kind::Series,
+        cost: Cost::Trivial,
+        deps: &[],
+        compute: |cx| {
+            let dd = crate::degree::DegreeDistribution::from_graph(cx.graph());
+            MetricValue::Series(
+                dd.counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(k, &c)| (k, c as f64 / dd.nodes as f64))
+                    .collect(),
+            )
+        },
+    },
+    Def {
+        name: "knn",
+        aliases: &["avg_neighbor_degree"],
+        description: "average neighbor degree k_nn(k)",
+        kind: Kind::Series,
+        cost: Cost::Linear,
+        deps: &[],
+        compute: |cx| MetricValue::Series(jdd::avg_neighbor_degree(cx.graph())),
+    },
+    Def {
+        name: "c_k",
+        aliases: &["clustering_by_degree"],
+        description: "degree-dependent clustering C(k) (§2)",
+        kind: Kind::Series,
+        cost: Cost::Linear,
+        deps: &[Dep::Triangles],
+        compute: |cx| {
+            MetricValue::Series(clustering::clustering_by_degree_from(
+                cx.graph(),
+                &cx.triangles(),
+            ))
+        },
+    },
+    Def {
+        name: "rich_club",
+        aliases: &[],
+        description: "rich-club connectivity φ(k)",
+        kind: Kind::Series,
+        cost: Cost::Linear,
+        deps: &[],
+        compute: |cx| MetricValue::Series(richclub::rich_club(cx.graph())),
+    },
+    Def {
+        name: "d_x",
+        aliases: &["distance_dist"],
+        description: "distance distribution d(x) over positive distances (§2)",
+        kind: Kind::Series,
+        cost: Cost::AllPairs,
+        deps: &[Dep::Distances],
+        compute: |cx| {
+            MetricValue::Series(
+                cx.distances()
+                    .pdf_positive()
+                    .into_iter()
+                    .enumerate()
+                    .skip(1)
+                    .collect(),
+            )
+        },
+    },
+    Def {
+        name: "b_k",
+        aliases: &["betweenness_by_degree"],
+        description: "mean normalized betweenness of k-degree nodes (figs 6b, 9)",
+        kind: Kind::Series,
+        cost: Cost::AllPairs,
+        deps: &[Dep::Betweenness],
+        compute: |cx| {
+            MetricValue::Series(betweenness::by_degree_from(cx.graph(), &cx.betweenness()))
+        },
+    },
+];
+
+/// Type-erased handle to a registered metric.
+///
+/// `Copy`, compared by canonical name, parsed with [`FromStr`], printed
+/// with [`fmt::Display`] — the analysis-side mirror of
+/// `dk_core::generate::Method`.
+#[derive(Clone, Copy)]
+pub struct AnyMetric(&'static dyn Metric);
+
+impl AnyMetric {
+    /// Every registered metric, in canonical (registry) order — scalars
+    /// cheap-to-expensive, then series.
+    pub fn all() -> impl Iterator<Item = AnyMetric> {
+        REGISTRY.iter().map(|d| AnyMetric(d))
+    }
+
+    /// Looks a metric up by canonical name or alias.
+    pub fn get(name: &str) -> Option<AnyMetric> {
+        REGISTRY
+            .iter()
+            .find(|d| d.name == name || d.aliases.contains(&name))
+            .map(|d| AnyMetric(d as &dyn Metric))
+    }
+
+    /// The paper's default scalar battery (Table 2 / Table 6 columns plus
+    /// the bookkeeping scalars `n`, `m`, `gcc_fraction`, `s`, `s2`).
+    /// Betweenness is excluded — as in the paper's tables — but is one
+    /// `--metrics` selection away.
+    pub fn default_set() -> Vec<AnyMetric> {
+        [
+            "n",
+            "m",
+            "gcc_fraction",
+            "k_avg",
+            "r",
+            "c_mean",
+            "d_avg",
+            "d_std",
+            "s",
+            "s2",
+            "lambda1",
+            "lambda_n",
+        ]
+        .iter()
+        .map(|n| AnyMetric::get(n).expect("registered"))
+        .collect()
+    }
+
+    /// The sub-quadratic scalars — safe to recompute in tight loops
+    /// (rewiring convergence probes, quick CLI summaries).
+    pub fn cheap_set() -> Vec<AnyMetric> {
+        ["n", "m", "gcc_fraction", "k_avg", "r", "c_mean", "s", "s2"]
+            .iter()
+            .map(|n| AnyMetric::get(n).expect("registered"))
+            .collect()
+    }
+
+    /// Parses a comma-separated metric list. Each element is a metric
+    /// name, an alias, or a set keyword: `default` (paper battery),
+    /// `cheap` (sub-quadratic scalars), `scalars`, `series`, or `all`.
+    /// Duplicates are removed, first occurrence wins.
+    pub fn parse_list(list: &str) -> Result<Vec<AnyMetric>, String> {
+        let mut out: Vec<AnyMetric> = Vec::new();
+        let mut push = |m: AnyMetric| {
+            if !out.contains(&m) {
+                out.push(m);
+            }
+        };
+        for item in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match item {
+                "default" | "paper" => AnyMetric::default_set().into_iter().for_each(&mut push),
+                "cheap" => AnyMetric::cheap_set().into_iter().for_each(&mut push),
+                "all" => AnyMetric::all().for_each(&mut push),
+                "scalars" => AnyMetric::all()
+                    .filter(|m| m.kind() == Kind::Scalar)
+                    .for_each(&mut push),
+                "series" => AnyMetric::all()
+                    .filter(|m| m.kind() == Kind::Series)
+                    .for_each(&mut push),
+                name => push(name.parse::<AnyMetric>()?),
+            }
+        }
+        if out.is_empty() {
+            return Err("empty metric list".into());
+        }
+        Ok(out)
+    }
+
+    /// One line per registered metric: name, kind, cost, description —
+    /// the capability listing printed by `dk metrics --metrics help`.
+    pub fn listing() -> String {
+        let mut out = String::from("metric        kind    cost       description\n");
+        for m in AnyMetric::all() {
+            out.push_str(&format!(
+                "{:<13} {:<7} {:<10} {}\n",
+                m.name(),
+                match m.kind() {
+                    Kind::Scalar => "scalar",
+                    Kind::Series => "series",
+                },
+                m.cost().name(),
+                m.description(),
+            ));
+        }
+        out.push_str("sets: default (paper battery), cheap, scalars, series, all\n");
+        out
+    }
+}
+
+impl std::ops::Deref for AnyMetric {
+    type Target = dyn Metric;
+
+    fn deref(&self) -> &Self::Target {
+        self.0
+    }
+}
+
+impl PartialEq for AnyMetric {
+    fn eq(&self, other: &Self) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl Eq for AnyMetric {}
+
+impl fmt::Debug for AnyMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AnyMetric({})", self.name())
+    }
+}
+
+impl fmt::Display for AnyMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AnyMetric {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        AnyMetric::get(s).ok_or_else(|| {
+            format!(
+                "unknown metric {s:?} — known metrics: {}",
+                REGISTRY
+                    .iter()
+                    .map(|d| d.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for m in AnyMetric::all() {
+            assert!(seen.insert(m.name()), "duplicate name {}", m.name());
+            assert_eq!(m.name().parse::<AnyMetric>().unwrap(), m);
+            for a in m.aliases() {
+                assert_eq!(a.parse::<AnyMetric>().unwrap(), m, "alias {a}");
+                assert!(seen.insert(a), "alias {a} collides");
+            }
+            assert_eq!(format!("{m}"), m.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_known_metrics() {
+        let err = "bogus".parse::<AnyMetric>().unwrap_err();
+        assert!(err.contains("k_avg"), "{err}");
+    }
+
+    #[test]
+    fn parse_list_expands_sets_and_dedups() {
+        let d = AnyMetric::parse_list("default").unwrap();
+        assert_eq!(d, AnyMetric::default_set());
+        let l = AnyMetric::parse_list("k_avg, r ,k_avg,b_max").unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[0].name(), "k_avg");
+        assert_eq!(l[2].name(), "b_max");
+        let all = AnyMetric::parse_list("all").unwrap();
+        assert_eq!(all.len(), AnyMetric::all().count());
+        let both = AnyMetric::parse_list("scalars,series").unwrap();
+        assert_eq!(both.len(), all.len());
+        assert!(AnyMetric::parse_list("").is_err());
+        assert!(AnyMetric::parse_list("k_avg,bogus").is_err());
+    }
+
+    #[test]
+    fn cheap_set_is_sub_quadratic() {
+        for m in AnyMetric::cheap_set() {
+            assert!(m.cost() <= Cost::Linear, "{} too expensive", m.name());
+        }
+    }
+
+    #[test]
+    fn listing_mentions_every_metric() {
+        let listing = AnyMetric::listing();
+        for m in AnyMetric::all() {
+            assert!(listing.contains(m.name()));
+        }
+    }
+}

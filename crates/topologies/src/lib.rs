@@ -20,7 +20,7 @@
 //!   structurally disassortative, clustering-annealed AS-scale graph
 //!   calibrated against the scalar values the paper itself publishes in
 //!   Table 6;
-//! * [`hot_like`] — the **HOT substitute**: a first-principles
+//! * [`mod@hot_like`] — the **HOT substitute**: a first-principles
 //!   core/gateway/access/host design with high-degree nodes at the
 //!   periphery, low-degree core, near-zero clustering — the structure
 //!   that makes degree-distribution-only generation fail (Li et al.,

@@ -1,0 +1,218 @@
+//! Golden-value tests for the unified analysis API: every scalar metric
+//! in the registry checked against closed-form values on small graphs
+//! (complete graph, star, cycle) and known literature values on
+//! Zachary's karate club, plus the determinism contract (parallel
+//! analysis byte-identical to serial) and the shared-cache consistency
+//! guarantees.
+
+use dk_repro::graph::builders;
+use dk_repro::graph::Graph;
+use dk_repro::metrics::{Analyzer, AnyMetric, GccPolicy, Report};
+
+fn analyze_all(g: &Graph) -> Report {
+    Analyzer::new().all_metrics().threads(1).analyze(g)
+}
+
+fn assert_scalar(rep: &Report, name: &str, want: f64) {
+    let got = rep
+        .scalar(name)
+        .unwrap_or_else(|| panic!("{name} undefined"));
+    assert!((got - want).abs() < 1e-9, "{name}: got {got}, want {want}");
+}
+
+#[test]
+fn complete_graph_golden_values() {
+    // K5: every scalar has a closed form.
+    let rep = analyze_all(&builders::complete(5));
+    assert_scalar(&rep, "n", 5.0);
+    assert_scalar(&rep, "m", 10.0);
+    assert_scalar(&rep, "gcc_fraction", 1.0);
+    assert_scalar(&rep, "k_avg", 4.0);
+    assert_scalar(&rep, "r", 0.0); // regular graph: undefined → 0 convention
+    assert_scalar(&rep, "c_mean", 1.0);
+    assert_scalar(&rep, "transitivity", 1.0);
+    assert_scalar(&rep, "s", 160.0); // 10 edges × 4·4
+    assert_scalar(&rep, "s2", 0.0); // every neighbor pair is closed
+    assert_scalar(&rep, "kcore_max", 4.0);
+    assert_scalar(&rep, "d_avg", 1.0);
+    assert_scalar(&rep, "d_std", 0.0);
+    assert_scalar(&rep, "diameter", 1.0);
+    assert_scalar(&rep, "b_max", 0.0); // no pair needs an intermediary
+    assert_scalar(&rep, "lambda1", 1.25); // K_n: n/(n−1)
+    assert_scalar(&rep, "lambda_n", 1.25);
+}
+
+#[test]
+fn star_golden_values() {
+    // S5 (hub + 5 leaves): maximally disassortative, hub carries all.
+    let rep = analyze_all(&builders::star(5));
+    assert_scalar(&rep, "n", 6.0);
+    assert_scalar(&rep, "m", 5.0);
+    assert_scalar(&rep, "k_avg", 10.0 / 6.0);
+    assert_scalar(&rep, "r", -1.0);
+    assert_scalar(&rep, "c_mean", 0.0);
+    assert_scalar(&rep, "transitivity", 0.0);
+    assert_scalar(&rep, "s", 25.0); // 5 edges × 5·1
+    assert_scalar(&rep, "s2", 10.0); // C(5,2) wedges × 1·1
+    assert_scalar(&rep, "kcore_max", 1.0);
+    assert_scalar(&rep, "d_avg", 5.0 / 3.0); // 10 pairs at 1, 20 at 2 (ordered)
+    assert_scalar(&rep, "d_std", (2.0f64 / 9.0).sqrt());
+    assert_scalar(&rep, "diameter", 2.0);
+    assert_scalar(&rep, "b_max", 1.0); // hub on every leaf–leaf pair
+    assert_scalar(&rep, "lambda1", 1.0); // K_{1,k}: {0, 1^(k−1), 2}
+    assert_scalar(&rep, "lambda_n", 2.0);
+}
+
+#[test]
+fn cycle_golden_values() {
+    // C6: ring symmetry gives every value in closed form.
+    let rep = analyze_all(&builders::cycle(6));
+    assert_scalar(&rep, "n", 6.0);
+    assert_scalar(&rep, "m", 6.0);
+    assert_scalar(&rep, "k_avg", 2.0);
+    assert_scalar(&rep, "r", 0.0); // regular
+    assert_scalar(&rep, "c_mean", 0.0);
+    assert_scalar(&rep, "s", 24.0); // 6 edges × 2·2
+    assert_scalar(&rep, "s2", 24.0); // 6 wedges × 2·2
+    assert_scalar(&rep, "kcore_max", 2.0);
+    // ordered pairs: 12 at distance 1, 12 at 2, 6 at 3 → mean 1.8
+    assert_scalar(&rep, "d_avg", 1.8);
+    assert_scalar(&rep, "d_std", 0.56f64.sqrt());
+    assert_scalar(&rep, "diameter", 3.0);
+    // bc(v) = 2 by hand enumeration; normalized by (5·4)/2 = 10 → 0.2
+    assert_scalar(&rep, "b_max", 0.2);
+    // C_n eigenvalues 1 − cos(2πk/n)
+    assert_scalar(&rep, "lambda1", 0.5);
+    assert_scalar(&rep, "lambda_n", 2.0);
+}
+
+#[test]
+fn karate_literature_values() {
+    let rep = analyze_all(&builders::karate_club());
+    assert_scalar(&rep, "n", 34.0);
+    assert_scalar(&rep, "m", 78.0);
+    let close = |name: &str, want: f64, tol: f64| {
+        let got = rep.scalar(name).unwrap();
+        assert!((got - want).abs() < tol, "{name}: got {got}, want {want}");
+    };
+    close("r", -0.4756, 0.001); // Newman 2002
+    close("c_mean", 0.5879, 0.001); // deg-≥2 convention
+    close("transitivity", 0.2557, 0.001);
+    close("d_avg", 2.4082, 0.001);
+    close("diameter", 5.0, 1e-9);
+    close("kcore_max", 4.0, 1e-9);
+    close("b_max", 231.0714 / 528.0, 1e-4); // Brandes bc(0) / C(33,2)
+}
+
+#[test]
+fn series_metrics_consistent_with_scalars() {
+    let g = builders::karate_club();
+    let rep = analyze_all(&g);
+    // degree_dist sums to 1 and reproduces k_avg
+    let pk = rep.series("degree_dist").unwrap();
+    let total: f64 = pk.iter().map(|&(_, p)| p).sum();
+    assert!((total - 1.0).abs() < 1e-12);
+    let mean: f64 = pk.iter().map(|&(k, p)| k as f64 * p).sum();
+    assert!((mean - rep.scalar("k_avg").unwrap()).abs() < 1e-12);
+    // d_x sums to 1 over positive distances
+    let dx = rep.series("d_x").unwrap();
+    let total: f64 = dx.iter().map(|&(_, p)| p).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // b_k maximum bounded by b_max
+    let bk = rep.series("b_k").unwrap();
+    let max_bk = bk.iter().map(|&(_, b)| b).fold(0.0f64, f64::max);
+    assert!(max_bk <= rep.scalar("b_max").unwrap() + 1e-12);
+}
+
+#[test]
+fn parallel_analyzer_is_byte_identical_to_serial() {
+    // the ISSUE-2 determinism contract, on a non-trivial graph
+    let g = builders::grid(7, 9);
+    let base = Analyzer::new().all_metrics();
+    let serial = base.clone().threads(1).analyze(&g);
+    for threads in [2, 3, 8, 0] {
+        let parallel = base.clone().threads(threads).analyze(&g);
+        assert_eq!(serial, parallel, "threads = {threads}");
+        assert_eq!(serial.to_json(), parallel.to_json(), "threads = {threads}");
+    }
+}
+
+#[test]
+fn shared_cache_values_match_isolated_computation() {
+    // computing d_avg and b_max together (fused traversal) must give
+    // byte-identical values to computing each alone
+    let g = builders::karate_club();
+    let together = Analyzer::new()
+        .metric_names("d_avg,d_std,b_max")
+        .unwrap()
+        .threads(1)
+        .analyze(&g);
+    let d_alone = Analyzer::new()
+        .metric_names("d_avg,d_std")
+        .unwrap()
+        .threads(1)
+        .analyze(&g);
+    let b_alone = Analyzer::new()
+        .metric_names("b_max")
+        .unwrap()
+        .threads(1)
+        .analyze(&g);
+    assert_eq!(together.scalar("d_avg"), d_alone.scalar("d_avg"));
+    assert_eq!(together.scalar("d_std"), d_alone.scalar("d_std"));
+    assert_eq!(together.scalar("b_max"), b_alone.scalar("b_max"));
+}
+
+#[test]
+fn gcc_policy_respected_end_to_end() {
+    let mut g = builders::complete(4);
+    g.add_node(); // isolated
+    let gcc = Analyzer::new().metric_names("n,k_avg").unwrap().analyze(&g);
+    assert_eq!(gcc.scalar("n"), Some(4.0));
+    assert_eq!(gcc.scalar("k_avg"), Some(3.0));
+    let whole = Analyzer::new()
+        .metric_names("n,k_avg")
+        .unwrap()
+        .gcc(GccPolicy::Whole)
+        .analyze(&g);
+    assert_eq!(whole.scalar("n"), Some(5.0));
+    assert_eq!(whole.scalar("k_avg"), Some(12.0 / 5.0));
+}
+
+#[test]
+fn ensemble_summary_statistics_across_topologies() {
+    use dk_repro::topologies::er;
+    let analyzer = Analyzer::new().metric_names("k_avg,r,c_mean").unwrap();
+    let summary = analyzer.run_ensemble(8, 42, |rng| er::gnm(60, 120, rng));
+    assert_eq!(summary.replicas, 8);
+    let k = summary.scalar("k_avg").unwrap();
+    // G(n,m) pins m: k̄ = 2·120/60 = 4 on the whole graph; the GCC can
+    // only shed isolated/low-degree nodes, raising k̄ slightly
+    assert!(k.mean >= 3.9 && k.mean <= 4.3, "k̄ = {}", k.mean);
+    assert!(k.min <= k.mean && k.mean <= k.max);
+    assert!(k.std >= 0.0);
+    assert_eq!(k.defined, 8);
+    // thread invariance of the whole summary object
+    let serial = analyzer
+        .clone()
+        .threads(1)
+        .run_ensemble(8, 42, |rng| er::gnm(60, 120, rng));
+    let parallel = analyzer
+        .clone()
+        .threads(4)
+        .run_ensemble(8, 42, |rng| er::gnm(60, 120, rng));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn every_scalar_metric_has_a_value_on_karate() {
+    // registry completeness: nothing silently skipped on a healthy graph
+    let rep = analyze_all(&builders::karate_club());
+    for m in AnyMetric::all() {
+        let rec = rep.record(m.name()).expect("selected via all_metrics");
+        assert!(
+            !matches!(rec.value, dk_repro::metrics::MetricValue::Undefined),
+            "{} undefined on karate",
+            m.name()
+        );
+    }
+}

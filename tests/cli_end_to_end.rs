@@ -127,6 +127,46 @@ fn rewire_and_metrics_via_binary() {
 }
 
 #[test]
+fn metrics_flags_via_binary() {
+    let dir = tmpdir();
+    let graph = write_karate(&dir);
+    let path = graph.to_str().unwrap();
+
+    // --metrics reaches betweenness (unreachable pre-facade)
+    let (ok, text) = run(&["metrics", path, "--metrics", "b_max,d_avg"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("b_max"), "{text}");
+
+    // --format json emits the machine-readable report
+    let (ok, text) = run(&["metrics", path, "--format", "json", "--metrics", "k_avg"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("\"metrics\":{\"k_avg\":"), "{text}");
+
+    // --no-gcc is reflected in the graph summary
+    let (ok, text) = run(&["metrics", path, "--format", "json", "--no-gcc"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("\"gcc\":false"), "{text}");
+
+    // unknown metric and unknown format fail cleanly
+    let (ok, text) = run(&["metrics", path, "--metrics", "bogus"]);
+    assert!(!ok);
+    assert!(text.contains("unknown metric"), "{text}");
+    let (ok, text) = run(&["metrics", path, "--format", "yaml"]);
+    assert!(!ok);
+    assert!(text.contains("unknown format"), "{text}");
+
+    // --metrics help prints the capability listing, even without a graph
+    let (ok, text) = run(&["metrics", "--metrics", "help"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("all-pairs"), "{text}");
+
+    // compare honors the shared flags instead of silently ignoring them
+    let (ok, text) = run(&["compare", path, path, "--metrics", "bogus"]);
+    assert!(!ok);
+    assert!(text.contains("unknown metric"), "{text}");
+}
+
+#[test]
 fn missing_arguments_fail_cleanly() {
     let (ok, text) = run(&["extract", "2"]);
     assert!(!ok);
