@@ -1,0 +1,50 @@
+//! Criterion: the CSR snapshot vs the legacy `Vec<Vec<_>>` adjacency for
+//! the fused distance+betweenness all-source pass, plus the sampled
+//! (Brandes–Pich, K = 64) estimator vs the exact pass.
+//!
+//! The ISSUE-3 acceptance criteria live in the `perf_csr` binary at full
+//! (10⁵-node) scale; this bench keeps the same comparisons continuously
+//! measurable at `cargo bench` scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dk_graph::CsrGraph;
+use dk_metrics::{betweenness, sampled};
+use dk_topologies::ba::{barabasi_albert, BaParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_csr(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = barabasi_albert(
+        &BaParams {
+            nodes: 4000,
+            edges_per_node: 2,
+            seed_nodes: 3,
+        },
+        &mut rng,
+    );
+    let csr = CsrGraph::from_graph(&g);
+    let name = format!("ba{}", g.node_count());
+    let mut group = c.benchmark_group("csr_traversal");
+
+    group.bench_with_input(BenchmarkId::new("snapshot_build", &name), &g, |b, g| {
+        b.iter(|| CsrGraph::from_graph(g))
+    });
+    group.bench_with_input(BenchmarkId::new("fused_legacy_adj", &name), &g, |b, g| {
+        b.iter(|| betweenness::betweenness_and_distances_adjacency(g, 1))
+    });
+    group.bench_with_input(BenchmarkId::new("fused_csr", &name), &csr, |b, csr| {
+        b.iter(|| betweenness::betweenness_and_distances_csr(csr, 1))
+    });
+    group.bench_with_input(BenchmarkId::new("sampled_k64", &name), &csr, |b, csr| {
+        b.iter(|| sampled::sampled_traversal_csr(csr, 64, 1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_csr
+}
+criterion_main!(benches);

@@ -5,18 +5,20 @@
 //! * (c) distance distribution in HOT for 3K randomizing vs targeting.
 //!
 //! Ensembles dispatch through the `Analyzer` facade by metric name
-//! (`c_k`, `d_x`).
+//! (`c_k`, `d_x`). Each panel writes the plotted means as CSV plus the
+//! full per-key ensemble statistics (and the original's reference
+//! series) as JSON.
 //!
 //! ```text
 //! cargo run -p dk-bench --release --bin fig5 -- [--seeds N] [--full]
-//! # → results/fig5{a,b,c}.csv
+//! # → results/fig5{a,b,c}.csv + results/fig5{a,b,c}.json
 //! ```
 
 use dk_bench::csv::SeriesSet;
-use dk_bench::ensemble::{clustering_series, distance_series, series_ensemble};
+use dk_bench::ensemble::{clustering_series, distance_series, series_ensemble_summary};
 use dk_bench::inputs::{self, Input};
 use dk_bench::variants::{build_2k, build_3k, label_2k, ALGOS_2K};
-use dk_bench::Config;
+use dk_bench::{emit_series, series_json, Config};
 
 fn main() {
     let cfg = Config::from_args();
@@ -25,34 +27,40 @@ fn main() {
 
     // (a) clustering in skitter per 2K algorithm
     let mut a = SeriesSet::new();
+    let mut a_json: Vec<(String, String)> = Vec::new();
     for method in ALGOS_2K {
-        let mean = series_ensemble(&cfg, "c_k", |rng| build_2k(&skitter, method, rng));
-        a.push(label_2k(method), mean);
+        let summary = series_ensemble_summary(&cfg, "c_k", |rng| build_2k(&skitter, method, rng));
+        a.push(label_2k(method), summary.series_means("c_k").expect("c_k"));
+        a_json.push((label_2k(method).to_string(), summary.to_json()));
     }
-    a.push("skitter", clustering_series(&skitter));
-    let path = cfg.out_dir.join("fig5a.csv");
-    a.write(&path, "degree").expect("write fig5a");
-    println!("wrote {}", path.display());
+    let orig = clustering_series(&skitter);
+    a_json.push(("skitter".into(), series_json(&orig)));
+    a.push("skitter", orig);
+    emit_series(&cfg, "fig5a", "degree", &a, a_json);
 
     // (b) distance distribution in HOT per 2K algorithm
     let mut b = SeriesSet::new();
+    let mut b_json: Vec<(String, String)> = Vec::new();
     for method in ALGOS_2K {
-        let mean = series_ensemble(&cfg, "d_x", |rng| build_2k(&hot, method, rng));
-        b.push(label_2k(method), mean);
+        let summary = series_ensemble_summary(&cfg, "d_x", |rng| build_2k(&hot, method, rng));
+        b.push(label_2k(method), summary.series_means("d_x").expect("d_x"));
+        b_json.push((label_2k(method).to_string(), summary.to_json()));
     }
-    b.push("origHOT", distance_series(&hot));
-    let path = cfg.out_dir.join("fig5b.csv");
-    b.write(&path, "distance").expect("write fig5b");
-    println!("wrote {}", path.display());
+    let orig = distance_series(&hot);
+    b_json.push(("origHOT".into(), series_json(&orig)));
+    b.push("origHOT", orig);
+    emit_series(&cfg, "fig5b", "distance", &b, b_json);
 
     // (c) distance distribution in HOT, 3K randomizing vs targeting
     let mut c = SeriesSet::new();
+    let mut c_json: Vec<(String, String)> = Vec::new();
     for (name, randomizing) in [("3K-rand", true), ("3K-targ", false)] {
-        let mean = series_ensemble(&cfg, "d_x", |rng| build_3k(&hot, randomizing, rng));
-        c.push(name, mean);
+        let summary = series_ensemble_summary(&cfg, "d_x", |rng| build_3k(&hot, randomizing, rng));
+        c.push(name, summary.series_means("d_x").expect("d_x"));
+        c_json.push((name.to_string(), summary.to_json()));
     }
-    c.push("origHOT", distance_series(&hot));
-    let path = cfg.out_dir.join("fig5c.csv");
-    c.write(&path, "distance").expect("write fig5c");
-    println!("wrote {}", path.display());
+    let orig = distance_series(&hot);
+    c_json.push(("origHOT".into(), series_json(&orig)));
+    c.push("origHOT", orig);
+    emit_series(&cfg, "fig5c", "distance", &c, c_json);
 }

@@ -4,26 +4,37 @@
 //!
 //! Each panel is one series metric from the analyzer registry (`d_x`,
 //! `b_k`, `c_k`), averaged over the ensemble by
-//! `dk_bench::ensemble::series_ensemble`.
+//! `dk_bench::ensemble::series_ensemble_summary`; the plotted means go
+//! to CSV, the full per-key ensemble statistics to JSON.
 //!
 //! ```text
 //! cargo run -p dk-bench --release --bin fig6 -- [--seeds N] [--full]
-//! # → results/fig6{a,b,c}.csv
+//! # → results/fig6{a,b,c}.csv + results/fig6{a,b,c}.json
 //! ```
 
 use dk_bench::csv::SeriesSet;
-use dk_bench::ensemble::series_ensemble;
+use dk_bench::ensemble::series_ensemble_summary;
 use dk_bench::inputs::{self, Input};
 use dk_bench::variants::dk_random;
-use dk_bench::Config;
+use dk_bench::{emit_series, series_json, Config};
 use dk_graph::Graph;
 use dk_metrics::Analyzer;
 
-fn panel(cfg: &Config, original: &Graph, original_name: &str, metric: &str) -> SeriesSet {
+fn panel(
+    cfg: &Config,
+    original: &Graph,
+    original_name: &str,
+    metric: &str,
+) -> (SeriesSet, Vec<(String, String)>) {
     let mut set = SeriesSet::new();
+    let mut entries: Vec<(String, String)> = Vec::new();
     for d in 0..=3u8 {
-        let mean = series_ensemble(cfg, metric, |rng| dk_random(original, d, rng));
-        set.push(format!("{d}K-random"), mean);
+        let summary = series_ensemble_summary(cfg, metric, |rng| dk_random(original, d, rng));
+        set.push(
+            format!("{d}K-random"),
+            summary.series_means(metric).expect("series metric"),
+        );
+        entries.push((format!("{d}K-random"), summary.to_json()));
     }
     let original_series = Analyzer::new()
         .metric_names(metric)
@@ -32,26 +43,21 @@ fn panel(cfg: &Config, original: &Graph, original_name: &str, metric: &str) -> S
         .series(metric)
         .expect("series metric")
         .to_vec();
+    entries.push((original_name.to_string(), series_json(&original_series)));
     set.push(original_name, original_series);
-    set
+    (set, entries)
 }
 
 fn main() {
     let cfg = Config::from_args();
     let skitter = inputs::load(&cfg, Input::SkitterLike);
 
-    let a = panel(&cfg, &skitter, "skitter", "d_x");
-    let path = cfg.out_dir.join("fig6a.csv");
-    a.write(&path, "distance").expect("write fig6a");
-    println!("wrote {}", path.display());
-
-    let b = panel(&cfg, &skitter, "skitter", "b_k");
-    let path = cfg.out_dir.join("fig6b.csv");
-    b.write(&path, "degree").expect("write fig6b");
-    println!("wrote {}", path.display());
-
-    let c = panel(&cfg, &skitter, "skitter", "c_k");
-    let path = cfg.out_dir.join("fig6c.csv");
-    c.write(&path, "degree").expect("write fig6c");
-    println!("wrote {}", path.display());
+    for (suffix, metric, x_label) in [
+        ("a", "d_x", "distance"),
+        ("b", "b_k", "degree"),
+        ("c", "c_k", "degree"),
+    ] {
+        let (set, entries) = panel(&cfg, &skitter, "skitter", metric);
+        emit_series(&cfg, &format!("fig6{suffix}"), x_label, &set, entries);
+    }
 }

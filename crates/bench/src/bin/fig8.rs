@@ -3,25 +3,30 @@
 //!
 //! ```text
 //! cargo run -p dk-bench --release --bin fig8 -- [--seeds N]
-//! # → results/fig8.csv
+//! # → results/fig8.csv + results/fig8.json
 //! ```
 
 use dk_bench::csv::SeriesSet;
-use dk_bench::ensemble::{distance_series, series_ensemble};
+use dk_bench::ensemble::{distance_series, series_ensemble_summary};
 use dk_bench::inputs::{self, Input};
 use dk_bench::variants::dk_random;
-use dk_bench::Config;
+use dk_bench::{emit_series, series_json, Config};
 
 fn main() {
     let cfg = Config::from_args();
     let hot = inputs::load(&cfg, Input::HotLike);
     let mut set = SeriesSet::new();
+    let mut entries: Vec<(String, String)> = Vec::new();
     for d in 0..=3u8 {
-        let mean = series_ensemble(&cfg, "d_x", |rng| dk_random(&hot, d, rng));
-        set.push(format!("{d}K-random"), mean);
+        let summary = series_ensemble_summary(&cfg, "d_x", |rng| dk_random(&hot, d, rng));
+        set.push(
+            format!("{d}K-random"),
+            summary.series_means("d_x").expect("d_x"),
+        );
+        entries.push((format!("{d}K-random"), summary.to_json()));
     }
-    set.push("origHOT", distance_series(&hot));
-    let path = cfg.out_dir.join("fig8.csv");
-    set.write(&path, "distance").expect("write fig8");
-    println!("wrote {}", path.display());
+    let orig = distance_series(&hot);
+    entries.push(("origHOT".into(), series_json(&orig)));
+    set.push("origHOT", orig);
+    emit_series(&cfg, "fig8", "distance", &set, entries);
 }

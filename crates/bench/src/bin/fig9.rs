@@ -7,25 +7,30 @@
 //!
 //! ```text
 //! cargo run -p dk-bench --release --bin fig9 -- [--seeds N]
-//! # → results/fig9.csv
+//! # → results/fig9.csv + results/fig9.json
 //! ```
 
 use dk_bench::csv::SeriesSet;
-use dk_bench::ensemble::{betweenness_series, series_ensemble};
+use dk_bench::ensemble::{betweenness_series, series_ensemble_summary};
 use dk_bench::inputs::{self, Input};
 use dk_bench::variants::dk_random;
-use dk_bench::Config;
+use dk_bench::{emit_series, series_json, Config};
 
 fn main() {
     let cfg = Config::from_args();
     let hot = inputs::load(&cfg, Input::HotLike);
     let mut set = SeriesSet::new();
+    let mut entries: Vec<(String, String)> = Vec::new();
     for d in 0..=3u8 {
-        let mean = series_ensemble(&cfg, "b_k", |rng| dk_random(&hot, d, rng));
-        set.push(format!("{d}K-random"), mean);
+        let summary = series_ensemble_summary(&cfg, "b_k", |rng| dk_random(&hot, d, rng));
+        set.push(
+            format!("{d}K-random"),
+            summary.series_means("b_k").expect("b_k"),
+        );
+        entries.push((format!("{d}K-random"), summary.to_json()));
     }
-    set.push("origHOT", betweenness_series(&hot));
-    let path = cfg.out_dir.join("fig9.csv");
-    set.write(&path, "degree").expect("write fig9");
-    println!("wrote {}", path.display());
+    let orig = betweenness_series(&hot);
+    entries.push(("origHOT".into(), series_json(&orig)));
+    set.push("origHOT", orig);
+    emit_series(&cfg, "fig9", "degree", &set, entries);
 }

@@ -1,0 +1,148 @@
+//! **perf_csr** — the repo's traversal perf baseline: CSR snapshot vs
+//! legacy `Vec<Vec<_>>` adjacency, and sampled (Brandes–Pich, K = 64)
+//! vs exact all-pairs, on a power-law (Barabási–Albert) graph.
+//!
+//! Prints a human-readable comparison and persists a machine-readable
+//! `BENCH_metrics.json` next to the other artifacts, so the perf
+//! trajectory of the hot path is recorded run over run (CI smokes the
+//! emitter at small n; `--full` runs the ≥10⁵-node configuration the
+//! acceptance criteria reference).
+//!
+//! ```text
+//! cargo run -p dk-bench --release --bin perf_csr -- [--full] [--threads N]
+//! # → results/BENCH_metrics.json
+//! ```
+
+use dk_bench::{write_json, Config};
+use dk_graph::CsrGraph;
+use dk_metrics::sampled::sampled_traversal_csr;
+use dk_metrics::{betweenness, json};
+use dk_topologies::ba::{barabasi_albert, BaParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Pivot budget of the sampled pass (the acceptance criterion's K).
+const SAMPLES: usize = 64;
+
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let value = std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    // --full is the acceptance-scale configuration; the default keeps CI
+    // smoke runs (and the exact all-pairs baseline) to a few seconds
+    let n = if cfg.full { 100_000 } else { 5_000 };
+    let reps = if cfg.full { 1 } else { 3 };
+    let mut rng = StdRng::seed_from_u64(cfg.master_seed);
+    let g = barabasi_albert(
+        &BaParams {
+            nodes: n,
+            edges_per_node: 2,
+            seed_nodes: 3,
+        },
+        &mut rng,
+    );
+    // the raw pass entry points clamp a 0 thread count to 1 (only the
+    // analyzer facade maps 0 to all cores), so resolve it here and
+    // record the *actual* worker count in the baseline
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        cfg.threads
+    };
+    println!(
+        "perf_csr: BA power-law n = {}, m = {}, threads = {threads}, reps = {reps}",
+        g.node_count(),
+        g.edge_count(),
+    );
+
+    let (snapshot_ms, csr) = time_ms(reps, || CsrGraph::from_graph(&g));
+    println!("CSR snapshot build        {snapshot_ms:>10.2} ms");
+
+    // the seed memory layout: fused Brandes+distance walk over Vec<Vec<_>>
+    let (legacy_ms, exact) = time_ms(reps, || {
+        betweenness::betweenness_and_distances_adjacency(&g, threads)
+    });
+    println!("exact fused, legacy adj   {legacy_ms:>10.2} ms");
+
+    // the ported pass over the prepared snapshot
+    let (csr_ms, csr_exact) = time_ms(reps, || {
+        betweenness::betweenness_and_distances_csr(&csr, threads)
+    });
+    println!(
+        "exact fused, CSR          {csr_ms:>10.2} ms   ({:.2}x vs legacy)",
+        legacy_ms / csr_ms
+    );
+    assert_eq!(
+        exact.betweenness, csr_exact.betweenness,
+        "CSR port must be bit-identical"
+    );
+    assert_eq!(exact.distances, csr_exact.distances);
+
+    let (sampled_ms, sampled) = time_ms(reps, || sampled_traversal_csr(&csr, SAMPLES, threads));
+    println!(
+        "sampled fused, K = {SAMPLES:<4}   {sampled_ms:>10.2} ms   ({:.1}x vs exact CSR)",
+        csr_ms / sampled_ms
+    );
+
+    // estimator quality at this scale, recorded alongside the timings
+    let d_exact = exact.distances.mean();
+    let d_sampled = sampled.distances.mean();
+    let norm_max = |b: &[f64]| {
+        betweenness::normalize_raw(b.to_vec(), g.node_count())
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let b_exact = norm_max(&exact.betweenness);
+    let b_sampled = norm_max(&sampled.betweenness);
+    let rel = |approx: f64, exact: f64| (approx - exact).abs() / exact.abs().max(1e-300);
+    println!(
+        "d_avg exact {d_exact:.4} vs sampled {d_sampled:.4} (rel err {:.4})",
+        rel(d_sampled, d_exact)
+    );
+    println!(
+        "b_max exact {b_exact:.6} vs sampled {b_sampled:.6} (rel err {:.4})",
+        rel(b_sampled, b_exact)
+    );
+
+    let doc = json::object([
+        ("n".into(), g.node_count().to_string()),
+        ("m".into(), g.edge_count().to_string()),
+        ("threads".into(), threads.to_string()),
+        ("samples".into(), SAMPLES.to_string()),
+        ("snapshot_build_ms".into(), json::number(snapshot_ms)),
+        ("exact_legacy_ms".into(), json::number(legacy_ms)),
+        ("exact_csr_ms".into(), json::number(csr_ms)),
+        ("csr_speedup".into(), json::number(legacy_ms / csr_ms)),
+        ("sampled_ms".into(), json::number(sampled_ms)),
+        (
+            "sampled_speedup_vs_exact".into(),
+            json::number(csr_ms / sampled_ms),
+        ),
+        ("d_avg_exact".into(), json::number(d_exact)),
+        ("d_avg_sampled".into(), json::number(d_sampled)),
+        (
+            "d_avg_rel_err".into(),
+            json::number(rel(d_sampled, d_exact)),
+        ),
+        ("b_max_exact".into(), json::number(b_exact)),
+        ("b_max_sampled".into(), json::number(b_sampled)),
+        (
+            "b_max_rel_err".into(),
+            json::number(rel(b_sampled, b_exact)),
+        ),
+    ]);
+    let out = cfg.out_dir.join("BENCH_metrics.json");
+    write_json(&out, &doc).expect("write BENCH_metrics.json");
+    println!("wrote {}", out.display());
+}

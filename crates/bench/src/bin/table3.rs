@@ -31,7 +31,5 @@ fn main() {
         cfg.seeds
     );
     println!("{}", table.render());
-    let out = cfg.out_dir.join("table3.csv");
-    std::fs::write(&out, table.to_csv()).expect("write table3.csv");
-    println!("wrote {}", out.display());
+    dk_bench::emit_table(&cfg, "table3", &table);
 }

@@ -34,7 +34,5 @@ fn main() {
         }
     );
     println!("{}", table.render());
-    let out = cfg.out_dir.join("table6.csv");
-    std::fs::write(&out, table.to_csv()).expect("write table6.csv");
-    println!("wrote {}", out.display());
+    dk_bench::emit_table(&cfg, "table6", &table);
 }

@@ -83,9 +83,7 @@ fn main() {
         skitter.edge_count()
     );
     println!("{}", table.render());
-    let out = cfg.out_dir.join("table7.csv");
-    std::fs::write(&out, table.to_csv()).expect("write table7.csv");
-    println!("wrote {}", out.display());
+    dk_bench::emit_table(&cfg, "table7", &table);
 }
 
 /// Stable small hash so every exploration column gets its own seed lane.

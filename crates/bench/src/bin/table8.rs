@@ -29,7 +29,5 @@ fn main() {
         cfg.seeds
     );
     println!("{}", table.render());
-    let out = cfg.out_dir.join("table8.csv");
-    std::fs::write(&out, table.to_csv()).expect("write table8.csv");
-    println!("wrote {}", out.display());
+    dk_bench::emit_table(&cfg, "table8", &table);
 }

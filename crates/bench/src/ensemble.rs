@@ -42,10 +42,11 @@ where
         .run_ensemble(cfg.seeds, cfg.master_seed, make)
 }
 
-/// Runs `make` once per seed and returns the per-key ensemble mean of
+/// Runs `make` once per seed and returns the full [`EnsembleSummary`] of
 /// one series metric (registry name, e.g. `"d_x"`, `"c_k"`, `"b_k"`) —
-/// the series the paper's figures plot.
-pub fn series_ensemble<F>(cfg: &Config, metric: &str, make: F) -> Vec<(usize, f64)>
+/// per-key mean/std/min/max, the machine-readable form the figure
+/// binaries persist as JSON next to their CSVs.
+pub fn series_ensemble_summary<F>(cfg: &Config, metric: &str, make: F) -> EnsembleSummary
 where
     F: Fn(&mut StdRng) -> Graph + Sync,
 {
@@ -53,8 +54,16 @@ where
         .metric_names(metric)
         .expect("known series metric")
         .threads(cfg.threads);
-    analyzer
-        .run_ensemble(cfg.seeds, cfg.master_seed, make)
+    analyzer.run_ensemble(cfg.seeds, cfg.master_seed, make)
+}
+
+/// Runs `make` once per seed and returns the per-key ensemble mean of
+/// one series metric — the series the paper's figures plot.
+pub fn series_ensemble<F>(cfg: &Config, metric: &str, make: F) -> Vec<(usize, f64)>
+where
+    F: Fn(&mut StdRng) -> Graph + Sync,
+{
+    series_ensemble_summary(cfg, metric, make)
         .series_means(metric)
         .expect("series metric")
 }

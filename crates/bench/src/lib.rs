@@ -125,6 +125,66 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// Writes a text artifact, creating parent dirs — so every emitter is
+/// self-sufficient even when the caller built a [`Config`] directly
+/// (only [`Config::from_args`] pre-creates the output dir).
+fn write_text(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, text)
+}
+
+/// Writes a machine-readable JSON artifact next to the CSVs (creating
+/// parent dirs) — every experiment binary persists its
+/// `Report`/`EnsembleSummary` data this way so runs are diffable without
+/// re-parsing the human-facing tables.
+pub fn write_json(path: &std::path::Path, json: &str) -> std::io::Result<()> {
+    write_text(path, json)
+}
+
+/// JSON form of an integer-keyed series: `[[x, y], ...]` — used by the
+/// figure binaries for their original-graph reference series.
+pub fn series_json(s: &[(usize, f64)]) -> String {
+    use dk_metrics::json;
+    json::array(
+        s.iter()
+            .map(|&(x, y)| json::array([x.to_string(), json::number(y)])),
+    )
+}
+
+/// Persists one table experiment: `<name>.csv` (means + `_std` rows) and
+/// `<name>.json` (full column reports) under `cfg.out_dir`, announcing
+/// both paths — the one artifact convention every table binary shares.
+pub fn emit_table(cfg: &Config, name: &str, table: &dk_metrics::MetricTable) {
+    let out = cfg.out_dir.join(format!("{name}.csv"));
+    write_text(&out, &table.to_csv()).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    println!("wrote {}", out.display());
+    let out = cfg.out_dir.join(format!("{name}.json"));
+    write_json(&out, &table.to_json()).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    println!("wrote {}", out.display());
+}
+
+/// Persists one figure panel: the plotted means as `<name>.csv` and the
+/// per-variant JSON entries (ensemble summaries / reference series) as
+/// `<name>.json` — the figure-binary counterpart of [`emit_table`].
+pub fn emit_series(
+    cfg: &Config,
+    name: &str,
+    x_label: &str,
+    set: &csv::SeriesSet,
+    entries: Vec<(String, String)>,
+) {
+    let out = cfg.out_dir.join(format!("{name}.csv"));
+    set.write(&out, x_label)
+        .unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    println!("wrote {}", out.display());
+    let out = cfg.out_dir.join(format!("{name}.json"));
+    write_json(&out, &dk_metrics::json::object(entries))
+        .unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    println!("wrote {}", out.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,8 +10,8 @@
 //! dk generate <d> <dist.dk>     -o <out.edges>    construct a dK-graph
 //! dk rewire   <d> <graph.edges> -o <out.edges>    dK-randomizing rewiring
 //! dk explore  <s|s2|c> <min|max> <graph.edges> -o <out.edges>
-//! dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc]
-//! dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc]
+//! dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
+//! dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
 //! dk census   <graph.edges>                       Table 5 census
 //! dk viz      <graph.edges>     -o <out.svg>      layout + SVG
 //! ```
@@ -216,17 +216,26 @@ pub struct MetricsOptions {
     pub format: OutputFormat,
     /// `--no-gcc` clears this (default: extract the GCC, §5.2).
     pub gcc_off: bool,
+    /// `--samples K`: pivot budget for the sampled `*_approx` metrics
+    /// (`None` = the analyzer default, 64).
+    pub samples: Option<usize>,
 }
 
-fn build_analyzer(metrics: Option<&str>, gcc_off: bool) -> Result<Analyzer, GraphError> {
+fn build_analyzer(
+    opts: &MetricsOptions,
+    default_metrics: Option<&str>,
+) -> Result<Analyzer, GraphError> {
     let mut analyzer = Analyzer::new();
-    if let Some(list) = metrics {
+    if let Some(list) = opts.metrics.as_deref().or(default_metrics) {
         analyzer = analyzer
             .metric_names(list)
             .map_err(GraphError::ConstructionFailed)?;
     }
-    if gcc_off {
+    if opts.gcc_off {
         analyzer = analyzer.gcc(GccPolicy::Whole);
+    }
+    if let Some(k) = opts.samples {
+        analyzer = analyzer.sample_sources(k);
     }
     Ok(analyzer)
 }
@@ -252,10 +261,7 @@ pub fn cmd_compare(
     let d1 = Dist1K::from_graph(&a).distance_sq(&Dist1K::from_graph(&b));
     let d2 = Dist2K::from_graph(&a).distance_sq(&Dist2K::from_graph(&b));
     let d3 = Dist3K::from_graph(&a).distance_sq(&Dist3K::from_graph(&b));
-    let analyzer = build_analyzer(
-        Some(opts.metrics.as_deref().unwrap_or("cheap")),
-        opts.gcc_off,
-    )?;
+    let analyzer = build_analyzer(opts, Some("cheap"))?;
     let ra = analyzer.analyze(&a);
     let rb = analyzer.analyze(&b);
     match opts.format {
@@ -297,14 +303,15 @@ pub fn cmd_compare(
 /// The default selection is the paper's Table 2 battery; `--metrics`
 /// takes any registry names or sets (`--metrics all` includes
 /// betweenness, `--metrics help` lists capabilities), `--no-gcc` skips
-/// GCC extraction, and `--format json` emits the machine-readable
+/// GCC extraction, `--samples K` sets the pivot budget of the sampled
+/// `*_approx` metrics, and `--format json` emits the machine-readable
 /// report.
 pub fn cmd_metrics(graph_path: &Path, opts: &MetricsOptions) -> Result<String, GraphError> {
     if opts.metrics.as_deref() == Some("help") {
         return Ok(AnyMetric::listing());
     }
     let g = graph_io::load_edge_list(graph_path)?;
-    let analyzer = build_analyzer(opts.metrics.as_deref(), opts.gcc_off)?;
+    let analyzer = build_analyzer(opts, None)?;
     let rep = analyzer.analyze(&g);
     Ok(match opts.format {
         OutputFormat::Json => rep.to_json(),
@@ -533,6 +540,42 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("unknown metric"), "{err}");
+    }
+
+    #[test]
+    fn metrics_sampled_selection_and_samples_flag() {
+        let graph = write_karate();
+        // samples >= n: sampled metrics must equal their exact twins
+        let opts = MetricsOptions {
+            metrics: Some("d_avg,b_max,distance_approx,betweenness_approx".into()),
+            samples: Some(64),
+            ..Default::default()
+        };
+        let m = cmd_metrics(&graph, &opts).unwrap();
+        let value = |name: &str| {
+            m.lines()
+                .find(|l| l.starts_with(name))
+                .unwrap_or_else(|| panic!("{name} missing in {m}"))
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(value("distance_approx"), value("d_avg"), "{m}");
+        assert_eq!(value("betweenness_approx"), value("b_max"), "{m}");
+        // a small pivot budget still produces defined values
+        let approx = cmd_metrics(
+            &graph,
+            &MetricsOptions {
+                metrics: Some("distance_approx".into()),
+                samples: Some(8),
+                format: OutputFormat::Json,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(approx.contains("\"distance_approx\":"), "{approx}");
+        assert!(!approx.contains("null"), "{approx}");
     }
 
     #[test]

@@ -14,15 +14,17 @@ USAGE:
   dk generate <d: 1..3> <dist.dk>     -o <out.edges> [--algo pseudograph|matching|stochastic|targeting] [--seed N]
   dk rewire   <d: 0..3> <graph.edges> -o <out.edges> [--attempts N] [--seed N]
   dk explore  <s|s2|c>  <min|max> <graph.edges> -o <out.edges> [--seed N]
-  dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc]
-  dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc]
+  dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
+  dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
   dk census   <graph.edges> [--max-d D]
   dk viz      <graph.edges> -o <out.svg> [--seed N]
 
 Graphs are whitespace edge lists (`#` comments, optional `nodes N` header);
 distribution files are the Orbis-style formats documented in dk-core.
 `--metrics` takes comma-separated metric names or sets (default, cheap,
-scalars, series, all) — `--metrics help` lists every metric.";
+scalars, series, all) — `--metrics help` lists every metric. `--samples K`
+sets the pivot budget of the sampled distance_approx/betweenness_approx
+metrics (default 64; K >= n reproduces the exact values).";
 
 struct Args {
     positional: Vec<String>,
@@ -34,6 +36,7 @@ struct Args {
     metrics: Option<String>,
     format: OutputFormat,
     no_gcc: bool,
+    samples: Option<usize>,
 }
 
 fn parse(mut raw: Vec<String>) -> Result<Args, String> {
@@ -47,6 +50,7 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
         metrics: None,
         format: OutputFormat::Text,
         no_gcc: false,
+        samples: None,
     };
     raw.reverse();
     while let Some(tok) = raw.pop() {
@@ -58,6 +62,14 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
             "--metrics" => args.metrics = Some(raw.pop().ok_or("missing value after --metrics")?),
             "--format" => args.format = raw.pop().ok_or("missing value after --format")?.parse()?,
             "--no-gcc" => args.no_gcc = true,
+            "--samples" => {
+                args.samples = Some(
+                    raw.pop()
+                        .ok_or("missing value after --samples")?
+                        .parse()
+                        .map_err(|e| format!("bad --samples: {e}"))?,
+                )
+            }
             "--seed" => {
                 args.seed = raw
                     .pop()
@@ -132,6 +144,7 @@ fn run() -> Result<String, String> {
                 metrics: a.metrics.clone(),
                 format: a.format,
                 gcc_off: a.no_gcc,
+                samples: a.samples,
             },
         )
         .map_err(err),
@@ -141,6 +154,7 @@ fn run() -> Result<String, String> {
                 metrics: a.metrics.clone(),
                 format: a.format,
                 gcc_off: a.no_gcc,
+                samples: a.samples,
             },
         )
         .map_err(err),
@@ -151,6 +165,7 @@ fn run() -> Result<String, String> {
                 metrics: a.metrics.clone(),
                 format: a.format,
                 gcc_off: a.no_gcc,
+                samples: a.samples,
             },
         )
         .map_err(err),

@@ -103,7 +103,8 @@ fn swap_ok(
     c: u32,
     d: u32,
 ) -> bool {
-    if a == d || c == b || work.has_edge(a, d) || work.has_edge(c, b) {
+    // endpoints come from the edge list; see rewiring's swap_valid
+    if a == d || c == b || work.has_edge_fast(a, d) || work.has_edge_fast(c, b) {
         return false;
     }
     if dk >= 2 && !(work.degree(b) == work.degree(d) || work.degree(a) == work.degree(c)) {

@@ -193,6 +193,32 @@ impl Graph {
         self.adj[a as usize].binary_search(&b).is_ok()
     }
 
+    /// Membership test without node-id validation, O(log deg(min(u, v))).
+    ///
+    /// The rewiring inner loop calls a membership test on every one of
+    /// its ~50·m attempts with endpoints that are *already known valid*
+    /// (sampled from the edge list or from `0..n`); re-validating both
+    /// ids there is measurable overhead. Bounds are still debug-asserted,
+    /// and out-of-range ids panic via slice indexing in release too —
+    /// this trades [`Graph::has_edge`]'s graceful `false` for speed, not
+    /// safety.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn has_edge_fast(&self, u: NodeId, v: NodeId) -> bool {
+        debug_assert!(
+            self.has_node(u) && self.has_node(v),
+            "has_edge_fast on out-of-range endpoint ({u}, {v})"
+        );
+        let (a, b) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
     /// The canonical edge list. Each undirected edge appears exactly once as
     /// `(u, v)` with `u < v`, in **arbitrary but deterministic** order.
     #[inline]
@@ -306,9 +332,14 @@ impl Graph {
     /// Returns the subgraph (with nodes renumbered `0..nodes.len()` in the
     /// order given) and the mapping `new id → old id`.
     ///
+    /// The old→new mapping is a dense `Vec` lookup (GCC extraction calls
+    /// this on every analyzer run; a hash probe per edge endpoint is pure
+    /// overhead next to two array reads).
+    ///
     /// Duplicate entries in `nodes` are an error.
     pub fn subgraph(&self, nodes: &[NodeId]) -> Result<(Graph, Vec<NodeId>), GraphError> {
-        let mut old_to_new: DetHashMap<NodeId, NodeId> = det_hash_map();
+        const ABSENT: NodeId = NodeId::MAX;
+        let mut old_to_new: Vec<NodeId> = vec![ABSENT; self.node_count()];
         for (new, &old) in nodes.iter().enumerate() {
             if !self.has_node(old) {
                 return Err(GraphError::NodeOutOfRange {
@@ -316,15 +347,17 @@ impl Graph {
                     nodes: self.node_count(),
                 });
             }
-            if old_to_new.insert(old, new as NodeId).is_some() {
+            if old_to_new[old as usize] != ABSENT {
                 return Err(GraphError::ConstructionFailed(format!(
                     "duplicate node {old} in subgraph selection"
                 )));
             }
+            old_to_new[old as usize] = new as NodeId;
         }
         let mut g = Graph::with_nodes(nodes.len());
         for &(u, v) in &self.edges {
-            if let (Some(&nu), Some(&nv)) = (old_to_new.get(&u), old_to_new.get(&v)) {
+            let (nu, nv) = (old_to_new[u as usize], old_to_new[v as usize]);
+            if nu != ABSENT && nv != ABSENT {
                 g.add_edge(nu, nv)?;
             }
         }
@@ -489,6 +522,16 @@ mod tests {
         assert!(!g.try_add_edge(1, 0));
         assert!(!g.try_add_edge(2, 2));
         assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn has_edge_fast_matches_has_edge_on_valid_ids() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (4, 1), (4, 2)]).unwrap();
+        for u in 0..5u32 {
+            for v in 0..5 {
+                assert_eq!(g.has_edge(u, v), g.has_edge_fast(u, v), "({u}, {v})");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   The edge list gives O(1) uniform random edge sampling, which is the hot
 //!   operation of every dK-rewiring algorithm; the sorted adjacency gives
 //!   O(log deg) membership tests used by wedge/triangle counting.
+//! * [`CsrGraph`] — a frozen CSR snapshot (two flat arrays) of a [`Graph`],
+//!   the representation every all-source analysis traversal runs on; the
+//!   [`AdjacencyView`] trait lets traversal code accept either form.
 //! * [`MultiGraph`] — an undirected **pseudograph** (self-loops and parallel
 //!   edges allowed), the natural output of stub-matching ("configuration")
 //!   constructions before cleanup (paper §4.1.2).
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod builders;
+pub mod csr;
 pub mod degree;
 pub mod ensemble;
 pub mod error;
@@ -62,6 +66,7 @@ pub mod multigraph;
 pub mod svg;
 pub mod traversal;
 
+pub use csr::{AdjacencyView, CsrGraph};
 pub use error::GraphError;
 pub use graph::{Graph, NodeId};
 pub use multigraph::MultiGraph;

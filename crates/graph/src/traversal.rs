@@ -4,7 +4,15 @@
 //! component (GCC)" (§5.2) because the construction algorithms do not
 //! maintain connectivity. [`giant_component`] is therefore on the hot path
 //! of the whole reproduction harness.
+//!
+//! Every routine here is generic over [`AdjacencyView`], so it runs both
+//! on a mutable [`Graph`] and on a frozen [`CsrGraph`]
+//! snapshot (two flat arrays, no per-list pointer chase — the
+//! representation the analyzer-side all-source sweeps use). Neighbor
+//! order is identical in both representations, so results are
+//! bit-identical regardless of which one a caller traverses.
 
+use crate::csr::{AdjacencyView, CsrGraph};
 use crate::graph::{Graph, NodeId};
 use std::collections::VecDeque;
 
@@ -18,8 +26,11 @@ pub const UNREACHABLE: u32 = u32::MAX;
 ///
 /// # Panics
 /// Panics if `source` is out of range.
-pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
-    assert!(g.has_node(source), "BFS source out of range");
+pub fn bfs_distances<V: AdjacencyView + ?Sized>(g: &V, source: NodeId) -> Vec<u32> {
+    assert!(
+        (source as usize) < g.node_count(),
+        "BFS source out of range"
+    );
     let mut dist = vec![UNREACHABLE; g.node_count()];
     let mut queue = VecDeque::new();
     dist[source as usize] = 0;
@@ -40,7 +51,7 @@ pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
 ///
 /// `labels[u]` is the 0-based component id of node `u`; components are
 /// numbered in order of their smallest node id, so labeling is deterministic.
-pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+pub fn connected_components<V: AdjacencyView + ?Sized>(g: &V) -> (Vec<u32>, usize) {
     let n = g.node_count();
     let mut labels = vec![u32::MAX; n];
     let mut next = 0u32;
@@ -65,7 +76,7 @@ pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
 }
 
 /// Sizes of all connected components, indexed by component label.
-pub fn component_sizes(g: &Graph) -> Vec<usize> {
+pub fn component_sizes<V: AdjacencyView + ?Sized>(g: &V) -> Vec<usize> {
     let (labels, count) = connected_components(g);
     let mut sizes = vec![0usize; count];
     for l in labels {
@@ -77,7 +88,7 @@ pub fn component_sizes(g: &Graph) -> Vec<usize> {
 /// `true` if the graph is connected. The empty graph is considered
 /// connected (it has no pair of disconnected nodes); a graph of isolated
 /// nodes is not.
-pub fn is_connected(g: &Graph) -> bool {
+pub fn is_connected<V: AdjacencyView + ?Sized>(g: &V) -> bool {
     let n = g.node_count();
     if n <= 1 {
         return true;
@@ -86,17 +97,12 @@ pub fn is_connected(g: &Graph) -> bool {
     dist.iter().all(|&d| d != UNREACHABLE)
 }
 
-/// Extracts the giant (largest) connected component.
-///
-/// Returns the GCC as a new graph with nodes renumbered `0..size` (in
-/// ascending original-id order) and the mapping `new id → original id`.
-/// Ties between equal-size components break toward the smaller component
-/// label (deterministic).
-///
-/// Returns an empty graph for an empty input.
-pub fn giant_component(g: &Graph) -> (Graph, Vec<NodeId>) {
-    if g.is_empty() {
-        return (Graph::new(), Vec::new());
+/// Node ids of the giant (largest) connected component, in ascending
+/// order. Ties between equal-size components break toward the smaller
+/// component label (deterministic). Empty for an empty graph.
+pub fn giant_component_nodes<V: AdjacencyView + ?Sized>(g: &V) -> Vec<NodeId> {
+    if g.node_count() == 0 {
+        return Vec::new();
     }
     let (labels, count) = connected_components(g);
     let mut sizes = vec![0usize; count];
@@ -109,16 +115,35 @@ pub fn giant_component(g: &Graph) -> (Graph, Vec<NodeId>) {
         .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
         .map(|(i, _)| i as u32)
         .expect("non-empty graph has at least one component");
-    let nodes: Vec<NodeId> = (0..g.node_count() as NodeId)
+    (0..g.node_count() as NodeId)
         .filter(|&u| labels[u as usize] == giant)
-        .collect();
+        .collect()
+}
+
+/// Extracts the giant (largest) connected component.
+///
+/// Returns the GCC as a new graph with nodes renumbered `0..size` (in
+/// ascending original-id order) and the mapping `new id → original id`.
+/// Ties between equal-size components break toward the smaller component
+/// label (deterministic).
+///
+/// The component labeling runs on a fresh [`CsrGraph`] snapshot — at
+/// reproduction scale the flat-array BFS more than pays for the O(n + m)
+/// snapshot build.
+///
+/// Returns an empty graph for an empty input.
+pub fn giant_component(g: &Graph) -> (Graph, Vec<NodeId>) {
+    if g.is_empty() {
+        return (Graph::new(), Vec::new());
+    }
+    let nodes = giant_component_nodes(&CsrGraph::from_graph(g));
     g.subgraph(&nodes)
         .expect("component nodes are valid and unique")
 }
 
 /// Fraction of nodes inside the giant component (1.0 for connected graphs).
-pub fn gcc_fraction(g: &Graph) -> f64 {
-    if g.is_empty() {
+pub fn gcc_fraction<V: AdjacencyView + ?Sized>(g: &V) -> f64 {
+    if g.node_count() == 0 {
         return 1.0;
     }
     let sizes = component_sizes(g);
@@ -127,7 +152,7 @@ pub fn gcc_fraction(g: &Graph) -> f64 {
 
 /// Eccentricity of `source`: the greatest BFS distance to any reachable
 /// node. Returns `None` if some node is unreachable from `source`.
-pub fn eccentricity(g: &Graph, source: NodeId) -> Option<u32> {
+pub fn eccentricity<V: AdjacencyView + ?Sized>(g: &V, source: NodeId) -> Option<u32> {
     let dist = bfs_distances(g, source);
     let mut max = 0;
     for d in dist {
@@ -221,5 +246,26 @@ mod tests {
         assert_eq!(eccentricity(&g, 2), Some(2));
         let disconnected = Graph::with_nodes(3);
         assert_eq!(eccentricity(&disconnected, 0), None);
+    }
+
+    #[test]
+    fn csr_traversals_match_graph_traversals() {
+        // every routine must agree between the two representations
+        for g in [
+            builders::karate_club(),
+            Graph::from_edges(7, [(0, 1), (2, 3), (3, 4), (4, 2), (5, 6)]).unwrap(),
+            Graph::with_nodes(4),
+        ] {
+            let csr = CsrGraph::from_graph(&g);
+            if g.node_count() > 0 {
+                assert_eq!(bfs_distances(&g, 0), bfs_distances(&csr, 0));
+                assert_eq!(eccentricity(&g, 0), eccentricity(&csr, 0));
+            }
+            assert_eq!(connected_components(&g), connected_components(&csr));
+            assert_eq!(component_sizes(&g), component_sizes(&csr));
+            assert_eq!(is_connected(&g), is_connected(&csr));
+            assert_eq!(gcc_fraction(&g), gcc_fraction(&csr));
+            assert_eq!(giant_component_nodes(&g), giant_component_nodes(&csr));
+        }
     }
 }

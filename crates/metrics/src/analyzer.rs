@@ -108,6 +108,16 @@ impl Analyzer {
         self
     }
 
+    /// Sets the pivot-source budget `K` for the sampled (`*_approx`)
+    /// metrics — the Brandes–Pich estimator runs `K` BFS sources instead
+    /// of all `n` and extrapolates by `n/K` (default 64; CLI
+    /// `--samples`). Deterministic for any thread count; `K ≥ n` makes
+    /// the sampled metrics equal their exact twins bit for bit.
+    pub fn sample_sources(mut self, k: usize) -> Self {
+        self.opts.samples = k.max(1);
+        self
+    }
+
     /// The current metric selection, in report order.
     pub fn selected(&self) -> &[AnyMetric] {
         &self.metrics

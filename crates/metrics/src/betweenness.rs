@@ -7,7 +7,7 @@
 //! back-propagation per source — and sources are embarrassingly parallel.
 
 use crate::distance::{default_threads, run_chunked, DistanceDistribution};
-use dk_graph::{Graph, NodeId};
+use dk_graph::{AdjacencyView, CsrGraph, Graph, NodeId};
 use std::collections::VecDeque;
 
 /// Joint result of the fused all-source traversal: Brandes' BFS already
@@ -35,7 +35,35 @@ pub fn betweenness_and_distances(g: &Graph) -> FusedTraversal {
 }
 
 /// As [`betweenness_and_distances`] with an explicit worker count.
+///
+/// Takes a fresh [`CsrGraph`] snapshot and traverses that — the fused
+/// pass reads every neighbor list `2n` times, so the flat-array layout
+/// dominates the O(n + m) snapshot cost on anything but toy graphs.
+/// Callers already holding a snapshot (the analyzer cache) use
+/// [`betweenness_and_distances_csr`].
 pub fn betweenness_and_distances_with_threads(g: &Graph, threads: usize) -> FusedTraversal {
+    fused_traversal(&CsrGraph::from_graph(g), threads)
+}
+
+/// The fused pass over a prepared CSR snapshot.
+pub fn betweenness_and_distances_csr(g: &CsrGraph, threads: usize) -> FusedTraversal {
+    fused_traversal(g, threads)
+}
+
+/// The fused pass over `Graph`'s `Vec<Vec<_>>` adjacency directly, with
+/// **no** CSR snapshot.
+///
+/// This is the seed implementation's memory-access pattern, retained
+/// deliberately as (a) the baseline the `csr_bench`/`perf_csr` benches
+/// measure the snapshot against and (b) the equivalence oracle for the
+/// CSR port (results are bit-identical — same neighbor order, same
+/// chunking, same merge order). Analysis code should not call this.
+pub fn betweenness_and_distances_adjacency(g: &Graph, threads: usize) -> FusedTraversal {
+    fused_traversal(g, threads)
+}
+
+/// Exact fused traversal over any adjacency view.
+fn fused_traversal<V: AdjacencyView + ?Sized>(g: &V, threads: usize) -> FusedTraversal {
     let n = g.node_count();
     if n == 0 {
         return FusedTraversal {
@@ -47,7 +75,42 @@ pub fn betweenness_and_distances_with_threads(g: &Graph, threads: usize) -> Fuse
             },
         };
     }
-    let partials = run_chunked(n as u32, threads.clamp(1, n), |range| {
+    let sources: Vec<NodeId> = (0..n as NodeId).collect();
+    let (mut bc, counts, unreachable) = brandes_over_sources(g, &sources, threads);
+    // each unordered pair was counted from both endpoints
+    for v in bc.iter_mut() {
+        *v /= 2.0;
+    }
+    FusedTraversal {
+        betweenness: bc,
+        distances: DistanceDistribution {
+            counts,
+            nodes: n,
+            unreachable_pairs: unreachable,
+        },
+    }
+}
+
+/// One Brandes BFS + dependency back-propagation per listed source,
+/// parallelized over sources with deterministic chunking (boundaries are
+/// a function of `sources.len()` only, so every thread count merges the
+/// floating-point partials in the same order → bit-identical results).
+///
+/// Returns the **raw dependency sums** (each listed source contributes
+/// its full Brandes dependency — no pair-convention halving, no
+/// sampling scale), the per-distance visit counts over the listed
+/// sources, and the number of (source, node) pairs left unreached.
+/// Shared by the exact fused pass (sources = all nodes) and the
+/// Brandes–Pich sampled estimator in [`crate::sampled`] (sources = K
+/// pivots).
+pub(crate) fn brandes_over_sources<V: AdjacencyView + ?Sized>(
+    g: &V,
+    sources: &[NodeId],
+    threads: usize,
+) -> (Vec<f64>, Vec<u64>, u64) {
+    let n = g.node_count();
+    let k = sources.len();
+    let partials = run_chunked(k as u32, threads.clamp(1, k.max(1)), |range| {
         let mut bc = vec![0.0f64; n];
         let mut counts: Vec<u64> = Vec::new();
         let mut unreachable = 0u64;
@@ -57,7 +120,8 @@ pub fn betweenness_and_distances_with_threads(g: &Graph, threads: usize) -> Fuse
         let mut delta = vec![0.0f64; n];
         let mut order: Vec<NodeId> = Vec::with_capacity(n);
         let mut queue: VecDeque<NodeId> = VecDeque::new();
-        for s in range {
+        for idx in range {
+            let s = sources[idx as usize];
             for i in 0..n {
                 dist[i] = -1;
                 sigma[i] = 0.0;
@@ -121,18 +185,7 @@ pub fn betweenness_and_distances_with_threads(g: &Graph, threads: usize) -> Fuse
         }
         unreachable += u;
     }
-    // each unordered pair was counted from both endpoints
-    for v in bc.iter_mut() {
-        *v /= 2.0;
-    }
-    FusedTraversal {
-        betweenness: bc,
-        distances: DistanceDistribution {
-            counts,
-            nodes: n,
-            unreachable_pairs: unreachable,
-        },
-    }
+    (bc, counts, unreachable)
 }
 
 /// Exact node betweenness, **unordered-pair convention**: each `{s, t}`
@@ -161,8 +214,9 @@ pub fn normalized_betweenness(g: &Graph) -> Vec<f64> {
 
 /// Normalizes raw per-node betweenness (unordered-pair convention) by the
 /// `(n−1)(n−2)/2` pair count — the shared step between the whole-graph
-/// entry point above and the analyzer cache, which holds raw values.
-pub(crate) fn normalize_raw(raw: Vec<f64>, n: usize) -> Vec<f64> {
+/// entry point above, the analyzer cache (which holds raw values), and
+/// the sampled estimator's `n/K`-scaled sums.
+pub fn normalize_raw(raw: Vec<f64>, n: usize) -> Vec<f64> {
     if n < 3 {
         return vec![0.0; n];
     }
@@ -373,6 +427,24 @@ mod tests {
         let empty = betweenness_and_distances(&Graph::new());
         assert!(empty.betweenness.is_empty());
         assert_eq!(empty.distances.nodes, 0);
+    }
+
+    #[test]
+    fn csr_pass_bit_identical_to_adjacency_pass() {
+        // the CSR port must not change a single bit: same neighbor
+        // order, same chunking, same merge order
+        for g in [
+            builders::karate_club(),
+            builders::grid(5, 7),
+            Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap(),
+        ] {
+            for threads in [1, 3] {
+                let csr = betweenness_and_distances_with_threads(&g, threads);
+                let adj = betweenness_and_distances_adjacency(&g, threads);
+                assert_eq!(csr.betweenness, adj.betweenness);
+                assert_eq!(csr.distances, adj.distances);
+            }
+        }
     }
 
     #[test]

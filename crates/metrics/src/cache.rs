@@ -9,10 +9,17 @@
 //! * **GCC extraction** happens once, up front (§5.2 of the paper: "We
 //!   report all the metrics calculated for the giant connected
 //!   component"); [`GccPolicy::Whole`] opts out.
+//! * **One frozen [`CsrGraph`] snapshot** ([`Dep::Csr`]) of the analyzed
+//!   graph backs every traversal-shaped pass — the fused traversal, the
+//!   triangle census, the sampled estimator, and k-core peeling all read
+//!   the same two flat arrays, so the O(n + m) snapshot cost is paid
+//!   once per analyzer run.
 //! * **Distances + betweenness** share one fused all-source traversal
-//!   ([`crate::betweenness::betweenness_and_distances`]) whenever both
-//!   are requested — Brandes' BFS already knows every distance.
+//!   ([`crate::betweenness::betweenness_and_distances_csr`]) whenever
+//!   both are requested — Brandes' BFS already knows every distance.
 //! * **Triangles** are censused once for `c_mean`/`c_k`/`transitivity`.
+//! * **Sampled traversal** ([`crate::sampled`]) runs once from
+//!   [`AnalyzeOptions::samples`] pivots for the `*_approx` metrics.
 //! * Each pass owns the full thread budget while it runs (the traversal
 //!   parallelizes over BFS sources via the deterministic chunked
 //!   scheduler); passes execute sequentially so an explicit `threads`
@@ -26,8 +33,9 @@
 use crate::betweenness;
 use crate::distance::{default_threads, DistanceDistribution};
 use crate::metric::{AnyMetric, Dep};
+use crate::sampled::{self, SampledTraversal};
 use crate::{clustering, spectral};
-use dk_graph::{traversal, Graph};
+use dk_graph::{traversal, CsrGraph, Graph};
 use dk_linalg::laplacian::SpectralExtremes;
 use std::borrow::Cow;
 
@@ -52,6 +60,9 @@ pub struct AnalyzeOptions {
     /// Worker threads for shared passes and the metric fan-out
     /// (`0` = all cores). Any value produces identical results.
     pub threads: usize,
+    /// Pivot sources for the sampled (`*_approx`) metrics — the
+    /// Brandes–Pich K. Values `≥ n` make the sampled pass exact.
+    pub samples: usize,
 }
 
 impl Default for AnalyzeOptions {
@@ -60,6 +71,7 @@ impl Default for AnalyzeOptions {
             gcc: GccPolicy::Extract,
             lanczos_iter: 300,
             threads: 0,
+            samples: 64,
         }
     }
 }
@@ -75,6 +87,7 @@ struct TraversalData {
 enum DepOut {
     Triangles(Vec<usize>),
     Traversal(TraversalData),
+    Sampled(SampledTraversal),
     Spectral(Option<SpectralExtremes>),
 }
 
@@ -88,8 +101,13 @@ pub struct AnalysisCache<'g> {
     gcc_applied: bool,
     lanczos_iter: usize,
     threads: usize,
+    samples: usize,
+    /// Frozen CSR snapshot of `target`, shared by every traversal-shaped
+    /// pass ([`Dep::Csr`]).
+    csr: Option<CsrGraph>,
     triangles: Option<Vec<usize>>,
     traversal: Option<TraversalData>,
+    sampled: Option<SampledTraversal>,
     /// `Some(None)` = computed but undefined (disconnected / too small).
     spectral: Option<Option<SpectralExtremes>>,
 }
@@ -127,8 +145,11 @@ impl<'g> AnalysisCache<'g> {
             gcc_applied,
             lanczos_iter: opts.lanczos_iter,
             threads: opts.threads,
+            samples: opts.samples,
+            csr: None,
             triangles: None,
             traversal: None,
+            sampled: None,
             spectral: None,
         };
 
@@ -136,6 +157,7 @@ impl<'g> AnalysisCache<'g> {
         enum Job {
             Triangles,
             Traversal { betweenness: bool },
+            Sampled,
             Spectral,
         }
         let mut jobs: Vec<Job> = Vec::new();
@@ -148,24 +170,33 @@ impl<'g> AnalysisCache<'g> {
         } else if deps.contains(&Dep::Distances) {
             jobs.push(Job::Traversal { betweenness: false });
         }
+        if deps.contains(&Dep::Sampled) {
+            jobs.push(Job::Sampled);
+        }
         if deps.contains(&Dep::Spectral) {
             jobs.push(Job::Spectral);
         }
+        // every traversal-shaped dep reads the shared CSR snapshot
+        let needs_csr = deps.iter().any(|d| d.implies_csr());
         if jobs.is_empty() {
+            if needs_csr {
+                cache.csr = Some(CsrGraph::from_graph(cache.target.as_ref()));
+            }
             return cache;
         }
 
         let target = cache.target.as_ref();
+        let csr = needs_csr.then(|| CsrGraph::from_graph(target));
         let inner_threads = cache.inner_threads();
         // Passes run one after another; the heavy ones (traversal) use
         // the *full* thread budget internally, parallelizing over BFS
         // sources. Running passes concurrently on top of that would
         // oversubscribe an explicit `threads` cap.
+        let snap = || csr.as_ref().expect("traversal jobs imply the CSR snapshot");
         let outs = jobs.iter().map(|job| match *job {
-            Job::Triangles => DepOut::Triangles(clustering::triangles_per_node(target)),
+            Job::Triangles => DepOut::Triangles(clustering::triangles_per_node(snap())),
             Job::Traversal { betweenness: true } => {
-                let fused =
-                    betweenness::betweenness_and_distances_with_threads(target, inner_threads);
+                let fused = betweenness::betweenness_and_distances_csr(snap(), inner_threads);
                 DepOut::Traversal(TraversalData {
                     distances: fused.distances,
                     betweenness: Some(betweenness::normalize_raw(
@@ -175,9 +206,14 @@ impl<'g> AnalysisCache<'g> {
                 })
             }
             Job::Traversal { betweenness: false } => DepOut::Traversal(TraversalData {
-                distances: DistanceDistribution::from_graph_with_threads(target, inner_threads),
+                distances: DistanceDistribution::from_csr_with_threads(snap(), inner_threads),
                 betweenness: None,
             }),
+            Job::Sampled => DepOut::Sampled(sampled::sampled_traversal_csr(
+                snap(),
+                opts.samples,
+                inner_threads,
+            )),
             Job::Spectral => DepOut::Spectral(if target.node_count() >= 2 {
                 spectral::spectral_extremes_with(target, opts.lanczos_iter).ok()
             } else {
@@ -188,9 +224,11 @@ impl<'g> AnalysisCache<'g> {
             match out {
                 DepOut::Triangles(t) => cache.triangles = Some(t),
                 DepOut::Traversal(t) => cache.traversal = Some(t),
+                DepOut::Sampled(s) => cache.sampled = Some(s),
                 DepOut::Spectral(s) => cache.spectral = Some(s),
             }
         }
+        cache.csr = csr;
         cache
     }
 
@@ -230,6 +268,28 @@ impl<'g> AnalysisCache<'g> {
             default_threads()
         } else {
             self.threads
+        }
+    }
+
+    /// The frozen CSR snapshot of the analyzed graph (cached when any
+    /// traversal-shaped dep was prepared; built on demand otherwise).
+    pub fn csr(&self) -> Cow<'_, CsrGraph> {
+        match &self.csr {
+            Some(c) => Cow::Borrowed(c),
+            None => Cow::Owned(CsrGraph::from_graph(self.graph())),
+        }
+    }
+
+    /// The sampled K-pivot traversal (cached or computed on demand with
+    /// this cache's `samples` budget).
+    pub fn sampled(&self) -> Cow<'_, SampledTraversal> {
+        match &self.sampled {
+            Some(s) => Cow::Borrowed(s),
+            None => Cow::Owned(sampled::sampled_traversal_csr(
+                self.csr().as_ref(),
+                self.samples,
+                self.inner_threads(),
+            )),
         }
     }
 

@@ -7,26 +7,33 @@
 //! other common convention — both are exposed, the paper-facing reports use
 //! the degree-≥2 mean, matching CAIDA's usage in ref \[20\]).
 
-use dk_graph::Graph;
+use dk_graph::{AdjacencyView, Graph};
 
 /// Per-node triangle counts: `t[v]` = number of triangles through `v`.
 ///
-/// Runs in O(Σ_e (deg(u) + deg(v))) via sorted-adjacency merges.
-pub fn triangles_per_node(g: &Graph) -> Vec<usize> {
-    let mut t = vec![0usize; g.node_count()];
-    for &(u, v) in g.edges() {
-        // every common neighbor w of (u,v) closes a triangle {u,v,w}
-        let (a, b) = (g.neighbors(u), g.neighbors(v));
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let w = a[i];
-                    t[w as usize] += 1;
-                    i += 1;
-                    j += 1;
+/// Runs in O(Σ_e (deg(u) + deg(v))) via sorted-adjacency merges, generic
+/// over [`AdjacencyView`] — the analyzer cache runs the census on its
+/// frozen CSR snapshot. Edges are enumerated as `(u, v)` with `v > u`
+/// from the sorted neighbor slices; counts are identical either way.
+pub fn triangles_per_node<V: AdjacencyView + ?Sized>(g: &V) -> Vec<usize> {
+    let n = g.node_count();
+    let mut t = vec![0usize; n];
+    for u in 0..n as u32 {
+        let a = g.neighbors(u);
+        for &v in a.iter().filter(|&&v| v > u) {
+            // every common neighbor w of (u,v) closes a triangle {u,v,w}
+            let b = g.neighbors(v);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = a[i];
+                        t[w as usize] += 1;
+                        i += 1;
+                        j += 1;
+                    }
                 }
             }
         }
@@ -39,7 +46,7 @@ pub fn triangles_per_node(g: &Graph) -> Vec<usize> {
 }
 
 /// Total number of triangles in the graph.
-pub fn triangle_count(g: &Graph) -> usize {
+pub fn triangle_count<V: AdjacencyView + ?Sized>(g: &V) -> usize {
     triangles_per_node(g).iter().sum::<usize>() / 3
 }
 
@@ -210,6 +217,19 @@ mod tests {
         assert!((mean_clustering_all_nodes(&g) - (1.0 / 3.0 + 2.0) / 4.0).abs() < 1e-12);
         // transitivity: 3 triangles-as-wedge-closures / wedges = 3·1/(3+1+1) = 0.6
         assert!((transitivity(&g) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_census_matches_graph_census() {
+        for g in [
+            builders::karate_club(),
+            builders::complete(5),
+            builders::petersen(),
+        ] {
+            let csr = dk_graph::CsrGraph::from_graph(&g);
+            assert_eq!(triangles_per_node(&g), triangles_per_node(&csr));
+            assert_eq!(triangle_count(&g), triangle_count(&csr));
+        }
     }
 
     #[test]

@@ -4,10 +4,17 @@
 //! `x`, divided by the total number of pairs `n²` (self-pairs included)"
 //! (§2). We compute it **exactly** by running BFS from every node —
 //! O(n·m), a few seconds at skitter scale — parallelized over sources with
-//! scoped threads. No sampling: reproduction tables must not carry sampling
-//! noise on top of ensemble noise.
+//! scoped threads. All-source sweeps run over a frozen [`CsrGraph`]
+//! snapshot (two flat arrays; no per-neighbor-list pointer chase), taken
+//! internally by [`DistanceDistribution::from_graph`] or supplied by the
+//! analyzer cache via [`DistanceDistribution::from_csr_with_threads`].
+//!
+//! The exact distribution carries no sampling noise: reproduction tables
+//! must not stack sampling noise on top of ensemble noise. The *opt-in*
+//! sampled estimator (registry metric `distance_approx`) lives in
+//! [`crate::sampled`].
 
-use dk_graph::{Graph, NodeId};
+use dk_graph::{AdjacencyView, CsrGraph, Graph, NodeId};
 use std::collections::VecDeque;
 
 /// Exact distance distribution of a graph.
@@ -30,7 +37,24 @@ impl DistanceDistribution {
 
     /// As [`DistanceDistribution::from_graph`] with an explicit thread
     /// count (tests use 1 to exercise the sequential path).
+    ///
+    /// Takes a fresh [`CsrGraph`] snapshot internally; callers that
+    /// already hold one (the analyzer cache) use
+    /// [`DistanceDistribution::from_csr_with_threads`] to skip the
+    /// rebuild.
     pub fn from_graph_with_threads(g: &Graph, threads: usize) -> Self {
+        Self::from_view(&CsrGraph::from_graph(g), threads)
+    }
+
+    /// Exact distribution over a prepared CSR snapshot.
+    pub fn from_csr_with_threads(g: &CsrGraph, threads: usize) -> Self {
+        Self::from_view(g, threads)
+    }
+
+    /// The all-source BFS sweep, generic over the adjacency
+    /// representation (CSR preserves neighbor order, so both views
+    /// produce identical distributions).
+    pub(crate) fn from_view<V: AdjacencyView + ?Sized>(g: &V, threads: usize) -> Self {
         let n = g.node_count();
         if n == 0 {
             return DistanceDistribution {
@@ -273,6 +297,20 @@ mod tests {
         let seq = DistanceDistribution::from_graph_with_threads(&g, 1);
         let par = DistanceDistribution::from_graph_with_threads(&g, 4);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn csr_entry_point_matches_graph_entry_point() {
+        for g in [
+            builders::karate_club(),
+            Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap(),
+        ] {
+            let csr = CsrGraph::from_graph(&g);
+            assert_eq!(
+                DistanceDistribution::from_csr_with_threads(&csr, 2),
+                DistanceDistribution::from_graph_with_threads(&g, 1)
+            );
+        }
     }
 
     #[test]

@@ -9,17 +9,20 @@
 //! the dK-series captures "any future metrics" (§3), not just the
 //! advertised list.
 //!
-//! Implemented with the linear-time Batagelj–Zaveršnik bucket algorithm.
+//! Implemented with the linear-time Batagelj–Zaveršnik bucket algorithm,
+//! generic over [`AdjacencyView`] so the peeling runs on the analyzer's
+//! frozen CSR snapshot (the inner loop touches every neighbor list once —
+//! exactly the access pattern CSR flattens).
 
-use dk_graph::Graph;
+use dk_graph::AdjacencyView;
 
 /// Coreness of every node.
-pub fn coreness(g: &Graph) -> Vec<usize> {
+pub fn coreness<V: AdjacencyView + ?Sized>(g: &V) -> Vec<usize> {
     let n = g.node_count();
     if n == 0 {
         return Vec::new();
     }
-    let mut degree: Vec<usize> = g.degrees();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as u32)).collect();
     let max_deg = *degree.iter().max().expect("non-empty");
     // bucket sort nodes by degree
     let mut bin_start = vec![0usize; max_deg + 2];
@@ -66,12 +69,12 @@ pub fn coreness(g: &Graph) -> Vec<usize> {
 }
 
 /// Maximum coreness (the graph's degeneracy).
-pub fn degeneracy(g: &Graph) -> usize {
+pub fn degeneracy<V: AdjacencyView + ?Sized>(g: &V) -> usize {
     coreness(g).into_iter().max().unwrap_or(0)
 }
 
 /// Number of nodes in each k-core: `sizes[k]` = |{v : coreness(v) ≥ k}|.
-pub fn core_sizes(g: &Graph) -> Vec<usize> {
+pub fn core_sizes<V: AdjacencyView + ?Sized>(g: &V) -> Vec<usize> {
     let core = coreness(g);
     let kmax = core.iter().copied().max().unwrap_or(0);
     let mut sizes = vec![0usize; kmax + 1];
@@ -86,7 +89,7 @@ pub fn core_sizes(g: &Graph) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dk_graph::builders;
+    use dk_graph::{builders, CsrGraph, Graph};
 
     #[test]
     fn complete_graph_core() {
@@ -144,6 +147,16 @@ mod tests {
     fn empty_graph() {
         assert!(coreness(&Graph::new()).is_empty());
         assert_eq!(degeneracy(&Graph::new()), 0);
+    }
+
+    #[test]
+    fn csr_peeling_matches_graph_peeling() {
+        for g in [builders::karate_club(), builders::star(7)] {
+            let csr = CsrGraph::from_graph(&g);
+            assert_eq!(coreness(&g), coreness(&csr));
+            assert_eq!(degeneracy(&g), degeneracy(&csr));
+            assert_eq!(core_sizes(&g), core_sizes(&csr));
+        }
     }
 
     #[test]

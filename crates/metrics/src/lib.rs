@@ -64,9 +64,14 @@
 //!   default; the paper extracts the GCC first (§5.2: "We report all the
 //!   metrics calculated for the giant connected component"). Opt out with
 //!   [`cache::GccPolicy::Whole`].
-//! * All-pairs computations (distances, betweenness) run **exactly** (no
-//!   sampling) and in parallel across BFS sources using scoped threads.
-//!   Graphs at paper scale (10⁴ nodes, 3×10⁴ edges) complete in seconds.
+//! * All-pairs computations (distances, betweenness) run **exactly** by
+//!   default and in parallel across BFS sources using scoped threads;
+//!   every traversal-shaped pass reads a frozen
+//!   [`dk_graph::CsrGraph`] snapshot built once per analyzer run. Graphs
+//!   at paper scale (10⁴ nodes, 3×10⁴ edges) complete in seconds. For
+//!   larger graphs the explicit `distance_approx`/`betweenness_approx`
+//!   metrics ([`sampled`], `Cost::Sampled`) estimate from K pivot
+//!   sources instead.
 //! * Results never depend on thread counts: parallel analysis is
 //!   byte-identical to serial.
 
@@ -86,6 +91,7 @@ pub mod likelihood;
 pub mod metric;
 pub mod report;
 pub mod richclub;
+pub mod sampled;
 pub mod spectral;
 pub mod table;
 

@@ -17,6 +17,8 @@
 //! | `kcore_max` | scalar | linear | — (beyond-paper check) |
 //! | `d_avg`, `d_std`, `diameter` | scalar | all-pairs | `d̄`, `σ_d` (§2) |
 //! | `b_max` | scalar | all-pairs | max normalized betweenness (§2) |
+//! | `distance_approx` | scalar | sampled | `d̄` estimate (Brandes–Pich pivots) |
+//! | `betweenness_approx` | scalar | sampled | `b_max` estimate (Brandes–Pich) |
 //! | `lambda1`, `lambda_n` | scalar | spectral | `λ1`, `λ_{n−1}` (§2) |
 //! | `degree_dist` | series | trivial | `P(k)` (§2) |
 //! | `knn` | series | linear | `k_nn(k)` |
@@ -27,8 +29,23 @@
 //!
 //! Metrics sharing a [`Dep`] are computed from one shared pass: `d_*` and
 //! `b_*` both ride the fused all-source traversal
-//! ([`crate::betweenness::betweenness_and_distances`]), and the
-//! clustering family shares one triangle census.
+//! ([`crate::betweenness::betweenness_and_distances`]), the clustering
+//! family shares one triangle census, and every traversal-shaped pass
+//! (traversals, census, k-core peeling) runs over one frozen
+//! [`CsrGraph`](dk_graph::CsrGraph) snapshot ([`Dep::Csr`]) built once
+//! per analyzer run.
+//!
+//! ## Approximate (sampled) modes
+//!
+//! The `*_approx` metrics are explicit [`Cost::Sampled`] alternatives to
+//! the `Cost::AllPairs` exact passes: K pivot sources (default 64, the
+//! [`Analyzer::sample_sources`](crate::analyzer::Analyzer::sample_sources)
+//! knob / CLI `--samples`) instead of all n, estimates extrapolated by
+//! `n/K` (Brandes–Pich). Accuracy caveats: estimates are deterministic
+//! (seeded pivot stride, thread-count invariant) but carry sampling
+//! error of order `1/√K` — fine for ranking hubs and for `d̄`-style
+//! means, **not** for reproduction tables, which must stay on the exact
+//! metrics. `K ≥ n` makes them equal to the exact values bit for bit.
 
 use crate::cache::AnalysisCache;
 use crate::{betweenness, clustering, jdd, kcore, likelihood, richclub};
@@ -82,6 +99,10 @@ pub enum Cost {
     Trivial,
     /// O(m·log) — triangle census, edge scans.
     Linear,
+    /// O(K·m) — K-pivot sampled traversal (Brandes–Pich), the explicit
+    /// approximate alternative to [`Cost::AllPairs`]. Deterministic but
+    /// carries ~`1/√K` sampling error; see the module docs.
+    Sampled,
     /// O(n·m) — all-source BFS (distances, betweenness).
     AllPairs,
     /// Eigensolver (Jacobi / Lanczos).
@@ -94,6 +115,7 @@ impl Cost {
         match self {
             Cost::Trivial => "trivial",
             Cost::Linear => "linear",
+            Cost::Sampled => "sampled",
             Cost::AllPairs => "all-pairs",
             Cost::Spectral => "spectral",
         }
@@ -108,14 +130,34 @@ impl Cost {
 /// fused all-source traversal serves both.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Dep {
+    /// Frozen [`CsrGraph`](dk_graph::CsrGraph) snapshot of the analyzed
+    /// graph — the flat-array adjacency every traversal-shaped pass
+    /// reads. [`Dep::Triangles`], [`Dep::Distances`],
+    /// [`Dep::Betweenness`], and [`Dep::Sampled`] all imply it, so the
+    /// snapshot is built **once** and amortized across every selected
+    /// metric; declare it directly for metrics that only need fast
+    /// neighbor iteration (k-core peeling).
+    Csr,
     /// Per-node triangle counts (clustering family).
     Triangles,
     /// Exact distance distribution (all-source BFS).
     Distances,
     /// Exact node betweenness (Brandes; subsumes [`Dep::Distances`]).
     Betweenness,
+    /// Sampled K-pivot traversal (Brandes–Pich) — the `*_approx`
+    /// metrics' shared pass.
+    Sampled,
     /// Normalized-Laplacian spectral extremes.
     Spectral,
+}
+
+impl Dep {
+    /// Whether this dep reads the shared CSR snapshot — the one place
+    /// the "traversal-shaped passes run on CSR" relationship lives; the
+    /// cache builds the snapshot iff any selected dep implies it.
+    pub fn implies_csr(self) -> bool {
+        !matches!(self, Dep::Spectral)
+    }
 }
 
 /// A topology metric: name, capability metadata, and the computation
@@ -277,8 +319,8 @@ static REGISTRY: &[Def] = &[
         description: "graph degeneracy (maximum k-core index)",
         kind: Kind::Scalar,
         cost: Cost::Linear,
-        deps: &[],
-        compute: |cx| scalar(kcore::degeneracy(cx.graph()) as f64),
+        deps: &[Dep::Csr],
+        compute: |cx| scalar(kcore::degeneracy(cx.csr().as_ref()) as f64),
     },
     Def {
         name: "d_avg",
@@ -339,6 +381,39 @@ static REGISTRY: &[Def] = &[
             cx.betweenness()
                 .iter()
                 .copied()
+                .max_by(|a, b| a.partial_cmp(b).expect("finite betweenness"))
+                .map_or(MetricValue::Undefined, scalar)
+        },
+    },
+    Def {
+        name: "distance_approx",
+        aliases: &["d_avg_approx"],
+        description: "sampled estimate of d̄ (K pivot sources, Brandes–Pich)",
+        kind: Kind::Scalar,
+        cost: Cost::Sampled,
+        deps: &[Dep::Sampled],
+        compute: |cx| {
+            if cx.graph().node_count() <= 1 {
+                MetricValue::Undefined
+            } else {
+                scalar(cx.sampled().distances.mean())
+            }
+        },
+    },
+    Def {
+        name: "betweenness_approx",
+        aliases: &["b_max_approx"],
+        description: "sampled estimate of max normalized betweenness",
+        kind: Kind::Scalar,
+        cost: Cost::Sampled,
+        deps: &[Dep::Sampled],
+        compute: |cx| {
+            if cx.graph().node_count() < 3 {
+                return MetricValue::Undefined;
+            }
+            let sampled = cx.sampled();
+            betweenness::normalize_raw(sampled.betweenness.clone(), cx.graph().node_count())
+                .into_iter()
                 .max_by(|a, b| a.partial_cmp(b).expect("finite betweenness"))
                 .map_or(MetricValue::Undefined, scalar)
         },
@@ -507,7 +582,10 @@ impl AnyMetric {
 
     /// Parses a comma-separated metric list. Each element is a metric
     /// name, an alias, or a set keyword: `default` (paper battery),
-    /// `cheap` (sub-quadratic scalars), `scalars`, `series`, or `all`.
+    /// `cheap` (sub-quadratic scalars), `scalars` (every *exact* scalar
+    /// — the sampled estimators stay opt-in by name, as reproduction
+    /// batteries must not mix estimator noise with exact values),
+    /// `series`, or `all` (everything, sampled included).
     /// Duplicates are removed, first occurrence wins.
     pub fn parse_list(list: &str) -> Result<Vec<AnyMetric>, String> {
         let mut out: Vec<AnyMetric> = Vec::new();
@@ -522,7 +600,7 @@ impl AnyMetric {
                 "cheap" => AnyMetric::cheap_set().into_iter().for_each(&mut push),
                 "all" => AnyMetric::all().for_each(&mut push),
                 "scalars" => AnyMetric::all()
-                    .filter(|m| m.kind() == Kind::Scalar)
+                    .filter(|m| m.kind() == Kind::Scalar && m.cost() != Cost::Sampled)
                     .for_each(&mut push),
                 "series" => AnyMetric::all()
                     .filter(|m| m.kind() == Kind::Series)
@@ -552,7 +630,12 @@ impl AnyMetric {
                 m.description(),
             ));
         }
-        out.push_str("sets: default (paper battery), cheap, scalars, series, all\n");
+        out.push_str("sets: default (paper battery), cheap, scalars (exact only), series, all\n");
+        out.push_str(
+            "sampled metrics estimate their all-pairs twin from K pivot sources \
+             (--samples, default 64): deterministic, ~1/sqrt(K) error, exact when \
+             K >= n; select them by name — no set except `all` includes them\n",
+        );
         out
     }
 }
@@ -636,8 +719,14 @@ mod tests {
         assert_eq!(l[2].name(), "b_max");
         let all = AnyMetric::parse_list("all").unwrap();
         assert_eq!(all.len(), AnyMetric::all().count());
+        // scalars + series covers everything EXCEPT the sampled
+        // estimators, which only `all` (or naming them) selects
         let both = AnyMetric::parse_list("scalars,series").unwrap();
-        assert_eq!(both.len(), all.len());
+        let sampled_count = AnyMetric::all()
+            .filter(|m| m.cost() == Cost::Sampled)
+            .count();
+        assert_eq!(both.len(), all.len() - sampled_count);
+        assert!(both.iter().all(|m| m.cost() != Cost::Sampled));
         assert!(AnyMetric::parse_list("").is_err());
         assert!(AnyMetric::parse_list("k_avg,bogus").is_err());
     }

@@ -1,0 +1,268 @@
+//! Sampled (approximate) all-pairs traversal — the Brandes–Pich
+//! source-sampling estimator.
+//!
+//! The exact distance distribution and betweenness run one BFS per node:
+//! O(n·m), the dominant cost of the whole evaluation pipeline (§5) and
+//! infeasible at 10⁶-node scale. Brandes & Pich ("Centrality estimation
+//! in large networks", 2007) showed that running the Brandes pass from
+//! `K ≪ n` *pivot* sources and extrapolating by `n/K` estimates
+//! betweenness well when pivots cover the graph evenly; the same K BFS
+//! trees give an unbiased sample of the distance distribution (each
+//! source contributes its full distance row, so ratios of counts — mean,
+//! standard deviation, the `d(x)` shape — need no rescaling at all).
+//!
+//! Behind the metric registry these appear as `distance_approx` /
+//! `betweenness_approx` with cost class
+//! [`Cost::Sampled`](crate::metric::Cost::Sampled); the pivot budget is
+//! the [`Analyzer::sample_sources`](crate::analyzer::Analyzer::sample_sources)
+//! knob (CLI `--samples K`).
+//!
+//! ## Determinism contract
+//!
+//! * Pivots come from a seeded deterministic stride over the node ids
+//!   ([`sample_pivots`]) — a pure function of `(n, K)`, never of thread
+//!   count or wall clock. Two runs agree exactly.
+//! * The per-pivot partials merge in fixed chunk order (the same
+//!   deterministic chunking the exact pass uses), so results are
+//!   **bit-identical for every thread count**.
+//! * `K ≥ n` degrades to the identity pivot set with scale 1, making the
+//!   estimate **equal to the exact pass** bit for bit.
+
+use crate::betweenness::brandes_over_sources;
+use crate::distance::DistanceDistribution;
+use dk_graph::{AdjacencyView, CsrGraph, NodeId};
+
+/// Result of one sampled traversal: the shared pass behind the
+/// `distance_approx` and `betweenness_approx` registry metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampledTraversal {
+    /// Distance rows of the pivot sources only (`counts[x]` = ordered
+    /// `(pivot, node)` pairs at distance `x`; `nodes` is the full `n`).
+    ///
+    /// **Caveat**: only ratio statistics of this field — `mean()`,
+    /// `std_dev()`, `pdf_positive()` — estimate the exact ones;
+    /// absolute-count views (`pdf()`, `unreachable_pairs`) describe the
+    /// `K/n` sample, not the graph. Use [`SampledTraversal::pdf_estimate`]
+    /// and [`SampledTraversal::unreachable_fraction`] for properly
+    /// rescaled whole-graph estimates.
+    pub distances: DistanceDistribution,
+    /// Estimated node betweenness, unordered-pair convention — the
+    /// Brandes dependency sum over pivots, scaled by `n/K` (and halved,
+    /// exactly like the exact pass). Equal to the exact values when
+    /// `K ≥ n`.
+    pub betweenness: Vec<f64>,
+    /// Number of pivot sources actually traversed (`min(K, n)`).
+    pub sources: usize,
+}
+
+impl SampledTraversal {
+    /// Unbiased estimate of the paper-convention PDF `d(x)` (self-pairs
+    /// included): `counts[x] / (K·n)` — the sampled counterpart of
+    /// [`DistanceDistribution::pdf`], which on this struct's raw sample
+    /// would come out scaled by `K/n`. Equals the exact PDF when
+    /// `K ≥ n`.
+    pub fn pdf_estimate(&self) -> Vec<f64> {
+        let denom = self.sources as f64 * self.distances.nodes as f64;
+        if denom == 0.0 {
+            return Vec::new();
+        }
+        self.distances
+            .counts
+            .iter()
+            .map(|&c| c as f64 / denom)
+            .collect()
+    }
+
+    /// Estimated fraction of ordered pairs with no connecting path:
+    /// `unreachable_pairs / (K·n)`. Exact when `K ≥ n`.
+    pub fn unreachable_fraction(&self) -> f64 {
+        let denom = self.sources as f64 * self.distances.nodes as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.distances.unreachable_pairs as f64 / denom
+        }
+    }
+}
+
+/// The `K` pivot sources for a graph of `n` nodes: a deterministic
+/// golden-ratio stride over `0..n`, coprime with `n` so the first `K`
+/// steps are distinct and spread quasi-uniformly across node ids
+/// (construction algorithms assign ids in degree/arrival order, so a
+/// stride also spreads pivots across *roles* — hubs and leaves both get
+/// sampled).
+///
+/// `K ≥ n` returns the identity ordering `0..n`, which makes the
+/// sampled pass coincide with the exact one.
+pub fn sample_pivots(n: usize, k: usize) -> Vec<NodeId> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return (0..n as NodeId).collect();
+    }
+    // golden-ratio fraction of n, nudged down to the nearest stride
+    // coprime with n (stride 1 always qualifies, so this terminates)
+    let mut stride = ((n as f64 * 0.618_033_988_749_895) as usize).max(1);
+    while gcd(stride, n) != 1 {
+        stride -= 1;
+    }
+    // fixed offset decorrelates the pivot set from node 0 on small n;
+    // SplitMix-style hash of n keeps it a pure function of the graph
+    let offset = {
+        let mut z = (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        (z ^ (z >> 31)) as usize % n
+    };
+    (0..k)
+        .map(|i| ((offset + i * stride) % n) as NodeId)
+        .collect()
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Runs the Brandes–Pich pass from `k` pivots over a prepared CSR
+/// snapshot. See [`SampledTraversal`] for the output conventions and the
+/// [module docs](self) for the determinism contract.
+pub fn sampled_traversal_csr(g: &CsrGraph, k: usize, threads: usize) -> SampledTraversal {
+    sampled_traversal(g, k, threads)
+}
+
+/// As [`sampled_traversal_csr`], generic over the adjacency view.
+pub fn sampled_traversal<V: AdjacencyView + ?Sized>(
+    g: &V,
+    k: usize,
+    threads: usize,
+) -> SampledTraversal {
+    let n = g.node_count();
+    if n == 0 {
+        return SampledTraversal {
+            distances: DistanceDistribution {
+                counts: vec![],
+                nodes: 0,
+                unreachable_pairs: 0,
+            },
+            betweenness: Vec::new(),
+            sources: 0,
+        };
+    }
+    let pivots = sample_pivots(n, k.max(1));
+    let (mut bc, counts, unreachable) = brandes_over_sources(g, &pivots, threads);
+    // pair-convention halving (as in the exact pass), then the n/K
+    // extrapolation; K = n gives scale exactly 1.0
+    let scale = 0.5 * (n as f64 / pivots.len() as f64);
+    for v in bc.iter_mut() {
+        *v *= scale;
+    }
+    SampledTraversal {
+        distances: DistanceDistribution {
+            counts,
+            nodes: n,
+            unreachable_pairs: unreachable,
+        },
+        betweenness: bc,
+        sources: pivots.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::betweenness;
+    use dk_graph::builders;
+
+    #[test]
+    fn pivots_distinct_and_in_range() {
+        for (n, k) in [(10, 4), (97, 64), (1000, 64), (5, 5), (5, 99)] {
+            let p = sample_pivots(n, k);
+            assert_eq!(p.len(), k.min(n));
+            let set: std::collections::BTreeSet<_> = p.iter().collect();
+            assert_eq!(set.len(), p.len(), "n={n} k={k}: duplicate pivot");
+            assert!(p.iter().all(|&v| (v as usize) < n));
+        }
+        assert!(sample_pivots(0, 8).is_empty());
+    }
+
+    #[test]
+    fn pivots_are_deterministic() {
+        assert_eq!(sample_pivots(100, 16), sample_pivots(100, 16));
+        assert_eq!(sample_pivots(7, 99), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_sample_equals_exact_bit_for_bit() {
+        let g = builders::karate_club();
+        let csr = dk_graph::CsrGraph::from_graph(&g);
+        let exact = betweenness::betweenness_and_distances_csr(&csr, 2);
+        for k in [34, 35, 1000] {
+            let s = sampled_traversal_csr(&csr, k, 2);
+            assert_eq!(s.sources, 34);
+            assert_eq!(s.betweenness, exact.betweenness, "k = {k}");
+            assert_eq!(s.distances, exact.distances, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn thread_count_is_invisible() {
+        let g = builders::grid(8, 9);
+        let csr = dk_graph::CsrGraph::from_graph(&g);
+        let serial = sampled_traversal_csr(&csr, 16, 1);
+        for threads in [2, 4, 0] {
+            assert_eq!(serial, sampled_traversal_csr(&csr, 16, threads));
+        }
+    }
+
+    #[test]
+    fn estimates_track_exact_on_karate() {
+        let g = builders::karate_club();
+        let csr = dk_graph::CsrGraph::from_graph(&g);
+        let exact = betweenness::betweenness_and_distances_csr(&csr, 1);
+        let s = sampled_traversal_csr(&csr, 16, 1);
+        // distance mean: scale-free, should land within a few percent
+        let rel = (s.distances.mean() - exact.distances.mean()).abs() / exact.distances.mean();
+        assert!(rel < 0.1, "d̄ rel error {rel}");
+        // betweenness: the hub ordering must survive sampling
+        let argmax = |b: &[f64]| {
+            b.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert_eq!(argmax(&s.betweenness), argmax(&exact.betweenness));
+    }
+
+    #[test]
+    fn pdf_estimate_rescales_the_sample() {
+        let g = builders::karate_club();
+        let csr = dk_graph::CsrGraph::from_graph(&g);
+        // full sample: estimate == exact pdf
+        let full = sampled_traversal_csr(&csr, 34, 1);
+        let exact = betweenness::betweenness_and_distances_csr(&csr, 1)
+            .distances
+            .pdf();
+        assert_eq!(full.pdf_estimate(), exact);
+        assert_eq!(full.unreachable_fraction(), 0.0);
+        // partial sample: estimate still sums to ~1 (connected graph),
+        // unlike the raw sample's pdf() which is scaled by K/n
+        let part = sampled_traversal_csr(&csr, 8, 1);
+        let total: f64 = part.pdf_estimate().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "total {total}");
+        let raw_total: f64 = part.distances.pdf().iter().sum();
+        assert!((raw_total - 8.0 / 34.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let empty = sampled_traversal(&dk_graph::Graph::new(), 8, 1);
+        assert_eq!(empty.sources, 0);
+        assert!(empty.betweenness.is_empty());
+        let p2 = sampled_traversal(&builders::path(2), 8, 1);
+        assert_eq!(p2.sources, 2);
+    }
+}

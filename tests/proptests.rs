@@ -3,6 +3,7 @@
 use dk_repro::core::dist::{Dist1K, Dist2K, Dist3K};
 use dk_repro::core::generate::rewire::{randomize, RewireOptions, SwapBudget};
 use dk_repro::core::io;
+use dk_repro::graph::csr::CsrGraph;
 use dk_repro::graph::Graph;
 use proptest::prelude::*;
 
@@ -103,5 +104,22 @@ proptest! {
         let a = dk_repro::metrics::clustering::triangle_count(&g) as u64;
         let b = Dist3K::from_graph(&g).triangle_total();
         prop_assert_eq!(a, b);
+    }
+
+    /// The CSR snapshot round-trips any graph: node/edge counts, degrees,
+    /// and every sorted neighbor slice are identical.
+    #[test]
+    fn csr_snapshot_round_trips(g in arb_graph(32, 120)) {
+        let csr = CsrGraph::from_graph(&g);
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        prop_assert_eq!(csr.degrees(), g.degrees());
+        prop_assert_eq!(csr.max_degree(), g.max_degree());
+        for u in g.nodes() {
+            prop_assert_eq!(csr.neighbors(u), g.neighbors(u), "node {}", u);
+            // neighbor slices stay strictly sorted (the membership-test
+            // invariant triangle merges rely on)
+            prop_assert!(csr.neighbors(u).windows(2).all(|w| w[0] < w[1]));
+        }
     }
 }
