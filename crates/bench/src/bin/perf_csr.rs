@@ -2,18 +2,18 @@
 //! legacy `Vec<Vec<_>>` adjacency, and sampled (Brandes–Pich, K = 64)
 //! vs exact all-pairs, on a power-law (Barabási–Albert) graph.
 //!
-//! Prints a human-readable comparison and persists a machine-readable
-//! `BENCH_metrics.json` next to the other artifacts, so the perf
-//! trajectory of the hot path is recorded run over run (CI smokes the
-//! emitter at small n; `--full` runs the ≥10⁵-node configuration the
-//! acceptance criteria reference).
+//! Prints a human-readable comparison and appends a machine-readable
+//! record (`"bench": "csr"`) to the `BENCH_metrics.json` JSON-lines log
+//! next to the other artifacts, so the perf trajectory of the hot path
+//! accumulates run over run (CI smokes the emitter at small n; `--full`
+//! runs the ≥10⁵-node configuration the acceptance criteria reference).
 //!
 //! ```text
 //! cargo run -p dk-bench --release --bin perf_csr -- [--full] [--threads N]
 //! # → results/BENCH_metrics.json
 //! ```
 
-use dk_bench::{write_json, Config};
+use dk_bench::{append_json_line, Config};
 use dk_graph::CsrGraph;
 use dk_metrics::sampled::sampled_traversal_csr;
 use dk_metrics::{betweenness, json};
@@ -116,6 +116,7 @@ fn main() {
     );
 
     let doc = json::object([
+        ("bench".into(), "\"csr\"".into()),
         ("n".into(), g.node_count().to_string()),
         ("m".into(), g.edge_count().to_string()),
         ("threads".into(), threads.to_string()),
@@ -143,6 +144,6 @@ fn main() {
         ),
     ]);
     let out = cfg.out_dir.join("BENCH_metrics.json");
-    write_json(&out, &doc).expect("write BENCH_metrics.json");
-    println!("wrote {}", out.display());
+    append_json_line(&out, &doc).expect("append to BENCH_metrics.json");
+    println!("appended to {}", out.display());
 }

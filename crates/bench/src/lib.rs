@@ -143,6 +143,33 @@ pub fn write_json(path: &std::path::Path, json: &str) -> std::io::Result<()> {
     write_text(path, json)
 }
 
+/// Appends one JSON record to a JSON-lines log (creating parent dirs).
+///
+/// `results/BENCH_metrics.json` is such a log: one self-contained bench
+/// record per line (each tagged with a `"bench"` key), so the perf
+/// trajectory of the hot paths **accumulates** run over run instead of
+/// each binary overwriting the last one's point. Tolerates a legacy
+/// record written without a trailing newline.
+pub fn append_json_line(path: &std::path::Path, record: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let needs_newline = match std::fs::read(path) {
+        Ok(existing) => !existing.is_empty() && !existing.ends_with(b"\n"),
+        Err(_) => false,
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if needs_newline {
+        f.write_all(b"\n")?;
+    }
+    f.write_all(record.as_bytes())?;
+    f.write_all(b"\n")
+}
+
 /// JSON form of an integer-keyed series: `[[x, y], ...]` — used by the
 /// figure binaries for their original-graph reference series.
 pub fn series_json(s: &[(usize, f64)]) -> String {
@@ -194,6 +221,27 @@ mod tests {
         let cfg = Config::default();
         let seeds: std::collections::BTreeSet<u64> = (0..100).map(|i| cfg.run_seed(i)).collect();
         assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn append_json_line_accumulates_and_repairs_missing_newline() {
+        let dir = std::env::temp_dir().join("dk_bench_jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.json");
+        let _ = std::fs::remove_file(&path);
+        append_json_line(&path, "{\"bench\":\"a\"}").unwrap();
+        append_json_line(&path, "{\"bench\":\"b\"}").unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"bench\":\"a\"}\n{\"bench\":\"b\"}\n"
+        );
+        // a legacy record without a trailing newline stays on its own line
+        std::fs::write(&path, "{\"legacy\":1}").unwrap();
+        append_json_line(&path, "{\"bench\":\"c\"}").unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"legacy\":1}\n{\"bench\":\"c\"}\n"
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! dk rewire   <d> <graph.edges> -o <out.edges>    dK-randomizing rewiring
 //! dk explore  <s|s2|c> <min|max> <graph.edges> -o <out.edges>
 //! dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
+//!             [--shards N] [--memory-budget B]
 //! dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
+//!             [--shards N] [--memory-budget B]
 //! dk census   <graph.edges>                       Table 5 census
 //! dk viz      <graph.edges>     -o <out.svg>      layout + SVG
 //! ```
@@ -219,6 +221,50 @@ pub struct MetricsOptions {
     /// `--samples K`: pivot budget for the sampled `*_approx` metrics
     /// (`None` = the analyzer default, 64).
     pub samples: Option<usize>,
+    /// `--shards N`: source shard count for the all-pairs/sampled
+    /// traversal passes; setting it opts into the streamed route
+    /// (`None` = auto — streamed with the default shard count once the
+    /// graph is large enough).
+    pub shards: Option<usize>,
+    /// `--memory-budget BYTES`: traversal working-memory cap (accepts
+    /// K/M/G suffixes at parse time); opts into the streamed route.
+    pub memory_budget: Option<u64>,
+}
+
+/// Parses a `--memory-budget` value: a positive integer byte count with
+/// an optional `K`/`M`/`G` suffix (powers of 1024, case-insensitive) —
+/// e.g. `512M`, `2G`, `67108864`.
+pub fn parse_memory_budget(s: &str) -> Result<u64, String> {
+    let bad = || {
+        format!(
+            "bad --memory-budget {s:?}: use a positive byte count, \
+             optionally with a K/M/G suffix (e.g. 512M, 2G)"
+        )
+    };
+    let (digits, shift) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 10),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 20),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let value: u64 = digits.parse().map_err(|_| bad())?;
+    if value == 0 {
+        return Err(bad());
+    }
+    value
+        .checked_shl(shift)
+        .filter(|v| *v >> shift == value)
+        .ok_or_else(bad)
+}
+
+/// Parses a `--shards` value: a positive shard count.
+pub fn parse_shards(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "bad --shards {s:?}: need a positive shard count (e.g. --shards 64)"
+        )),
+    }
 }
 
 fn build_analyzer(
@@ -236,6 +282,12 @@ fn build_analyzer(
     }
     if let Some(k) = opts.samples {
         analyzer = analyzer.sample_sources(k);
+    }
+    if let Some(shards) = opts.shards {
+        analyzer = analyzer.shards(shards);
+    }
+    if let Some(budget) = opts.memory_budget {
+        analyzer = analyzer.memory_budget(budget);
     }
     Ok(analyzer)
 }
@@ -304,8 +356,10 @@ pub fn cmd_compare(
 /// takes any registry names or sets (`--metrics all` includes
 /// betweenness, `--metrics help` lists capabilities), `--no-gcc` skips
 /// GCC extraction, `--samples K` sets the pivot budget of the sampled
-/// `*_approx` metrics, and `--format json` emits the machine-readable
-/// report.
+/// `*_approx` metrics, `--shards N` / `--memory-budget B` opt the
+/// traversal passes into the sharded streaming route (identical
+/// results, memory bounded by workers — auto-selected anyway past
+/// ~131k nodes), and `--format json` emits the machine-readable report.
 pub fn cmd_metrics(graph_path: &Path, opts: &MetricsOptions) -> Result<String, GraphError> {
     if opts.metrics.as_deref() == Some("help") {
         return Ok(AnyMetric::listing());
@@ -576,6 +630,87 @@ mod tests {
         .unwrap();
         assert!(approx.contains("\"distance_approx\":"), "{approx}");
         assert!(!approx.contains("null"), "{approx}");
+    }
+
+    #[test]
+    fn memory_budget_parsing() {
+        assert_eq!(parse_memory_budget("123").unwrap(), 123);
+        assert_eq!(parse_memory_budget("4K").unwrap(), 4096);
+        assert_eq!(parse_memory_budget("512m").unwrap(), 512 << 20);
+        assert_eq!(parse_memory_budget("2G").unwrap(), 2 << 30);
+        for bad in [
+            "0",
+            "0M",
+            "",
+            "G",
+            "12X",
+            "-5",
+            "1.5G",
+            "99999999999999999999G",
+        ] {
+            let err = parse_memory_budget(bad).unwrap_err();
+            assert!(err.contains("--memory-budget"), "{bad}: {err}");
+            assert!(err.contains("512M"), "hint present: {err}");
+        }
+    }
+
+    #[test]
+    fn shards_parsing() {
+        assert_eq!(parse_shards("1").unwrap(), 1);
+        assert_eq!(parse_shards("64").unwrap(), 64);
+        for bad in ["0", "", "-2", "many"] {
+            let err = parse_shards(bad).unwrap_err();
+            assert!(err.contains("--shards"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_streaming_flags_preserve_output() {
+        // the streamed route at the default shard count must not change
+        // a single output byte; a custom shard count keeps histogram
+        // metrics identical too (integer reducers)
+        let graph = write_karate();
+        let base = cmd_metrics(
+            &graph,
+            &MetricsOptions {
+                metrics: Some("d_avg,d_std,diameter,b_max".into()),
+                format: OutputFormat::Json,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let streamed = cmd_metrics(
+            &graph,
+            &MetricsOptions {
+                metrics: Some("d_avg,d_std,diameter,b_max".into()),
+                format: OutputFormat::Json,
+                shards: Some(64),
+                memory_budget: Some(1 << 30),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base, streamed);
+        let seven = cmd_metrics(
+            &graph,
+            &MetricsOptions {
+                metrics: Some("d_avg,diameter".into()),
+                format: OutputFormat::Json,
+                shards: Some(7),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for key in ["\"d_avg\":", "\"diameter\":"] {
+            let val = |s: &str| {
+                let at = s.find(key).unwrap();
+                s[at..]
+                    .chars()
+                    .take_while(|c| *c != ',' && *c != '}')
+                    .collect::<String>()
+            };
+            assert_eq!(val(&base), val(&seven), "{key}");
+        }
     }
 
     #[test]

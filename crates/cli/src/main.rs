@@ -15,7 +15,9 @@ USAGE:
   dk rewire   <d: 0..3> <graph.edges> -o <out.edges> [--attempts N] [--seed N]
   dk explore  <s|s2|c>  <min|max> <graph.edges> -o <out.edges> [--seed N]
   dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
+              [--shards N] [--memory-budget B]
   dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
+              [--shards N] [--memory-budget B]
   dk census   <graph.edges> [--max-d D]
   dk viz      <graph.edges> -o <out.svg> [--seed N]
 
@@ -24,7 +26,10 @@ distribution files are the Orbis-style formats documented in dk-core.
 `--metrics` takes comma-separated metric names or sets (default, cheap,
 scalars, series, all) — `--metrics help` lists every metric. `--samples K`
 sets the pivot budget of the sampled distance_approx/betweenness_approx
-metrics (default 64; K >= n reproduces the exact values).";
+metrics (default 64; K >= n reproduces the exact values). `--shards N`
+streams the all-pairs/sampled passes shard by shard (identical results,
+memory bounded by workers — the default past ~131k nodes); `--memory-budget
+B` caps their working memory (bytes, K/M/G suffixes).";
 
 struct Args {
     positional: Vec<String>,
@@ -37,6 +42,8 @@ struct Args {
     format: OutputFormat,
     no_gcc: bool,
     samples: Option<usize>,
+    shards: Option<usize>,
+    memory_budget: Option<u64>,
 }
 
 fn parse(mut raw: Vec<String>) -> Result<Args, String> {
@@ -51,6 +58,8 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
         format: OutputFormat::Text,
         no_gcc: false,
         samples: None,
+        shards: None,
+        memory_budget: None,
     };
     raw.reverse();
     while let Some(tok) = raw.pop() {
@@ -69,6 +78,16 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("bad --samples: {e}"))?,
                 )
+            }
+            "--shards" => {
+                args.shards = Some(parse_shards(
+                    &raw.pop().ok_or("missing value after --shards")?,
+                )?)
+            }
+            "--memory-budget" => {
+                args.memory_budget = Some(parse_memory_budget(
+                    &raw.pop().ok_or("missing value after --memory-budget")?,
+                )?)
             }
             "--seed" => {
                 args.seed = raw
@@ -101,6 +120,19 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
 
 fn need_out(a: &Args) -> Result<&PathBuf, String> {
     a.out.as_ref().ok_or_else(|| "missing -o <output>".into())
+}
+
+impl Args {
+    fn metrics_options(&self) -> MetricsOptions {
+        MetricsOptions {
+            metrics: self.metrics.clone(),
+            format: self.format,
+            gcc_off: self.no_gcc,
+            samples: self.samples,
+            shards: self.shards,
+            memory_budget: self.memory_budget,
+        }
+    }
 }
 
 fn run() -> Result<String, String> {
@@ -138,37 +170,11 @@ fn run() -> Result<String, String> {
         .map_err(err),
         "explore" => cmd_explore(p(0)?, p(1)?, p(2)?.as_ref(), need_out(&a)?, a.seed).map_err(err),
         // `--metrics help` needs no graph files — don't demand any
-        "metrics" | "compare" if a.metrics.as_deref() == Some("help") => cmd_metrics(
-            std::path::Path::new(""),
-            &MetricsOptions {
-                metrics: a.metrics.clone(),
-                format: a.format,
-                gcc_off: a.no_gcc,
-                samples: a.samples,
-            },
-        )
-        .map_err(err),
-        "metrics" => cmd_metrics(
-            p(0)?.as_ref(),
-            &MetricsOptions {
-                metrics: a.metrics.clone(),
-                format: a.format,
-                gcc_off: a.no_gcc,
-                samples: a.samples,
-            },
-        )
-        .map_err(err),
-        "compare" => cmd_compare(
-            p(0)?.as_ref(),
-            p(1)?.as_ref(),
-            &MetricsOptions {
-                metrics: a.metrics.clone(),
-                format: a.format,
-                gcc_off: a.no_gcc,
-                samples: a.samples,
-            },
-        )
-        .map_err(err),
+        "metrics" | "compare" if a.metrics.as_deref() == Some("help") => {
+            cmd_metrics(std::path::Path::new(""), &a.metrics_options()).map_err(err)
+        }
+        "metrics" => cmd_metrics(p(0)?.as_ref(), &a.metrics_options()).map_err(err),
+        "compare" => cmd_compare(p(0)?.as_ref(), p(1)?.as_ref(), &a.metrics_options()).map_err(err),
         "census" => cmd_census(p(0)?.as_ref(), a.max_d).map_err(err),
         "viz" => cmd_viz(p(0)?.as_ref(), need_out(&a)?, a.seed).map_err(err),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),

@@ -152,6 +152,14 @@ impl CsrGraph {
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         0..self.node_count() as NodeId
     }
+
+    /// Heap footprint of the snapshot in bytes (the two flat arrays) —
+    /// what the streaming planner and the perf binaries charge for the
+    /// shared read-only side of a traversal's working set.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of_val(self.offsets.as_slice())
+            + std::mem::size_of_val(self.targets.as_slice())
+    }
 }
 
 impl AdjacencyView for CsrGraph {
@@ -224,6 +232,14 @@ mod tests {
         ] {
             snapshot_matches(&g);
         }
+    }
+
+    #[test]
+    fn size_bytes_counts_both_arrays() {
+        let g = builders::path(4); // 4 nodes, 3 edges
+        let csr = CsrGraph::from_graph(&g);
+        // offsets: (n + 1) u32s; targets: 2m u32s
+        assert_eq!(csr.size_bytes(), 5 * 4 + 6 * 4);
     }
 
     #[test]

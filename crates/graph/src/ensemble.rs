@@ -1,5 +1,7 @@
-//! Deterministic parallel fan-out — the one work-distribution primitive
-//! the workspace uses.
+//! Deterministic parallel fan-out — the workspace's work-distribution
+//! primitives: [`run`] (collect all results in job order) and
+//! [`run_fold`] (stream results into one accumulator in job order, with
+//! in-flight memory bounded by the worker count).
 //!
 //! "Our results represent averages over 100 graphs generated with a
 //! different random seed in each case" (paper §5) — every reproduction
@@ -26,7 +28,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Derives the job-`i` seed from a master seed (SplitMix64 step over
 /// a golden-ratio stride — avoids the correlated streams that adjacent
@@ -91,6 +93,129 @@ where
         .collect()
 }
 
+/// State shared by the [`run_fold`] workers: the next job index allowed
+/// to merge, the accumulator, and an abort flag raised when any worker
+/// panics (so waiters wake up instead of blocking on a turn that will
+/// never come).
+struct FoldTurn<A> {
+    next: u64,
+    acc: Option<A>,
+    aborted: bool,
+}
+
+/// Wakes [`run_fold`] waiters if the owning worker unwinds; disarmed on
+/// normal completion.
+struct FoldAbort<'a, A> {
+    turn: &'a Mutex<FoldTurn<A>>,
+    ready: &'a Condvar,
+    armed: bool,
+}
+
+impl<A> Drop for FoldAbort<'_, A> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut t) = self.turn.lock() {
+                t.aborted = true;
+            }
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Ordered **streaming fold** over `jobs`: like [`run`], every job `i`
+/// computes from its deterministically derived RNG, but instead of
+/// collecting all job outputs into a `Vec`, each output is folded into a
+/// single accumulator **in strict job-index order** as soon as its turn
+/// comes up.
+///
+/// This is the work-distribution primitive behind the sharded streaming
+/// traversals in `dk-metrics`: a job output there is one shard's partial
+/// reducer state (an `O(n)` betweenness partial, a distance histogram),
+/// and folding in job order keeps the floating-point merge tree a pure
+/// function of the job count — **bit-identical to collecting the same
+/// outputs with [`run`] and merging them in a loop**, for every thread
+/// count.
+///
+/// Memory: at most one completed-but-unmerged output per worker is alive
+/// at any moment (a worker that finishes out of turn blocks on a condvar
+/// until the preceding jobs have merged), so the in-flight footprint is
+/// `O(workers · |T|)` — never `O(jobs · |T|)` like [`run`]'s collected
+/// result vector.
+pub fn run_fold<T, A, F, M>(
+    jobs: u64,
+    master_seed: u64,
+    threads: usize,
+    job: F,
+    mut acc: A,
+    fold: M,
+) -> A
+where
+    T: Send,
+    A: Send,
+    F: Fn(u64, &mut StdRng) -> T + Sync,
+    M: Fn(&mut A, u64, T) + Sync,
+{
+    let workers = worker_count(threads, jobs);
+    if workers <= 1 {
+        for i in 0..jobs {
+            let mut rng = StdRng::seed_from_u64(derive_seed(master_seed, i));
+            let out = job(i, &mut rng);
+            fold(&mut acc, i, out);
+        }
+        return acc;
+    }
+
+    let next_job = AtomicU64::new(0);
+    let turn = Mutex::new(FoldTurn {
+        next: 0,
+        acc: Some(acc),
+        aborted: false,
+    });
+    let ready = Condvar::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut guard = FoldAbort {
+                    turn: &turn,
+                    ready: &ready,
+                    armed: true,
+                };
+                loop {
+                    let i = next_job.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let mut rng = StdRng::seed_from_u64(derive_seed(master_seed, i));
+                    let out = job(i, &mut rng);
+                    let mut t = turn.lock().expect("no worker panicked holding the lock");
+                    while t.next != i && !t.aborted {
+                        t = ready.wait(t).expect("no worker panicked holding the lock");
+                    }
+                    if t.aborted {
+                        // a sibling panicked; its unwind is what the
+                        // caller sees when the scope joins
+                        break;
+                    }
+                    fold(
+                        t.acc.as_mut().expect("accumulator lives until scope end"),
+                        i,
+                        out,
+                    );
+                    t.next += 1;
+                    drop(t);
+                    ready.notify_all();
+                }
+                guard.armed = false;
+            });
+        }
+    });
+    turn.into_inner()
+        .expect("all workers joined")
+        .acc
+        .take()
+        .expect("accumulator lives until scope end")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +255,67 @@ mod tests {
         assert_eq!(worker_count(1, 100), 1);
         assert_eq!(worker_count(8, 3), 3);
         assert!(worker_count(0, 1000) >= 1);
+    }
+
+    #[test]
+    fn run_fold_matches_collect_then_merge() {
+        use rand::Rng;
+        // f64 folding is order-sensitive — the streaming fold must
+        // reproduce the collect-then-merge result bit for bit
+        let job = |i: u64, rng: &mut StdRng| -> f64 {
+            (i as f64 + 1.0).recip() + rng.gen_range(0..1000) as f64 * 1e-7
+        };
+        let collected = run(100, 42, 4, job);
+        let mut want = 0.0f64;
+        for p in collected {
+            want += p;
+        }
+        for threads in [1, 2, 3, 8, 0] {
+            let got = run_fold(100, 42, threads, job, 0.0f64, |acc, _i, p| *acc += p);
+            assert_eq!(got.to_bits(), want.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_fold_sees_every_index_in_order() {
+        let order = run_fold(
+            33,
+            7,
+            4,
+            |i, _| i,
+            Vec::new(),
+            |acc: &mut Vec<u64>, i, out| {
+                assert_eq!(i, out);
+                acc.push(i);
+            },
+        );
+        assert_eq!(order, (0..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_fold_zero_and_single_jobs() {
+        assert_eq!(run_fold(0, 1, 0, |i, _| i, 99u64, |a, _, v| *a += v), 99);
+        assert_eq!(run_fold(1, 1, 0, |i, _| i + 5, 0u64, |a, _, v| *a += v), 5);
+    }
+
+    #[test]
+    fn run_fold_uneven_costs_keep_order() {
+        // early jobs sleep: later workers finish first and must wait
+        // their turn instead of merging out of order
+        let out = run_fold(
+            16,
+            3,
+            4,
+            |i, _| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                i
+            },
+            Vec::new(),
+            |acc: &mut Vec<u64>, _, v| acc.push(v),
+        );
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
     }
 
     #[test]

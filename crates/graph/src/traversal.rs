@@ -19,6 +19,54 @@ use std::collections::VecDeque;
 /// Distance sentinel for unreachable nodes.
 pub const UNREACHABLE: u32 = u32::MAX;
 
+/// Single-source BFS into caller-provided buffers — the hot loop of the
+/// sharded streaming traversals in `dk-metrics`, where one worker runs
+/// thousands of BFS sweeps reusing the same `O(n)` scratch instead of
+/// allocating per source.
+///
+/// Resets `dist` to [`UNREACHABLE`], runs the BFS, and calls
+/// `visit(node, distance)` for every node **in pop (visit) order** — the
+/// order is identical for [`Graph`] and [`CsrGraph`], so reducers built
+/// on this kernel (distance histograms) are representation-independent.
+/// Returns `(reached, depth)`: the number of reached nodes and the
+/// greatest finite distance (the source's eccentricity within its
+/// component — the streamed diameter reducer max-merges this).
+///
+/// # Panics
+/// Panics if `source` is out of range or `dist` is not `n` long.
+pub fn bfs_visit<V: AdjacencyView + ?Sized>(
+    g: &V,
+    source: NodeId,
+    dist: &mut [u32],
+    queue: &mut VecDeque<NodeId>,
+    mut visit: impl FnMut(NodeId, u32),
+) -> (u64, u32) {
+    assert_eq!(dist.len(), g.node_count(), "dist buffer sized to the graph");
+    assert!(
+        (source as usize) < g.node_count(),
+        "BFS source out of range"
+    );
+    dist.fill(UNREACHABLE);
+    queue.clear();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    let mut reached = 0u64;
+    let mut depth = 0u32;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        reached += 1;
+        depth = depth.max(du);
+        visit(u, du);
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    (reached, depth)
+}
+
 /// Single-source BFS distances.
 ///
 /// Returns a vector of hop counts from `source`; unreachable nodes hold
@@ -27,23 +75,9 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// # Panics
 /// Panics if `source` is out of range.
 pub fn bfs_distances<V: AdjacencyView + ?Sized>(g: &V, source: NodeId) -> Vec<u32> {
-    assert!(
-        (source as usize) < g.node_count(),
-        "BFS source out of range"
-    );
     let mut dist = vec![UNREACHABLE; g.node_count()];
     let mut queue = VecDeque::new();
-    dist[source as usize] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
-        for &v in g.neighbors(u) {
-            if dist[v as usize] == UNREACHABLE {
-                dist[v as usize] = du + 1;
-                queue.push_back(v);
-            }
-        }
-    }
+    bfs_visit(g, source, &mut dist, &mut queue, |_, _| {});
     dist
 }
 
@@ -153,15 +187,10 @@ pub fn gcc_fraction<V: AdjacencyView + ?Sized>(g: &V) -> f64 {
 /// Eccentricity of `source`: the greatest BFS distance to any reachable
 /// node. Returns `None` if some node is unreachable from `source`.
 pub fn eccentricity<V: AdjacencyView + ?Sized>(g: &V, source: NodeId) -> Option<u32> {
-    let dist = bfs_distances(g, source);
-    let mut max = 0;
-    for d in dist {
-        if d == UNREACHABLE {
-            return None;
-        }
-        max = max.max(d);
-    }
-    Some(max)
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    let (reached, depth) = bfs_visit(g, source, &mut dist, &mut queue, |_, _| {});
+    (reached as usize == g.node_count()).then_some(depth)
 }
 
 #[cfg(test)]
@@ -237,6 +266,21 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         let (_, map) = giant_component(&g);
         assert_eq!(map, vec![0, 1]);
+    }
+
+    #[test]
+    fn bfs_visit_reports_reach_depth_and_visit_order() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut dist = vec![0u32; 5];
+        let mut queue = VecDeque::new();
+        let mut visits = Vec::new();
+        let (reached, depth) = bfs_visit(&g, 0, &mut dist, &mut queue, |v, d| visits.push((v, d)));
+        assert_eq!((reached, depth), (3, 2));
+        assert_eq!(visits, vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(dist, vec![0, 1, 2, UNREACHABLE, UNREACHABLE]);
+        // buffers are reusable across sources: the kernel resets them
+        let (reached, depth) = bfs_visit(&g, 3, &mut dist, &mut queue, |_, _| {});
+        assert_eq!((reached, depth), (2, 1));
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::cache::{AnalysisCache, AnalyzeOptions, GccPolicy};
 use crate::json;
 use crate::metric::{AnyMetric, Kind, MetricValue};
 use crate::report::{GraphSummary, MetricRecord, Report};
+use crate::stream::ExecMode;
 use dk_graph::Graph;
 use rand::rngs::StdRng;
 
@@ -115,6 +116,39 @@ impl Analyzer {
     /// the sampled metrics equal their exact twins bit for bit.
     pub fn sample_sources(mut self, k: usize) -> Self {
         self.opts.samples = k.max(1);
+        self
+    }
+
+    /// Sets the source shard count for the traversal passes (CLI
+    /// `--shards`) and opts into the **streamed** route: shard partials
+    /// fold into `O(n)` reducers in shard order instead of being
+    /// collected, so traversal memory is bounded by the worker count,
+    /// not the shard count. Results are bit-identical to the in-memory
+    /// route at the same shard count, for every thread count; values
+    /// are clamped to at least 1. See [`crate::stream`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.opts.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Caps the traversal passes' working memory (CLI `--memory-budget`)
+    /// and opts into the streamed route: the worker count is lowered
+    /// until `workers × per-worker scratch` fits the budget (never below
+    /// one worker). Results are identical for every budget.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.opts.memory_budget = Some(bytes.max(1));
+        self
+    }
+
+    /// Overrides the route policy for the traversal passes (default
+    /// [`ExecMode::Auto`]: stream when `shards`/`memory_budget` are set
+    /// or the analyzed graph exceeds
+    /// [`AUTO_STREAM_NODES`](crate::stream::AUTO_STREAM_NODES)).
+    /// [`ExecMode::InMemory`] pins the retained collect-then-merge
+    /// route — the equivalence oracle the streamed route is tested
+    /// against.
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.opts.exec = mode;
         self
     }
 

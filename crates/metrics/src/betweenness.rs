@@ -6,7 +6,8 @@
 //! exactly in O(n·m) on unweighted graphs — one BFS plus one dependency
 //! back-propagation per source — and sources are embarrassingly parallel.
 
-use crate::distance::{default_threads, run_chunked, DistanceDistribution};
+use crate::distance::{default_threads, DistanceDistribution};
+use crate::stream::{run_sharded, run_sharded_fold, DEFAULT_SHARDS};
 use dk_graph::{AdjacencyView, CsrGraph, Graph, NodeId};
 use std::collections::VecDeque;
 
@@ -26,6 +27,12 @@ pub struct FusedTraversal {
     /// Exact distance distribution (identical to
     /// [`DistanceDistribution::from_graph`]).
     pub distances: DistanceDistribution,
+    /// Greatest finite distance discovered from any source — the
+    /// max-merge of per-source eccentricities, one of the streamed
+    /// pass's compact reducers. Always equals `distances.diameter()`;
+    /// carried separately so the streamed route cross-checks its
+    /// histogram against an independently merged reducer.
+    pub max_depth: u32,
 }
 
 /// Fused all-source pass computing node betweenness **and** the distance
@@ -50,6 +57,52 @@ pub fn betweenness_and_distances_csr(g: &CsrGraph, threads: usize) -> FusedTrave
     fused_traversal(g, threads)
 }
 
+/// The **in-memory** fused pass with an explicit shard count: collects
+/// every shard's partial, then merges them in shard order. This is the
+/// equivalence oracle for [`betweenness_and_distances_streamed`] — at
+/// equal shard counts the two are bit-identical, and at
+/// [`DEFAULT_SHARDS`] this is exactly [`betweenness_and_distances_csr`].
+pub fn betweenness_and_distances_sharded(
+    g: &CsrGraph,
+    shards: usize,
+    threads: usize,
+) -> FusedTraversal {
+    let n = g.node_count();
+    if n == 0 {
+        return FusedTraversal::empty();
+    }
+    let sources: Vec<NodeId> = (0..n as NodeId).collect();
+    finish_fused(
+        n,
+        brandes_over_sources_sharded(g, &sources, shards, threads),
+    )
+}
+
+/// The **streaming** fused pass: each worker streams its source shards
+/// over the snapshot into a compact `BrandesSums` partial (betweenness
+/// accumulation, distance-histogram merge, eccentricity max-merge) and
+/// partials fold into one global accumulator in shard order — in-flight
+/// memory `O(workers · n)` instead of `O(shards · n)`, with **no**
+/// per-source n-vector ever materialized beyond the worker's reusable
+/// scratch. Bit-identical to [`betweenness_and_distances_sharded`] at
+/// the same shard count, for every thread count. This is the route the
+/// analyzer plans for 10⁶-node graphs (see [`crate::stream`]).
+pub fn betweenness_and_distances_streamed(
+    g: &CsrGraph,
+    shards: usize,
+    threads: usize,
+) -> FusedTraversal {
+    let n = g.node_count();
+    if n == 0 {
+        return FusedTraversal::empty();
+    }
+    let sources: Vec<NodeId> = (0..n as NodeId).collect();
+    finish_fused(
+        n,
+        brandes_over_sources_streamed(g, &sources, shards, threads),
+    )
+}
+
 /// The fused pass over `Graph`'s `Vec<Vec<_>>` adjacency directly, with
 /// **no** CSR snapshot.
 ///
@@ -66,21 +119,45 @@ pub fn betweenness_and_distances_adjacency(g: &Graph, threads: usize) -> FusedTr
 fn fused_traversal<V: AdjacencyView + ?Sized>(g: &V, threads: usize) -> FusedTraversal {
     let n = g.node_count();
     if n == 0 {
-        return FusedTraversal {
+        return FusedTraversal::empty();
+    }
+    let sources: Vec<NodeId> = (0..n as NodeId).collect();
+    finish_fused(n, brandes_over_sources(g, &sources, threads))
+}
+
+impl FusedTraversal {
+    fn empty() -> Self {
+        FusedTraversal {
             betweenness: Vec::new(),
             distances: DistanceDistribution {
                 counts: vec![],
                 nodes: 0,
                 unreachable_pairs: 0,
             },
-        };
+            max_depth: 0,
+        }
     }
-    let sources: Vec<NodeId> = (0..n as NodeId).collect();
-    let (mut bc, counts, unreachable) = brandes_over_sources(g, &sources, threads);
+}
+
+/// Applies the pair-convention halving and packages the reducer sums —
+/// the step every fused entry point (in-memory, sharded, streamed)
+/// shares after its Brandes pass.
+fn finish_fused(n: usize, sums: BrandesSums) -> FusedTraversal {
+    let BrandesSums {
+        mut bc,
+        counts,
+        unreachable,
+        depth,
+    } = sums;
     // each unordered pair was counted from both endpoints
     for v in bc.iter_mut() {
         *v /= 2.0;
     }
+    debug_assert_eq!(
+        depth as usize,
+        counts.len().saturating_sub(1),
+        "eccentricity max-merge must agree with the histogram top bin"
+    );
     FusedTraversal {
         betweenness: bc,
         distances: DistanceDistribution {
@@ -88,18 +165,130 @@ fn fused_traversal<V: AdjacencyView + ?Sized>(g: &V, threads: usize) -> FusedTra
             nodes: n,
             unreachable_pairs: unreachable,
         },
+        max_depth: depth,
     }
 }
 
+/// Compact reducer state of a (possibly partial) Brandes traversal: the
+/// raw dependency sums, the distance histogram, the unreached-pair
+/// tally, and the max-merged source eccentricity. One of these per shard
+/// is all the sharded routes ever hold — per-source vectors live only in
+/// the worker's reusable scratch.
+pub(crate) struct BrandesSums {
+    /// Raw per-node dependency sums over the listed sources (no
+    /// pair-convention halving, no sampling scale).
+    pub bc: Vec<f64>,
+    /// Per-distance visit counts over the listed sources.
+    pub counts: Vec<u64>,
+    /// Number of (source, node) pairs left unreached.
+    pub unreachable: u64,
+    /// Greatest finite distance from any listed source (max-merged
+    /// per-source eccentricity).
+    pub depth: u32,
+}
+
+impl BrandesSums {
+    fn zero(n: usize) -> Self {
+        BrandesSums {
+            bc: vec![0.0f64; n],
+            counts: Vec::new(),
+            unreachable: 0,
+            depth: 0,
+        }
+    }
+
+    /// Shard-order merge — identical operations whether partials were
+    /// collected first (in-memory route) or stream in one at a time
+    /// (streamed route), so the two routes cannot diverge by a bit.
+    fn merge(&mut self, p: BrandesSums) {
+        for (acc, v) in self.bc.iter_mut().zip(p.bc) {
+            *acc += v;
+        }
+        if self.counts.len() < p.counts.len() {
+            self.counts.resize(p.counts.len(), 0);
+        }
+        for (x, v) in p.counts.into_iter().enumerate() {
+            self.counts[x] += v;
+        }
+        self.unreachable += p.unreachable;
+        self.depth = self.depth.max(p.depth);
+    }
+}
+
+/// One shard's worth of Brandes sources: BFS + dependency
+/// back-propagation per source in `range`, accumulated into one compact
+/// [`BrandesSums`] partial. The per-source buffers (`dist`, `sigma`,
+/// `delta`, `order`, queue) are worker scratch reused across the shard.
+fn brandes_shard<V: AdjacencyView + ?Sized>(
+    g: &V,
+    sources: &[NodeId],
+    range: std::ops::Range<u32>,
+) -> BrandesSums {
+    let n = g.node_count();
+    let mut out = BrandesSums::zero(n);
+    // reusable per-source buffers
+    let mut dist = vec![-1i32; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for idx in range {
+        let s = sources[idx as usize];
+        for i in 0..n {
+            dist[i] = -1;
+            sigma[i] = 0.0;
+            delta[i] = 0.0;
+        }
+        order.clear();
+        queue.clear();
+        dist[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let du = dist[u as usize];
+            let dx = du as usize;
+            out.depth = out.depth.max(du as u32);
+            if out.counts.len() <= dx {
+                out.counts.resize(dx + 1, 0);
+            }
+            out.counts[dx] += 1;
+            for &v in g.neighbors(u) {
+                let vi = v as usize;
+                if dist[vi] < 0 {
+                    dist[vi] = du + 1;
+                    queue.push_back(v);
+                }
+                if dist[vi] == du + 1 {
+                    sigma[vi] += sigma[u as usize];
+                }
+            }
+        }
+        out.unreachable += n as u64 - order.len() as u64;
+        // dependency accumulation in reverse BFS order
+        for &w in order.iter().rev() {
+            let wi = w as usize;
+            let coeff = (1.0 + delta[wi]) / sigma[wi];
+            let dw = dist[wi];
+            for &v in g.neighbors(w) {
+                let vi = v as usize;
+                if dist[vi] + 1 == dw {
+                    delta[vi] += sigma[vi] * coeff;
+                }
+            }
+            if w != s {
+                out.bc[wi] += delta[wi];
+            }
+        }
+    }
+    out
+}
+
 /// One Brandes BFS + dependency back-propagation per listed source,
-/// parallelized over sources with deterministic chunking (boundaries are
+/// parallelized over sources with deterministic sharding (boundaries are
 /// a function of `sources.len()` only, so every thread count merges the
 /// floating-point partials in the same order → bit-identical results).
 ///
-/// Returns the **raw dependency sums** (each listed source contributes
-/// its full Brandes dependency — no pair-convention halving, no
-/// sampling scale), the per-distance visit counts over the listed
-/// sources, and the number of (source, node) pairs left unreached.
 /// Shared by the exact fused pass (sources = all nodes) and the
 /// Brandes–Pich sampled estimator in [`crate::sampled`] (sources = K
 /// pivots).
@@ -107,85 +296,51 @@ pub(crate) fn brandes_over_sources<V: AdjacencyView + ?Sized>(
     g: &V,
     sources: &[NodeId],
     threads: usize,
-) -> (Vec<f64>, Vec<u64>, u64) {
+) -> BrandesSums {
+    brandes_over_sources_sharded(g, sources, DEFAULT_SHARDS, threads)
+}
+
+/// As [`brandes_over_sources`] with an explicit shard count — the
+/// in-memory route: collect all shard partials, merge in shard order.
+pub(crate) fn brandes_over_sources_sharded<V: AdjacencyView + ?Sized>(
+    g: &V,
+    sources: &[NodeId],
+    shards: usize,
+    threads: usize,
+) -> BrandesSums {
     let n = g.node_count();
     let k = sources.len();
-    let partials = run_chunked(k as u32, threads.clamp(1, k.max(1)), |range| {
-        let mut bc = vec![0.0f64; n];
-        let mut counts: Vec<u64> = Vec::new();
-        let mut unreachable = 0u64;
-        // reusable per-source buffers
-        let mut dist = vec![-1i32; n];
-        let mut sigma = vec![0.0f64; n];
-        let mut delta = vec![0.0f64; n];
-        let mut order: Vec<NodeId> = Vec::with_capacity(n);
-        let mut queue: VecDeque<NodeId> = VecDeque::new();
-        for idx in range {
-            let s = sources[idx as usize];
-            for i in 0..n {
-                dist[i] = -1;
-                sigma[i] = 0.0;
-                delta[i] = 0.0;
-            }
-            order.clear();
-            queue.clear();
-            dist[s as usize] = 0;
-            sigma[s as usize] = 1.0;
-            queue.push_back(s);
-            while let Some(u) = queue.pop_front() {
-                order.push(u);
-                let du = dist[u as usize];
-                let dx = du as usize;
-                if counts.len() <= dx {
-                    counts.resize(dx + 1, 0);
-                }
-                counts[dx] += 1;
-                for &v in g.neighbors(u) {
-                    let vi = v as usize;
-                    if dist[vi] < 0 {
-                        dist[vi] = du + 1;
-                        queue.push_back(v);
-                    }
-                    if dist[vi] == du + 1 {
-                        sigma[vi] += sigma[u as usize];
-                    }
-                }
-            }
-            unreachable += n as u64 - order.len() as u64;
-            // dependency accumulation in reverse BFS order
-            for &w in order.iter().rev() {
-                let wi = w as usize;
-                let coeff = (1.0 + delta[wi]) / sigma[wi];
-                let dw = dist[wi];
-                for &v in g.neighbors(w) {
-                    let vi = v as usize;
-                    if dist[vi] + 1 == dw {
-                        delta[vi] += sigma[vi] * coeff;
-                    }
-                }
-                if w != s {
-                    bc[wi] += delta[wi];
-                }
-            }
-        }
-        (bc, counts, unreachable)
+    let threads = threads.clamp(1, k.max(1));
+    let partials = run_sharded(k as u32, shards, threads, |range| {
+        brandes_shard(g, sources, range)
     });
-    let mut bc = vec![0.0f64; n];
-    let mut counts: Vec<u64> = Vec::new();
-    let mut unreachable = 0u64;
-    for (p, c, u) in partials {
-        for (acc, v) in bc.iter_mut().zip(p) {
-            *acc += v;
-        }
-        if counts.len() < c.len() {
-            counts.resize(c.len(), 0);
-        }
-        for (x, v) in c.into_iter().enumerate() {
-            counts[x] += v;
-        }
-        unreachable += u;
+    let mut acc = BrandesSums::zero(n);
+    for p in partials {
+        acc.merge(p);
     }
-    (bc, counts, unreachable)
+    acc
+}
+
+/// As [`brandes_over_sources_sharded`], but partials fold into the
+/// accumulator in shard order as workers finish — `O(workers · n)` in
+/// flight, bit-identical to the in-memory route at the same shard count.
+pub(crate) fn brandes_over_sources_streamed<V: AdjacencyView + ?Sized>(
+    g: &V,
+    sources: &[NodeId],
+    shards: usize,
+    threads: usize,
+) -> BrandesSums {
+    let n = g.node_count();
+    let k = sources.len();
+    let threads = threads.clamp(1, k.max(1));
+    run_sharded_fold(
+        k as u32,
+        shards,
+        threads,
+        |range| brandes_shard(g, sources, range),
+        BrandesSums::zero(n),
+        |acc, p| acc.merge(p),
+    )
 }
 
 /// Exact node betweenness, **unordered-pair convention**: each `{s, t}`
@@ -445,6 +600,47 @@ mod tests {
                 assert_eq!(csr.distances, adj.distances);
             }
         }
+    }
+
+    #[test]
+    fn streamed_bit_identical_to_in_memory_across_shard_counts() {
+        for g in [
+            builders::karate_club(),
+            builders::grid(5, 7),
+            Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap(),
+        ] {
+            let csr = CsrGraph::from_graph(&g);
+            let n = g.node_count();
+            for shards in [1, 2, 7, n] {
+                let oracle = betweenness_and_distances_sharded(&csr, shards, 1);
+                for threads in [1, 3] {
+                    let streamed = betweenness_and_distances_streamed(&csr, shards, threads);
+                    assert_eq!(
+                        streamed.betweenness, oracle.betweenness,
+                        "shards = {shards}"
+                    );
+                    assert_eq!(streamed.distances, oracle.distances);
+                    assert_eq!(streamed.max_depth, oracle.max_depth);
+                }
+            }
+            // the default shard count reproduces the historical route
+            let historical = betweenness_and_distances_csr(&csr, 2);
+            let default_sharded = betweenness_and_distances_sharded(&csr, DEFAULT_SHARDS, 1);
+            assert_eq!(historical.betweenness, default_sharded.betweenness);
+            assert_eq!(historical.distances, default_sharded.distances);
+        }
+    }
+
+    #[test]
+    fn max_depth_reducer_equals_diameter() {
+        let g = builders::grid(4, 6);
+        let csr = CsrGraph::from_graph(&g);
+        let fused = betweenness_and_distances_streamed(&csr, 7, 2);
+        assert_eq!(fused.max_depth as usize, fused.distances.diameter());
+        assert_eq!(fused.max_depth, 8); // (4-1) + (6-1)
+        let empty = betweenness_and_distances_streamed(&CsrGraph::from_graph(&Graph::new()), 3, 2);
+        assert_eq!(empty.max_depth, 0);
+        assert!(empty.betweenness.is_empty());
     }
 
     #[test]

@@ -20,10 +20,18 @@
 //! * **Triangles** are censused once for `c_mean`/`c_k`/`transitivity`.
 //! * **Sampled traversal** ([`crate::sampled`]) runs once from
 //!   [`AnalyzeOptions::samples`] pivots for the `*_approx` metrics.
-//! * Each pass owns the full thread budget while it runs (the traversal
-//!   parallelizes over BFS sources via the deterministic chunked
+//! * Each pass owns the full worker budget while it runs (the traversal
+//!   parallelizes over BFS source shards via the deterministic
 //!   scheduler); passes execute sequentially so an explicit `threads`
 //!   cap is never oversubscribed.
+//! * **Large graphs stream**: once the analyzed graph exceeds
+//!   [`stream::AUTO_STREAM_NODES`] (or when
+//!   [`AnalyzeOptions::shards`]/[`AnalyzeOptions::memory_budget`] opt
+//!   in), the traversal passes take the sharded streaming route of
+//!   [`crate::stream`] — per-shard partials fold into `O(n)` reducers in
+//!   shard order instead of being collected, bounding the working set by
+//!   the worker count while staying bit-identical to the in-memory
+//!   route.
 //!
 //! Metrics computed outside an [`Analyzer`](crate::analyzer::Analyzer)
 //! run (no prepared dep) fall back to computing on demand, so
@@ -34,6 +42,7 @@ use crate::betweenness;
 use crate::distance::{default_threads, DistanceDistribution};
 use crate::metric::{AnyMetric, Dep};
 use crate::sampled::{self, SampledTraversal};
+use crate::stream::{self, ExecMode, ExecPlan};
 use crate::{clustering, spectral};
 use dk_graph::{traversal, CsrGraph, Graph};
 use dk_linalg::laplacian::SpectralExtremes;
@@ -63,6 +72,17 @@ pub struct AnalyzeOptions {
     /// Pivot sources for the sampled (`*_approx`) metrics — the
     /// Brandes–Pich K. Values `≥ n` make the sampled pass exact.
     pub samples: usize,
+    /// Explicit source shard count for the traversal passes (`None` =
+    /// [`stream::DEFAULT_SHARDS`]). Setting it opts into the streamed
+    /// route under [`ExecMode::Auto`].
+    pub shards: Option<usize>,
+    /// Working-memory budget in bytes for the traversal passes: caps the
+    /// worker count so `workers × per-worker scratch` stays under it
+    /// (never below one worker). Setting it opts into the streamed route
+    /// under [`ExecMode::Auto`].
+    pub memory_budget: Option<u64>,
+    /// Route policy for the traversal passes — see [`stream::plan`].
+    pub exec: ExecMode,
 }
 
 impl Default for AnalyzeOptions {
@@ -72,6 +92,9 @@ impl Default for AnalyzeOptions {
             lanczos_iter: 300,
             threads: 0,
             samples: 64,
+            shards: None,
+            memory_budget: None,
+            exec: ExecMode::Auto,
         }
     }
 }
@@ -102,6 +125,9 @@ pub struct AnalysisCache<'g> {
     lanczos_iter: usize,
     threads: usize,
     samples: usize,
+    /// Resolved execution plan for the traversal passes (route, shard
+    /// count, worker count).
+    exec: ExecPlan,
     /// Frozen CSR snapshot of `target`, shared by every traversal-shaped
     /// pass ([`Dep::Csr`]).
     csr: Option<CsrGraph>,
@@ -137,6 +163,7 @@ impl<'g> AnalysisCache<'g> {
             }
             GccPolicy::Whole => (Cow::Borrowed(g), 1.0, false),
         };
+        let exec = stream::plan(target.node_count(), target.edge_count(), opts);
         let mut cache = AnalysisCache {
             original_nodes: g.node_count(),
             original_edges: g.edge_count(),
@@ -146,6 +173,7 @@ impl<'g> AnalysisCache<'g> {
             lanczos_iter: opts.lanczos_iter,
             threads: opts.threads,
             samples: opts.samples,
+            exec,
             csr: None,
             triangles: None,
             traversal: None,
@@ -187,16 +215,29 @@ impl<'g> AnalysisCache<'g> {
 
         let target = cache.target.as_ref();
         let csr = needs_csr.then(|| CsrGraph::from_graph(target));
-        let inner_threads = cache.inner_threads();
+        let plan = cache.exec;
         // Passes run one after another; the heavy ones (traversal) use
-        // the *full* thread budget internally, parallelizing over BFS
-        // sources. Running passes concurrently on top of that would
-        // oversubscribe an explicit `threads` cap.
+        // the *full* worker budget internally, parallelizing over BFS
+        // source shards. Running passes concurrently on top of that
+        // would oversubscribe an explicit `threads` cap (and a memory
+        // budget: `plan.workers` is what the budget capped).
         let snap = || csr.as_ref().expect("traversal jobs imply the CSR snapshot");
         let outs = jobs.iter().map(|job| match *job {
             Job::Triangles => DepOut::Triangles(clustering::triangles_per_node(snap())),
             Job::Traversal { betweenness: true } => {
-                let fused = betweenness::betweenness_and_distances_csr(snap(), inner_threads);
+                let fused = if plan.streamed {
+                    betweenness::betweenness_and_distances_streamed(
+                        snap(),
+                        plan.shards,
+                        plan.workers,
+                    )
+                } else {
+                    betweenness::betweenness_and_distances_sharded(
+                        snap(),
+                        plan.shards,
+                        plan.workers,
+                    )
+                };
                 DepOut::Traversal(TraversalData {
                     distances: fused.distances,
                     betweenness: Some(betweenness::normalize_raw(
@@ -206,14 +247,18 @@ impl<'g> AnalysisCache<'g> {
                 })
             }
             Job::Traversal { betweenness: false } => DepOut::Traversal(TraversalData {
-                distances: DistanceDistribution::from_csr_with_threads(snap(), inner_threads),
+                distances: if plan.streamed {
+                    DistanceDistribution::from_csr_streamed(snap(), plan.shards, plan.workers)
+                } else {
+                    DistanceDistribution::from_csr_sharded(snap(), plan.shards, plan.workers)
+                },
                 betweenness: None,
             }),
-            Job::Sampled => DepOut::Sampled(sampled::sampled_traversal_csr(
-                snap(),
-                opts.samples,
-                inner_threads,
-            )),
+            Job::Sampled => DepOut::Sampled(if plan.streamed {
+                sampled::sampled_traversal_streamed(snap(), opts.samples, plan.shards, plan.workers)
+            } else {
+                sampled::sampled_traversal_sharded(snap(), opts.samples, plan.shards, plan.workers)
+            }),
             Job::Spectral => DepOut::Spectral(if target.node_count() >= 2 {
                 spectral::spectral_extremes_with(target, opts.lanczos_iter).ok()
             } else {
@@ -261,6 +306,13 @@ impl<'g> AnalysisCache<'g> {
     /// Whether GCC extraction was applied.
     pub fn gcc_applied(&self) -> bool {
         self.gcc_applied
+    }
+
+    /// The resolved execution plan for the traversal passes: route
+    /// (streamed vs in-memory), shard count, worker count. See
+    /// [`stream::plan`] for the selection rules.
+    pub fn exec_plan(&self) -> ExecPlan {
+        self.exec
     }
 
     fn inner_threads(&self) -> usize {

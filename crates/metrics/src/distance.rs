@@ -8,13 +8,18 @@
 //! snapshot (two flat arrays; no per-neighbor-list pointer chase), taken
 //! internally by [`DistanceDistribution::from_graph`] or supplied by the
 //! analyzer cache via [`DistanceDistribution::from_csr_with_threads`].
+//! Above [`crate::stream::AUTO_STREAM_NODES`] the analyzer plans the
+//! **streaming** sweep ([`DistanceDistribution::from_csr_streamed`]):
+//! identical histogram, `O(workers)` partials in flight instead of
+//! `O(shards)`.
 //!
 //! The exact distribution carries no sampling noise: reproduction tables
 //! must not stack sampling noise on top of ensemble noise. The *opt-in*
 //! sampled estimator (registry metric `distance_approx`) lives in
 //! [`crate::sampled`].
 
-use dk_graph::{AdjacencyView, CsrGraph, Graph, NodeId};
+use crate::stream::{run_sharded, run_sharded_fold, DEFAULT_SHARDS};
+use dk_graph::{traversal, AdjacencyView, CsrGraph, Graph, NodeId};
 use std::collections::VecDeque;
 
 /// Exact distance distribution of a graph.
@@ -51,67 +56,108 @@ impl DistanceDistribution {
         Self::from_view(g, threads)
     }
 
-    /// The all-source BFS sweep, generic over the adjacency
-    /// representation (CSR preserves neighbor order, so both views
-    /// produce identical distributions).
-    pub(crate) fn from_view<V: AdjacencyView + ?Sized>(g: &V, threads: usize) -> Self {
+    /// In-memory sweep with an explicit shard count — the equivalence
+    /// oracle for [`DistanceDistribution::from_csr_streamed`] at the same
+    /// shard count (the histogram reducer is integer, so any shard count
+    /// gives identical counts; the knob fixes the partial layout).
+    pub fn from_csr_sharded(g: &CsrGraph, shards: usize, threads: usize) -> Self {
+        Self::from_view_sharded(g, shards, threads)
+    }
+
+    /// **Streaming** sweep over a prepared snapshot: each worker streams
+    /// its source shards into a per-shard histogram, and histograms
+    /// merge into one accumulator in shard order — `O(workers)`
+    /// histograms in flight instead of `O(shards)`, the route the
+    /// analyzer plans for 10⁶-node graphs (see [`crate::stream`]).
+    /// Identical to the in-memory sweep for every shard and thread count.
+    pub fn from_csr_streamed(g: &CsrGraph, shards: usize, threads: usize) -> Self {
         let n = g.node_count();
         if n == 0 {
-            return DistanceDistribution {
-                counts: vec![],
-                nodes: 0,
-                unreachable_pairs: 0,
-            };
+            return Self::empty();
         }
         let threads = threads.clamp(1, n);
-        let results = run_chunked(n as u32, threads, |range| {
-            let mut counts: Vec<u64> = Vec::new();
-            let mut unreachable = 0u64;
-            let mut dist = vec![u32::MAX; n];
-            let mut queue = VecDeque::new();
-            for s in range {
-                // inline BFS reusing buffers (hot loop)
-                for d in dist.iter_mut() {
-                    *d = u32::MAX;
-                }
-                dist[s as usize] = 0;
-                queue.clear();
-                queue.push_back(s);
-                let mut reached = 0u64;
-                while let Some(u) = queue.pop_front() {
-                    let du = dist[u as usize];
-                    reached += 1;
-                    let dx = du as usize;
-                    if counts.len() <= dx {
-                        counts.resize(dx + 1, 0);
-                    }
-                    counts[dx] += 1;
-                    for &v in g.neighbors(u) {
-                        if dist[v as usize] == u32::MAX {
-                            dist[v as usize] = du + 1;
-                            queue.push_back(v);
-                        }
-                    }
-                }
-                unreachable += n as u64 - reached;
-            }
-            (counts, unreachable)
-        });
-        let mut counts: Vec<u64> = Vec::new();
-        let mut unreachable = 0u64;
-        for (c, u) in results {
-            if counts.len() < c.len() {
-                counts.resize(c.len(), 0);
-            }
-            for (x, v) in c.into_iter().enumerate() {
-                counts[x] += v;
-            }
-            unreachable += u;
-        }
+        let (counts, unreachable) = run_sharded_fold(
+            n as u32,
+            shards,
+            threads,
+            |range| Self::bfs_shard(g, range),
+            (Vec::new(), 0u64),
+            Self::merge_shard,
+        );
         DistanceDistribution {
             counts,
             nodes: n,
             unreachable_pairs: unreachable,
+        }
+    }
+
+    /// The all-source BFS sweep, generic over the adjacency
+    /// representation (CSR preserves neighbor order, so both views
+    /// produce identical distributions).
+    pub(crate) fn from_view<V: AdjacencyView + ?Sized>(g: &V, threads: usize) -> Self {
+        Self::from_view_sharded(g, DEFAULT_SHARDS, threads)
+    }
+
+    fn from_view_sharded<V: AdjacencyView + ?Sized>(g: &V, shards: usize, threads: usize) -> Self {
+        let n = g.node_count();
+        if n == 0 {
+            return Self::empty();
+        }
+        let threads = threads.clamp(1, n);
+        let results = run_sharded(n as u32, shards, threads, |range| Self::bfs_shard(g, range));
+        let mut acc = (Vec::new(), 0u64);
+        for partial in results {
+            Self::merge_shard(&mut acc, partial);
+        }
+        DistanceDistribution {
+            counts: acc.0,
+            nodes: n,
+            unreachable_pairs: acc.1,
+        }
+    }
+
+    /// One shard's worth of BFS sources folded into a compact partial:
+    /// the per-distance visit counts and the unreached-pair tally. The
+    /// worker-local scratch (`dist`, queue) is `O(n)` and reused across
+    /// the shard's sources.
+    fn bfs_shard<V: AdjacencyView + ?Sized>(g: &V, range: std::ops::Range<u32>) -> (Vec<u64>, u64) {
+        let n = g.node_count();
+        let mut counts: Vec<u64> = Vec::new();
+        let mut unreachable = 0u64;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for s in range {
+            let (reached, _depth) = traversal::bfs_visit(g, s, &mut dist, &mut queue, |_, du| {
+                let dx = du as usize;
+                if counts.len() <= dx {
+                    counts.resize(dx + 1, 0);
+                }
+                counts[dx] += 1;
+            });
+            unreachable += n as u64 - reached;
+        }
+        (counts, unreachable)
+    }
+
+    /// Shard-order histogram merge — the distance reducer shared by the
+    /// in-memory and streaming routes (integer, so grouping-proof).
+    fn merge_shard(acc: &mut (Vec<u64>, u64), partial: (Vec<u64>, u64)) {
+        let (counts, unreachable) = acc;
+        let (c, u) = partial;
+        if counts.len() < c.len() {
+            counts.resize(c.len(), 0);
+        }
+        for (x, v) in c.into_iter().enumerate() {
+            counts[x] += v;
+        }
+        *unreachable += u;
+    }
+
+    fn empty() -> Self {
+        DistanceDistribution {
+            counts: vec![],
+            nodes: 0,
+            unreachable_pairs: 0,
         }
     }
 
@@ -178,34 +224,6 @@ impl DistanceDistribution {
 /// Default worker count: all available cores.
 pub(crate) fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |p| p.get())
-}
-
-/// Splits `0..n` into contiguous chunks and runs `work` on each across
-/// `threads` workers, returning the per-chunk results in order.
-///
-/// Chunk boundaries are a function of `n` **only** — never of the worker
-/// count — so callers that merge floating-point partials in chunk order
-/// (betweenness, the fused traversal) produce bit-identical results for
-/// every thread count. Scheduling rides the deterministic work-stealing
-/// runner [`dk_graph::ensemble::run`].
-pub(crate) fn run_chunked<A, F>(n: u32, threads: usize, work: F) -> Vec<A>
-where
-    F: Fn(std::ops::Range<u32>) -> A + Sync,
-    A: Send,
-{
-    if n == 0 {
-        return vec![work(0..0)];
-    }
-    // enough chunks that stealing balances uneven BFS costs, few enough
-    // that per-chunk buffer setup stays negligible
-    const TARGET_CHUNKS: u32 = 64;
-    let chunk = n.div_ceil(TARGET_CHUNKS).max(1);
-    let chunks = n.div_ceil(chunk);
-    dk_graph::ensemble::run(chunks as u64, 0, threads, |i, _rng| {
-        let lo = i as u32 * chunk;
-        let hi = (lo + chunk).min(n);
-        work(lo..hi)
-    })
 }
 
 /// All-pairs average distance convenience (connected graphs).
@@ -311,6 +329,36 @@ mod tests {
                 DistanceDistribution::from_graph_with_threads(&g, 1)
             );
         }
+    }
+
+    #[test]
+    fn streamed_equals_in_memory_for_any_shard_count() {
+        for g in [
+            builders::karate_club(),
+            Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap(),
+        ] {
+            let csr = CsrGraph::from_graph(&g);
+            let want = DistanceDistribution::from_csr_with_threads(&csr, 1);
+            let n = g.node_count();
+            for shards in [1, 2, 7, n] {
+                for threads in [1, 3] {
+                    assert_eq!(
+                        DistanceDistribution::from_csr_streamed(&csr, shards, threads),
+                        want,
+                        "shards = {shards}, threads = {threads}"
+                    );
+                    assert_eq!(
+                        DistanceDistribution::from_csr_sharded(&csr, shards, threads),
+                        want
+                    );
+                }
+            }
+        }
+        let empty = CsrGraph::from_graph(&Graph::new());
+        assert_eq!(
+            DistanceDistribution::from_csr_streamed(&empty, 4, 2),
+            DistanceDistribution::from_graph(&Graph::new())
+        );
     }
 
     #[test]

@@ -72,6 +72,12 @@
 //!   larger graphs the explicit `distance_approx`/`betweenness_approx`
 //!   metrics ([`sampled`], `Cost::Sampled`) estimate from K pivot
 //!   sources instead.
+//! * Past ~10⁵ analyzed nodes the traversal passes switch to the
+//!   **sharded streaming** route ([`stream`]): per-shard partials fold
+//!   into `O(n)` reducers in shard order, bounding traversal memory by
+//!   the worker count (`Analyzer::shards` / `Analyzer::memory_budget`;
+//!   CLI `--shards` / `--memory-budget`) while staying bit-identical to
+//!   the retained in-memory route.
 //! * Results never depend on thread counts: parallel analysis is
 //!   byte-identical to serial.
 
@@ -93,10 +99,12 @@ pub mod report;
 pub mod richclub;
 pub mod sampled;
 pub mod spectral;
+pub mod stream;
 pub mod table;
 
 pub use analyzer::{Analyzer, EnsembleSummary, ScalarSummary};
 pub use cache::{AnalysisCache, AnalyzeOptions, GccPolicy};
 pub use metric::{AnyMetric, Metric, MetricValue};
 pub use report::{MetricReport, Report};
+pub use stream::{ExecMode, ExecPlan};
 pub use table::MetricTable;

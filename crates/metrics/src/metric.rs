@@ -46,6 +46,27 @@
 //! error of order `1/√K` — fine for ranking hubs and for `d̄`-style
 //! means, **not** for reproduction tables, which must stay on the exact
 //! metrics. `K ≥ n` makes them equal to the exact values bit for bit.
+//!
+//! ## Execution routes and memory bounds
+//!
+//! Each cost class maps to an execution route over the shared
+//! [`CsrGraph`](dk_graph::CsrGraph) snapshot; the traversal-shaped
+//! classes additionally pick between the in-memory and the **sharded
+//! streaming** route of [`crate::stream`]:
+//!
+//! | cost | route | traversal working memory |
+//! |------|-------|--------------------------|
+//! | `trivial`, `linear` | single pass over the snapshot | O(n + m) |
+//! | `sampled` | K pivots through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** |
+//! | `all-pairs` | n sources through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** |
+//! | `spectral` | Lanczos (dense below cutoff) | O(n) iteration vectors |
+//!
+//! The streamed route is auto-selected above
+//! [`AUTO_STREAM_NODES`](crate::stream::AUTO_STREAM_NODES) analyzed
+//! nodes and forced by `Analyzer::shards`/`Analyzer::memory_budget`
+//! (CLI `--shards`/`--memory-budget`); per-source vectors are worker
+//! scratch only, so per-worker buffers stay O(n) in total, and results
+//! are bit-identical to the in-memory route at equal shard counts.
 
 use crate::cache::AnalysisCache;
 use crate::{betweenness, clustering, jdd, kcore, likelihood, richclub};
@@ -103,7 +124,9 @@ pub enum Cost {
     /// approximate alternative to [`Cost::AllPairs`]. Deterministic but
     /// carries ~`1/√K` sampling error; see the module docs.
     Sampled,
-    /// O(n·m) — all-source BFS (distances, betweenness).
+    /// O(n·m) — all-source BFS (distances, betweenness). On large
+    /// graphs runs via the sharded streaming route with O(workers·n)
+    /// working memory; see the module docs' route table.
     AllPairs,
     /// Eigensolver (Jacobi / Lanczos).
     Spectral,
@@ -635,6 +658,12 @@ impl AnyMetric {
             "sampled metrics estimate their all-pairs twin from K pivot sources \
              (--samples, default 64): deterministic, ~1/sqrt(K) error, exact when \
              K >= n; select them by name — no set except `all` includes them\n",
+        );
+        out.push_str(
+            "large graphs stream all-pairs/sampled passes shard by shard \
+             (auto above 131072 nodes; --shards N and --memory-budget B opt in \
+             and tune it): same results bit for bit, traversal memory bounded \
+             by workers, not shards\n",
         );
         out
     }

@@ -28,7 +28,9 @@
 //! * `K ≥ n` degrades to the identity pivot set with scale 1, making the
 //!   estimate **equal to the exact pass** bit for bit.
 
-use crate::betweenness::brandes_over_sources;
+use crate::betweenness::{
+    brandes_over_sources, brandes_over_sources_sharded, brandes_over_sources_streamed, BrandesSums,
+};
 use crate::distance::DistanceDistribution;
 use dk_graph::{AdjacencyView, CsrGraph, NodeId};
 
@@ -53,6 +55,10 @@ pub struct SampledTraversal {
     pub betweenness: Vec<f64>,
     /// Number of pivot sources actually traversed (`min(K, n)`).
     pub sources: usize,
+    /// Greatest finite distance discovered from any pivot (the streamed
+    /// eccentricity max-merge) — a lower bound on the diameter; equals
+    /// `distances.diameter()` by construction.
+    pub max_depth: u32,
 }
 
 impl SampledTraversal {
@@ -133,6 +139,46 @@ pub fn sampled_traversal_csr(g: &CsrGraph, k: usize, threads: usize) -> SampledT
     sampled_traversal(g, k, threads)
 }
 
+/// **Streaming** Brandes–Pich pass: the pivot sources are partitioned
+/// into shards and each worker streams its shards into compact reducers,
+/// exactly like the exact streamed pass
+/// ([`crate::betweenness::betweenness_and_distances_streamed`]) — same
+/// pivots, same merge order, so the result is bit-identical to
+/// [`sampled_traversal_csr`] when `shards` is
+/// [`DEFAULT_SHARDS`](crate::stream::DEFAULT_SHARDS), and to
+/// [`sampled_traversal_sharded`] at any equal shard count.
+pub fn sampled_traversal_streamed(
+    g: &CsrGraph,
+    k: usize,
+    shards: usize,
+    threads: usize,
+) -> SampledTraversal {
+    let n = g.node_count();
+    if n == 0 {
+        return SampledTraversal::empty();
+    }
+    let pivots = sample_pivots(n, k.max(1));
+    let sums = brandes_over_sources_streamed(g, &pivots, shards, threads);
+    finish_sampled(n, pivots.len(), sums)
+}
+
+/// In-memory pivot pass with an explicit shard count — the equivalence
+/// oracle for [`sampled_traversal_streamed`] at the same shard count.
+pub fn sampled_traversal_sharded(
+    g: &CsrGraph,
+    k: usize,
+    shards: usize,
+    threads: usize,
+) -> SampledTraversal {
+    let n = g.node_count();
+    if n == 0 {
+        return SampledTraversal::empty();
+    }
+    let pivots = sample_pivots(n, k.max(1));
+    let sums = brandes_over_sources_sharded(g, &pivots, shards, threads);
+    finish_sampled(n, pivots.len(), sums)
+}
+
 /// As [`sampled_traversal_csr`], generic over the adjacency view.
 pub fn sampled_traversal<V: AdjacencyView + ?Sized>(
     g: &V,
@@ -141,7 +187,16 @@ pub fn sampled_traversal<V: AdjacencyView + ?Sized>(
 ) -> SampledTraversal {
     let n = g.node_count();
     if n == 0 {
-        return SampledTraversal {
+        return SampledTraversal::empty();
+    }
+    let pivots = sample_pivots(n, k.max(1));
+    let sums = brandes_over_sources(g, &pivots, threads);
+    finish_sampled(n, pivots.len(), sums)
+}
+
+impl SampledTraversal {
+    fn empty() -> Self {
+        SampledTraversal {
             distances: DistanceDistribution {
                 counts: vec![],
                 nodes: 0,
@@ -149,13 +204,23 @@ pub fn sampled_traversal<V: AdjacencyView + ?Sized>(
             },
             betweenness: Vec::new(),
             sources: 0,
-        };
+            max_depth: 0,
+        }
     }
-    let pivots = sample_pivots(n, k.max(1));
-    let (mut bc, counts, unreachable) = brandes_over_sources(g, &pivots, threads);
+}
+
+/// Pair-convention halving plus the `n/K` extrapolation — shared by the
+/// in-memory and streamed pivot passes.
+fn finish_sampled(n: usize, pivot_count: usize, sums: BrandesSums) -> SampledTraversal {
+    let BrandesSums {
+        mut bc,
+        counts,
+        unreachable,
+        depth,
+    } = sums;
     // pair-convention halving (as in the exact pass), then the n/K
     // extrapolation; K = n gives scale exactly 1.0
-    let scale = 0.5 * (n as f64 / pivots.len() as f64);
+    let scale = 0.5 * (n as f64 / pivot_count as f64);
     for v in bc.iter_mut() {
         *v *= scale;
     }
@@ -166,7 +231,8 @@ pub fn sampled_traversal<V: AdjacencyView + ?Sized>(
             unreachable_pairs: unreachable,
         },
         betweenness: bc,
-        sources: pivots.len(),
+        sources: pivot_count,
+        max_depth: depth,
     }
 }
 
@@ -255,6 +321,49 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-12, "total {total}");
         let raw_total: f64 = part.distances.pdf().iter().sum();
         assert!((raw_total - 8.0 / 34.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streamed_pivot_pass_bit_identical_to_in_memory() {
+        let g = builders::grid(6, 7);
+        let csr = dk_graph::CsrGraph::from_graph(&g);
+        let n = g.node_count();
+        for k in [1, 8, n + 5] {
+            for shards in [1, 2, 7, n] {
+                let oracle = sampled_traversal_sharded(&csr, k, shards, 1);
+                for threads in [1, 3] {
+                    assert_eq!(
+                        sampled_traversal_streamed(&csr, k, shards, threads),
+                        oracle,
+                        "k = {k}, shards = {shards}, threads = {threads}"
+                    );
+                }
+            }
+            // the default shard count reproduces the historical route
+            assert_eq!(
+                sampled_traversal_sharded(&csr, k, crate::stream::DEFAULT_SHARDS, 2),
+                sampled_traversal_csr(&csr, k, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn estimators_never_divide_by_zero() {
+        // empty graph: zero pivots, zero denominators — still defined
+        let empty = sampled_traversal(&dk_graph::Graph::new(), 8, 1);
+        assert_eq!(empty.sources, 0);
+        assert!(empty.pdf_estimate().is_empty());
+        assert_eq!(empty.unreachable_fraction(), 0.0);
+        assert_eq!(empty.max_depth, 0);
+        // disconnected graph: fraction strictly inside (0, 1), all finite
+        let g = dk_graph::Graph::from_edges(6, [(0, 1), (2, 3), (3, 4)]).unwrap();
+        let csr = dk_graph::CsrGraph::from_graph(&g);
+        let s = sampled_traversal_streamed(&csr, 99, 3, 2);
+        assert_eq!(s.sources, 6); // K >= n: every node is a pivot
+        let f = s.unreachable_fraction();
+        assert!(f > 0.0 && f < 1.0, "unreachable fraction {f}");
+        assert!(s.pdf_estimate().iter().all(|p| p.is_finite()));
+        assert_eq!(s.max_depth as usize, s.distances.diameter());
     }
 
     #[test]

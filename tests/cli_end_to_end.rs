@@ -167,6 +167,85 @@ fn metrics_flags_via_binary() {
 }
 
 #[test]
+fn streaming_flags_via_binary() {
+    let dir = tmpdir();
+    let graph = write_karate(&dir);
+    let path = graph.to_str().unwrap();
+    let battery = ["--metrics", "d_avg,d_std,diameter,b_max,distance_approx"];
+
+    // baseline: default route, machine-readable report
+    let (ok, base) = run(&[&["metrics", path, "--format", "json"], &battery[..]].concat());
+    assert!(ok, "{base}");
+
+    // --shards at the default count must not change a single byte of
+    // the JSON report, and the shape keys must all be present
+    let (ok, streamed) = run(&[
+        &["metrics", path, "--format", "json", "--shards", "64"],
+        &battery[..],
+    ]
+    .concat());
+    assert!(ok, "{streamed}");
+    assert_eq!(base, streamed, "streamed route changed the report");
+    for key in [
+        "\"graph\":{",
+        "\"analyzed_nodes\":34",
+        "\"metrics\":{",
+        "\"d_avg\":",
+        "\"b_max\":",
+        "\"distance_approx\":",
+    ] {
+        assert!(streamed.contains(key), "missing {key}: {streamed}");
+    }
+
+    // --memory-budget with suffixes parses and leaves results identical
+    let (ok, budgeted) = run(&[
+        &[
+            "metrics",
+            path,
+            "--format",
+            "json",
+            "--memory-budget",
+            "512M",
+        ],
+        &battery[..],
+    ]
+    .concat());
+    assert!(ok, "{budgeted}");
+    assert_eq!(base, budgeted);
+
+    // compare honors the shared streaming flags too
+    let (ok, text) = run(&["compare", path, path, "--shards", "8"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("D1 = 0"), "{text}");
+
+    // invalid values are rejected with CLI-worded errors naming the flag
+    let (ok, text) = run(&["metrics", path, "--shards", "0"]);
+    assert!(!ok);
+    assert!(text.contains("--shards"), "{text}");
+    assert!(text.contains("positive shard count"), "{text}");
+    let (ok, text) = run(&["metrics", path, "--shards", "lots"]);
+    assert!(!ok);
+    assert!(text.contains("--shards"), "{text}");
+    for bad in ["0", "huh", "12Q", ""] {
+        let (ok, text) = run(&["metrics", path, "--memory-budget", bad]);
+        assert!(!ok, "--memory-budget {bad:?} must be rejected");
+        assert!(text.contains("--memory-budget"), "{text}");
+        assert!(text.contains("512M"), "hint present: {text}");
+        assert!(!text.contains("Analyzer"), "library API leaked: {text}");
+    }
+    // missing values fail cleanly
+    let (ok, text) = run(&["metrics", path, "--shards"]);
+    assert!(!ok);
+    assert!(text.contains("missing value after --shards"), "{text}");
+
+    // the capability listing documents the streaming route
+    let (ok, text) = run(&["metrics", "--metrics", "help"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("--shards"), "{text}");
+    assert!(text.contains("--memory-budget"), "{text}");
+}
+
+#[test]
 fn missing_arguments_fail_cleanly() {
     let (ok, text) = run(&["extract", "2"]);
     assert!(!ok);

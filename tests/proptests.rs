@@ -106,6 +106,45 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// Sharded streaming analysis is bit-identical to the in-memory
+    /// route across shard counts {1, 2, 7, n} and thread counts, for
+    /// every traversal metric in the registry (exact distance family,
+    /// betweenness family, and the sampled estimators — the set is
+    /// derived from the registry's dependency metadata, so new traversal
+    /// metrics are covered automatically).
+    #[test]
+    fn streamed_analysis_equals_in_memory(g in arb_graph(24, 80), threads in 1usize..4) {
+        use dk_repro::metrics::metric::{AnyMetric, Dep};
+        use dk_repro::metrics::stream::ExecMode;
+        use dk_repro::metrics::Analyzer;
+        let names = AnyMetric::all()
+            .filter(|m| m.deps().iter().any(|d| {
+                matches!(d, Dep::Distances | Dep::Betweenness | Dep::Sampled)
+            }))
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(",");
+        let n = g.node_count();
+        for shards in [1, 2, 7, n.max(1)] {
+            let oracle = Analyzer::new()
+                .metric_names(&names)
+                .unwrap()
+                .exec_mode(ExecMode::InMemory)
+                .shards(shards)
+                .threads(1)
+                .analyze(&g);
+            let streamed = Analyzer::new()
+                .metric_names(&names)
+                .unwrap()
+                .exec_mode(ExecMode::Streamed)
+                .shards(shards)
+                .threads(threads)
+                .analyze(&g);
+            prop_assert_eq!(&oracle, &streamed, "shards {}, threads {}", shards, threads);
+            prop_assert_eq!(oracle.to_json(), streamed.to_json());
+        }
+    }
+
     /// The CSR snapshot round-trips any graph: node/edge counts, degrees,
     /// and every sorted neighbor slice are identical.
     #[test]

@@ -1,0 +1,277 @@
+//! Streaming equivalence suite: the sharded **streaming** route of every
+//! traversal-shaped metric must be **bit-identical** to the retained
+//! in-memory route (the equivalence oracle) at equal shard counts, for
+//! every thread count — and the default analyzer output must be
+//! byte-identical whether it streams or not.
+//!
+//! The sampled (Brandes–Pich) estimators ride the same shard executor,
+//! so their edge cases live here too: disconnected, empty, and `n < K`
+//! graphs; `K ≥ n` equal to exact bit for bit; estimator denominators
+//! never zero.
+
+use dk_repro::graph::builders;
+use dk_repro::graph::csr::CsrGraph;
+use dk_repro::graph::Graph;
+use dk_repro::metrics::stream::{self, ExecMode};
+use dk_repro::metrics::{betweenness, distance::DistanceDistribution, sampled, Analyzer};
+
+/// The graphs every equivalence check runs over: golden anchors plus a
+/// disconnected graph (unreachable-pair accounting) and one with
+/// isolated nodes (GCC extraction path).
+fn zoo() -> Vec<Graph> {
+    let mut with_isolated = builders::karate_club();
+    with_isolated.add_node();
+    with_isolated.add_node();
+    vec![
+        builders::complete(5),
+        builders::star(5),
+        builders::cycle(6),
+        builders::karate_club(),
+        builders::grid(5, 7),
+        Graph::from_edges(7, [(0, 1), (2, 3), (3, 4), (4, 2), (5, 6)]).unwrap(),
+        with_isolated,
+    ]
+}
+
+/// Comma-separated names of every registry metric that reads a traversal
+/// pass (exact or sampled) — derived from the registry so a future
+/// traversal metric is covered automatically.
+fn traversal_metric_names() -> String {
+    use dk_repro::metrics::metric::{AnyMetric, Dep};
+    let names: Vec<&str> = AnyMetric::all()
+        .filter(|m| {
+            m.deps()
+                .iter()
+                .any(|d| matches!(d, Dep::Distances | Dep::Betweenness | Dep::Sampled))
+        })
+        .map(|m| m.name())
+        .collect();
+    assert!(
+        names.len() >= 8,
+        "registry lost traversal metrics: {names:?}"
+    );
+    names.join(",")
+}
+
+// ---------------------------------------------------------------------
+// Library-level bit-identity: streamed vs in-memory oracle
+// ---------------------------------------------------------------------
+
+#[test]
+fn fused_streamed_bit_identical_to_oracle_across_shards_and_threads() {
+    for g in zoo() {
+        let csr = CsrGraph::from_graph(&g);
+        let n = g.node_count();
+        for shards in [1, 2, 7, n] {
+            let oracle = betweenness::betweenness_and_distances_sharded(&csr, shards, 1);
+            for threads in [1, 3] {
+                let s = betweenness::betweenness_and_distances_streamed(&csr, shards, threads);
+                // Vec<f64> equality is exact — any rounding drift fails
+                assert_eq!(s.betweenness, oracle.betweenness, "shards = {shards}");
+                assert_eq!(s.distances, oracle.distances);
+                assert_eq!(s.max_depth, oracle.max_depth);
+            }
+        }
+    }
+}
+
+#[test]
+fn distance_streamed_identical_for_every_shard_count() {
+    // the histogram reducer is integer, so the streamed result matches
+    // the default route at ANY shard count, not just equal ones
+    for g in zoo() {
+        let csr = CsrGraph::from_graph(&g);
+        let want = DistanceDistribution::from_csr_with_threads(&csr, 1);
+        for shards in [1, 2, 7, g.node_count()] {
+            for threads in [1, 3] {
+                assert_eq!(
+                    DistanceDistribution::from_csr_streamed(&csr, shards, threads),
+                    want,
+                    "shards = {shards}, threads = {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_streamed_bit_identical_to_oracle() {
+    for g in zoo() {
+        let csr = CsrGraph::from_graph(&g);
+        let n = g.node_count();
+        for k in [1, 8, n, n + 10] {
+            for shards in [1, 2, 7, n] {
+                let oracle = sampled::sampled_traversal_sharded(&csr, k, shards, 1);
+                for threads in [1, 3] {
+                    assert_eq!(
+                        sampled::sampled_traversal_streamed(&csr, k, shards, threads),
+                        oracle,
+                        "k = {k}, shards = {shards}, threads = {threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn eccentricity_reducer_agrees_with_histogram() {
+    for g in zoo() {
+        let csr = CsrGraph::from_graph(&g);
+        let fused = betweenness::betweenness_and_distances_streamed(&csr, 7, 2);
+        assert_eq!(fused.max_depth as usize, fused.distances.diameter());
+        let s = sampled::sampled_traversal_streamed(&csr, 8, 3, 2);
+        assert_eq!(s.max_depth as usize, s.distances.diameter());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analyzer-level equivalence (the facade route selection)
+// ---------------------------------------------------------------------
+
+#[test]
+fn analyzer_streamed_report_identical_to_in_memory_oracle() {
+    let names = traversal_metric_names();
+    for g in zoo() {
+        let n = g.node_count();
+        for shards in [1, 2, 7, n.max(1)] {
+            let oracle = Analyzer::new()
+                .metric_names(&names)
+                .unwrap()
+                .exec_mode(ExecMode::InMemory)
+                .shards(shards)
+                .threads(1)
+                .analyze(&g);
+            for threads in [1, 4] {
+                let streamed = Analyzer::new()
+                    .metric_names(&names)
+                    .unwrap()
+                    .exec_mode(ExecMode::Streamed)
+                    .shards(shards)
+                    .threads(threads)
+                    .analyze(&g);
+                assert_eq!(oracle, streamed, "shards = {shards}, threads = {threads}");
+                assert_eq!(oracle.to_json(), streamed.to_json());
+            }
+        }
+    }
+}
+
+#[test]
+fn analyzer_default_route_unchanged_by_streaming_optin() {
+    // shards at the default count + a generous memory budget must not
+    // change a byte of the default (auto, in-memory at this size) report
+    let g = builders::karate_club();
+    let base = Analyzer::new().all_metrics().analyze(&g);
+    let streamed = Analyzer::new()
+        .all_metrics()
+        .shards(stream::DEFAULT_SHARDS)
+        .memory_budget(1 << 30)
+        .analyze(&g);
+    assert_eq!(base, streamed);
+    assert_eq!(base.to_json(), streamed.to_json());
+}
+
+#[test]
+fn analyzer_memory_budget_caps_workers_without_changing_results() {
+    let g = builders::grid(6, 8);
+    let names = traversal_metric_names();
+    let roomy = Analyzer::new()
+        .metric_names(&names)
+        .unwrap()
+        .threads(4)
+        .analyze(&g);
+    // a one-worker budget: same results, just less parallelism
+    let starved = Analyzer::new()
+        .metric_names(&names)
+        .unwrap()
+        .threads(4)
+        .memory_budget(1)
+        .analyze(&g);
+    assert_eq!(roomy, starved);
+}
+
+#[test]
+fn cache_plan_is_visible_and_auto_threshold_applies() {
+    use dk_repro::metrics::{AnalysisCache, AnalyzeOptions};
+    let g = builders::karate_club();
+    let small = AnalysisCache::build(&g, &[], &AnalyzeOptions::default());
+    assert!(!small.exec_plan().streamed, "34 nodes stay in memory");
+    let opted_in = AnalysisCache::build(
+        &g,
+        &[],
+        &AnalyzeOptions {
+            shards: Some(7),
+            ..Default::default()
+        },
+    );
+    assert!(opted_in.exec_plan().streamed);
+    assert_eq!(opted_in.exec_plan().shards, 7);
+}
+
+// ---------------------------------------------------------------------
+// Sampled estimator edge cases (disconnected / empty / n < K)
+// ---------------------------------------------------------------------
+
+#[test]
+fn sampled_metrics_undefined_on_empty_and_degenerate_graphs() {
+    let analyzer = Analyzer::new()
+        .metric_names("distance_approx,betweenness_approx")
+        .unwrap();
+    let empty = analyzer.analyze(&Graph::new());
+    assert_eq!(empty.scalar("distance_approx"), None);
+    assert_eq!(empty.scalar("betweenness_approx"), None);
+    let single = analyzer.analyze(&builders::path(1));
+    assert_eq!(single.scalar("distance_approx"), None);
+    assert_eq!(single.scalar("betweenness_approx"), None);
+    // two nodes: distance defined, betweenness undefined (n < 3)
+    let pair = analyzer.analyze(&builders::path(2));
+    assert_eq!(pair.scalar("distance_approx"), Some(1.0));
+    assert_eq!(pair.scalar("betweenness_approx"), None);
+}
+
+#[test]
+fn sampled_equals_exact_bitwise_when_k_covers_n() {
+    // n < K for every zoo graph at K = 10_000: sampled twins must equal
+    // their exact metrics bit for bit, on both routes
+    for g in zoo() {
+        for shards in [None, Some(7)] {
+            let mut analyzer = Analyzer::new()
+                .metric_names("d_avg,d_std,b_max,distance_approx,betweenness_approx")
+                .unwrap()
+                .sample_sources(10_000);
+            if let Some(s) = shards {
+                analyzer = analyzer.shards(s);
+            }
+            let rep = analyzer.analyze(&g);
+            assert_eq!(
+                rep.scalar("distance_approx"),
+                rep.scalar("d_avg"),
+                "shards = {shards:?}"
+            );
+            assert_eq!(rep.scalar("betweenness_approx"), rep.scalar("b_max"));
+        }
+    }
+}
+
+#[test]
+fn sampled_estimators_finite_on_disconnected_graphs() {
+    // heavily disconnected graph straight through the streamed pass:
+    // no NaN, no division by zero, fractions in range
+    let g = Graph::from_edges(9, [(0, 1), (2, 3), (3, 4), (5, 6)]).unwrap();
+    let csr = CsrGraph::from_graph(&g);
+    for k in [1, 3, 9, 50] {
+        let s = sampled::sampled_traversal_streamed(&csr, k, 4, 2);
+        let f = s.unreachable_fraction();
+        assert!(f.is_finite() && (0.0..=1.0).contains(&f), "k = {k}: {f}");
+        assert!(s.pdf_estimate().iter().all(|p| p.is_finite() && *p >= 0.0));
+        assert!(s.distances.mean().is_finite());
+        assert!(s.betweenness.iter().all(|b| b.is_finite()));
+    }
+    // all-isolated graph: every pair unreachable, mean distance 0
+    let isolated = Graph::with_nodes(4);
+    let s = sampled::sampled_traversal(&isolated, 2, 1);
+    assert_eq!(s.distances.mean(), 0.0);
+    assert!(s.unreachable_fraction() > 0.0);
+    assert!(s.pdf_estimate().iter().all(|p| p.is_finite()));
+}
