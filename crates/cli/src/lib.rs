@@ -11,9 +11,9 @@
 //! dk rewire   <d> <graph.edges> -o <out.edges>    dK-randomizing rewiring
 //! dk explore  <s|s2|c> <min|max> <graph.edges> -o <out.edges>
 //! dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
-//!             [--shards N] [--memory-budget B]
+//!             [--sketch-bits B] [--shards N] [--memory-budget B]
 //! dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
-//!             [--shards N] [--memory-budget B]
+//!             [--sketch-bits B] [--shards N] [--memory-budget B]
 //! dk census   <graph.edges>                       Table 5 census
 //! dk viz      <graph.edges>     -o <out.svg>      layout + SVG
 //! ```
@@ -221,6 +221,10 @@ pub struct MetricsOptions {
     /// `--samples K`: pivot budget for the sampled `*_approx` metrics
     /// (`None` = the analyzer default, 64).
     pub samples: Option<usize>,
+    /// `--sketch-bits B`: HyperLogLog register bits for the sketch
+    /// `*_sketch` metrics, validated into `4..=16` at parse time
+    /// (`None` = the analyzer default, 8).
+    pub sketch_bits: Option<u32>,
     /// `--shards N`: source shard count for the all-pairs/sampled
     /// traversal passes; setting it opts into the streamed route
     /// (`None` = auto — streamed with the default shard count once the
@@ -257,6 +261,19 @@ pub fn parse_memory_budget(s: &str) -> Result<u64, String> {
         .ok_or_else(bad)
 }
 
+/// Parses a `--sketch-bits` value: a register-bit count in `4..=16`
+/// (each analyzed node carries `2^B` one-byte registers, so `B` outside
+/// that window is either statistically useless or a memory foot-gun).
+pub fn parse_sketch_bits(s: &str) -> Result<u32, String> {
+    match s.parse::<u32>() {
+        Ok(b) if (4..=16).contains(&b) => Ok(b),
+        _ => Err(format!(
+            "bad --sketch-bits {s:?}: need a register-bit count in 4..=16 \
+             (e.g. --sketch-bits 8; error ~1.04/sqrt(2^B), memory n*2^B bytes)"
+        )),
+    }
+}
+
 /// Parses a `--shards` value: a positive shard count.
 pub fn parse_shards(s: &str) -> Result<usize, String> {
     match s.parse::<usize>() {
@@ -282,6 +299,9 @@ fn build_analyzer(
     }
     if let Some(k) = opts.samples {
         analyzer = analyzer.sample_sources(k);
+    }
+    if let Some(bits) = opts.sketch_bits {
+        analyzer = analyzer.sketch_bits(bits);
     }
     if let Some(shards) = opts.shards {
         analyzer = analyzer.shards(shards);
@@ -356,7 +376,9 @@ pub fn cmd_compare(
 /// takes any registry names or sets (`--metrics all` includes
 /// betweenness, `--metrics help` lists capabilities), `--no-gcc` skips
 /// GCC extraction, `--samples K` sets the pivot budget of the sampled
-/// `*_approx` metrics, `--shards N` / `--memory-budget B` opt the
+/// `*_approx` metrics, `--sketch-bits B` sets the HyperLogLog register
+/// bits of the sketch `*_sketch` metrics (error `1.04/√2^B`, memory
+/// `n·2^B` bytes), `--shards N` / `--memory-budget B` opt the
 /// traversal passes into the sharded streaming route (identical
 /// results, memory bounded by workers — auto-selected anyway past
 /// ~131k nodes), and `--format json` emits the machine-readable report.
@@ -652,6 +674,49 @@ mod tests {
             assert!(err.contains("--memory-budget"), "{bad}: {err}");
             assert!(err.contains("512M"), "hint present: {err}");
         }
+    }
+
+    #[test]
+    fn sketch_bits_parsing() {
+        assert_eq!(parse_sketch_bits("4").unwrap(), 4);
+        assert_eq!(parse_sketch_bits("8").unwrap(), 8);
+        assert_eq!(parse_sketch_bits("16").unwrap(), 16);
+        for bad in ["3", "17", "0", "", "-8", "8.5", "many"] {
+            let err = parse_sketch_bits(bad).unwrap_err();
+            assert!(err.contains("--sketch-bits"), "{bad}: {err}");
+            assert!(err.contains("4..=16"), "range named: {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_sketch_selection_and_bits_flag() {
+        let graph = write_karate();
+        // sketch metrics are reachable by name and defined on karate
+        let m = cmd_metrics(
+            &graph,
+            &MetricsOptions {
+                metrics: Some("d_avg,avg_distance_sketch,effective_diameter_sketch".into()),
+                sketch_bits: Some(10),
+                format: OutputFormat::Json,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.contains("\"avg_distance_sketch\":"), "{m}");
+        assert!(m.contains("\"effective_diameter_sketch\":"), "{m}");
+        assert!(!m.contains("null"), "sketch values defined: {m}");
+        // the series twin renders as a [[x, p], ...] series
+        let s = cmd_metrics(
+            &graph,
+            &MetricsOptions {
+                metrics: Some("distance_sketch".into()),
+                sketch_bits: Some(8),
+                format: OutputFormat::Json,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(s.contains("\"distance_sketch\":[[1,"), "{s}");
     }
 
     #[test]

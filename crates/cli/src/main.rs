@@ -15,9 +15,9 @@ USAGE:
   dk rewire   <d: 0..3> <graph.edges> -o <out.edges> [--attempts N] [--seed N]
   dk explore  <s|s2|c>  <min|max> <graph.edges> -o <out.edges> [--seed N]
   dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
-              [--shards N] [--memory-budget B]
+              [--sketch-bits B] [--shards N] [--memory-budget B]
   dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
-              [--shards N] [--memory-budget B]
+              [--sketch-bits B] [--shards N] [--memory-budget B]
   dk census   <graph.edges> [--max-d D]
   dk viz      <graph.edges> -o <out.svg> [--seed N]
 
@@ -26,7 +26,10 @@ distribution files are the Orbis-style formats documented in dk-core.
 `--metrics` takes comma-separated metric names or sets (default, cheap,
 scalars, series, all) — `--metrics help` lists every metric. `--samples K`
 sets the pivot budget of the sampled distance_approx/betweenness_approx
-metrics (default 64; K >= n reproduces the exact values). `--shards N`
+metrics (default 64; K >= n reproduces the exact values). `--sketch-bits B`
+sets the HyperLogLog register bits of the sketch distance metrics
+(distance_sketch/avg_distance_sketch/effective_diameter_sketch; 4..=16,
+default 8 — error ~1.04/sqrt(2^B), memory n*2^B bytes). `--shards N`
 streams the all-pairs/sampled passes shard by shard (identical results,
 memory bounded by workers — the default past ~131k nodes); `--memory-budget
 B` caps their working memory (bytes, K/M/G suffixes).";
@@ -42,6 +45,7 @@ struct Args {
     format: OutputFormat,
     no_gcc: bool,
     samples: Option<usize>,
+    sketch_bits: Option<u32>,
     shards: Option<usize>,
     memory_budget: Option<u64>,
 }
@@ -58,6 +62,7 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
         format: OutputFormat::Text,
         no_gcc: false,
         samples: None,
+        sketch_bits: None,
         shards: None,
         memory_budget: None,
     };
@@ -78,6 +83,11 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("bad --samples: {e}"))?,
                 )
+            }
+            "--sketch-bits" => {
+                args.sketch_bits = Some(parse_sketch_bits(
+                    &raw.pop().ok_or("missing value after --sketch-bits")?,
+                )?)
             }
             "--shards" => {
                 args.shards = Some(parse_shards(
@@ -129,6 +139,7 @@ impl Args {
             format: self.format,
             gcc_off: self.no_gcc,
             samples: self.samples,
+            sketch_bits: self.sketch_bits,
             shards: self.shards,
             memory_budget: self.memory_budget,
         }

@@ -119,6 +119,34 @@ impl Analyzer {
         self
     }
 
+    /// Sets the register-bit count `b` for the sketch (`*_sketch`)
+    /// metrics — each node carries `2^b` HyperLogLog registers
+    /// ([`crate::sketch`]; CLI `--sketch-bits`, default 8). Larger `b`
+    /// tightens the `1.04/√2^b` standard error and costs `n·2^b` bytes
+    /// of registers. Values are clamped into
+    /// [`MIN_SKETCH_BITS`](crate::sketch::MIN_SKETCH_BITS)`..=`
+    /// [`MAX_SKETCH_BITS`](crate::sketch::MAX_SKETCH_BITS); results are
+    /// deterministic and thread/shard-count invariant for every value.
+    pub fn sketch_bits(mut self, bits: u32) -> Self {
+        self.opts.sketch_bits = bits.clamp(
+            crate::sketch::MIN_SKETCH_BITS,
+            crate::sketch::MAX_SKETCH_BITS,
+        );
+        self
+    }
+
+    /// Caps the HyperANF rounds of the sketch pass (the
+    /// rounds-until-convergence threshold; default
+    /// [`DEFAULT_SKETCH_ROUNDS`](crate::sketch::DEFAULT_SKETCH_ROUNDS)).
+    /// Iteration always stops earlier at the register fixpoint, so the
+    /// cap only bites on graphs whose diameter exceeds it — the result
+    /// then covers distances up to the cap and reports
+    /// `converged = false` internally.
+    pub fn sketch_rounds(mut self, rounds: usize) -> Self {
+        self.opts.sketch_rounds = rounds.max(1);
+        self
+    }
+
     /// Sets the source shard count for the traversal passes (CLI
     /// `--shards`) and opts into the **streamed** route: shard partials
     /// fold into `O(n)` reducers in shard order instead of being

@@ -20,6 +20,9 @@
 //! * **Triangles** are censused once for `c_mean`/`c_k`/`transitivity`.
 //! * **Sampled traversal** ([`crate::sampled`]) runs once from
 //!   [`AnalyzeOptions::samples`] pivots for the `*_approx` metrics.
+//! * **Neighborhood sketches** ([`crate::sketch`]) iterate once at
+//!   [`AnalyzeOptions::sketch_bits`] register bits for the `*_sketch`
+//!   metrics — every round a sharded pass over the same CSR snapshot.
 //! * Each pass owns the full worker budget while it runs (the traversal
 //!   parallelizes over BFS source shards via the deterministic
 //!   scheduler); passes execute sequentially so an explicit `threads`
@@ -42,6 +45,7 @@ use crate::betweenness;
 use crate::distance::{default_threads, DistanceDistribution};
 use crate::metric::{AnyMetric, Dep};
 use crate::sampled::{self, SampledTraversal};
+use crate::sketch::{self, HyperAnf};
 use crate::stream::{self, ExecMode, ExecPlan};
 use crate::{clustering, spectral};
 use dk_graph::{traversal, CsrGraph, Graph};
@@ -72,6 +76,14 @@ pub struct AnalyzeOptions {
     /// Pivot sources for the sampled (`*_approx`) metrics — the
     /// Brandes–Pich K. Values `≥ n` make the sampled pass exact.
     pub samples: usize,
+    /// Register bits `b` for the sketch (`*_sketch`) metrics — each
+    /// node carries `2^b` HyperLogLog registers, error `1.04/√2^b`.
+    /// Must lie in [`sketch::MIN_SKETCH_BITS`]`..=`[`sketch::MAX_SKETCH_BITS`]
+    /// (the builder clamps, the CLI rejects).
+    pub sketch_bits: u32,
+    /// Cap on HyperANF rounds for the sketch pass; iteration stops
+    /// earlier at the register fixpoint (full convergence).
+    pub sketch_rounds: usize,
     /// Explicit source shard count for the traversal passes (`None` =
     /// [`stream::DEFAULT_SHARDS`]). Setting it opts into the streamed
     /// route under [`ExecMode::Auto`].
@@ -92,6 +104,8 @@ impl Default for AnalyzeOptions {
             lanczos_iter: 300,
             threads: 0,
             samples: 64,
+            sketch_bits: sketch::DEFAULT_SKETCH_BITS,
+            sketch_rounds: sketch::DEFAULT_SKETCH_ROUNDS,
             shards: None,
             memory_budget: None,
             exec: ExecMode::Auto,
@@ -111,6 +125,7 @@ enum DepOut {
     Triangles(Vec<usize>),
     Traversal(TraversalData),
     Sampled(SampledTraversal),
+    Sketch(HyperAnf),
     Spectral(Option<SpectralExtremes>),
 }
 
@@ -125,6 +140,8 @@ pub struct AnalysisCache<'g> {
     lanczos_iter: usize,
     threads: usize,
     samples: usize,
+    sketch_bits: u32,
+    sketch_rounds: usize,
     /// Resolved execution plan for the traversal passes (route, shard
     /// count, worker count).
     exec: ExecPlan,
@@ -134,6 +151,7 @@ pub struct AnalysisCache<'g> {
     triangles: Option<Vec<usize>>,
     traversal: Option<TraversalData>,
     sampled: Option<SampledTraversal>,
+    sketch: Option<HyperAnf>,
     /// `Some(None)` = computed but undefined (disconnected / too small).
     spectral: Option<Option<SpectralExtremes>>,
 }
@@ -173,11 +191,14 @@ impl<'g> AnalysisCache<'g> {
             lanczos_iter: opts.lanczos_iter,
             threads: opts.threads,
             samples: opts.samples,
+            sketch_bits: opts.sketch_bits,
+            sketch_rounds: opts.sketch_rounds,
             exec,
             csr: None,
             triangles: None,
             traversal: None,
             sampled: None,
+            sketch: None,
             spectral: None,
         };
 
@@ -186,6 +207,7 @@ impl<'g> AnalysisCache<'g> {
             Triangles,
             Traversal { betweenness: bool },
             Sampled,
+            Sketch,
             Spectral,
         }
         let mut jobs: Vec<Job> = Vec::new();
@@ -200,6 +222,9 @@ impl<'g> AnalysisCache<'g> {
         }
         if deps.contains(&Dep::Sampled) {
             jobs.push(Job::Sampled);
+        }
+        if deps.contains(&Dep::Sketch) {
+            jobs.push(Job::Sketch);
         }
         if deps.contains(&Dep::Spectral) {
             jobs.push(Job::Spectral);
@@ -259,6 +284,23 @@ impl<'g> AnalysisCache<'g> {
             } else {
                 sampled::sampled_traversal_sharded(snap(), opts.samples, plan.shards, plan.workers)
             }),
+            Job::Sketch => DepOut::Sketch(if plan.streamed {
+                sketch::hyper_anf_streamed(
+                    snap(),
+                    opts.sketch_bits,
+                    opts.sketch_rounds,
+                    plan.shards,
+                    plan.workers,
+                )
+            } else {
+                sketch::hyper_anf_sharded(
+                    snap(),
+                    opts.sketch_bits,
+                    opts.sketch_rounds,
+                    plan.shards,
+                    plan.workers,
+                )
+            }),
             Job::Spectral => DepOut::Spectral(if target.node_count() >= 2 {
                 spectral::spectral_extremes_with(target, opts.lanczos_iter).ok()
             } else {
@@ -270,6 +312,7 @@ impl<'g> AnalysisCache<'g> {
                 DepOut::Triangles(t) => cache.triangles = Some(t),
                 DepOut::Traversal(t) => cache.traversal = Some(t),
                 DepOut::Sampled(s) => cache.sampled = Some(s),
+                DepOut::Sketch(s) => cache.sketch = Some(s),
                 DepOut::Spectral(s) => cache.spectral = Some(s),
             }
         }
@@ -340,6 +383,20 @@ impl<'g> AnalysisCache<'g> {
             None => Cow::Owned(sampled::sampled_traversal_csr(
                 self.csr().as_ref(),
                 self.samples,
+                self.inner_threads(),
+            )),
+        }
+    }
+
+    /// The HyperANF sketch iteration (cached or computed on demand with
+    /// this cache's `sketch_bits`/`sketch_rounds` budget).
+    pub fn sketch(&self) -> Cow<'_, HyperAnf> {
+        match &self.sketch {
+            Some(s) => Cow::Borrowed(s),
+            None => Cow::Owned(sketch::hyper_anf_csr(
+                self.csr().as_ref(),
+                self.sketch_bits,
+                self.sketch_rounds,
                 self.inner_threads(),
             )),
         }
@@ -443,11 +500,16 @@ mod tests {
             threads: 1,
             ..Default::default()
         };
-        let warm = AnalysisCache::build(&g, &metrics("c_mean,d_avg,b_max,lambda1"), &opts);
+        let warm = AnalysisCache::build(
+            &g,
+            &metrics("c_mean,d_avg,b_max,lambda1,avg_distance_sketch"),
+            &opts,
+        );
         let cold = AnalysisCache::bare(&g, &opts);
         assert_eq!(warm.triangles(), cold.triangles());
         assert_eq!(warm.distances(), cold.distances());
         assert_eq!(warm.betweenness(), cold.betweenness());
+        assert_eq!(warm.sketch(), cold.sketch());
         assert_eq!(
             warm.spectral().map(|s| s.lambda1),
             cold.spectral().map(|s| s.lambda1)

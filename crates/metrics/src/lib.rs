@@ -71,7 +71,10 @@
 //!   at paper scale (10⁴ nodes, 3×10⁴ edges) complete in seconds. For
 //!   larger graphs the explicit `distance_approx`/`betweenness_approx`
 //!   metrics ([`sampled`], `Cost::Sampled`) estimate from K pivot
-//!   sources instead.
+//!   sources, and the `distance_sketch`/`avg_distance_sketch`/
+//!   `effective_diameter_sketch` metrics ([`sketch`], `Cost::Sketch`)
+//!   estimate the distance family from HyperANF neighborhood sketches
+//!   whose error `1.04/√2^b` is set by the register count.
 //! * Past ~10⁵ analyzed nodes the traversal passes switch to the
 //!   **sharded streaming** route ([`stream`]): per-shard partials fold
 //!   into `O(n)` reducers in shard order, bounding traversal memory by
@@ -98,6 +101,7 @@ pub mod metric;
 pub mod report;
 pub mod richclub;
 pub mod sampled;
+pub mod sketch;
 pub mod spectral;
 pub mod stream;
 pub mod table;

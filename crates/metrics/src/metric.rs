@@ -19,6 +19,8 @@
 //! | `b_max` | scalar | all-pairs | max normalized betweenness (§2) |
 //! | `distance_approx` | scalar | sampled | `d̄` estimate (Brandes–Pich pivots) |
 //! | `betweenness_approx` | scalar | sampled | `b_max` estimate (Brandes–Pich) |
+//! | `avg_distance_sketch` | scalar | sketch | `d̄` estimate (HyperANF sketches) |
+//! | `effective_diameter_sketch` | scalar | sketch | 90% effective diameter (HyperANF) |
 //! | `lambda1`, `lambda_n` | scalar | spectral | `λ1`, `λ_{n−1}` (§2) |
 //! | `degree_dist` | series | trivial | `P(k)` (§2) |
 //! | `knn` | series | linear | `k_nn(k)` |
@@ -26,6 +28,7 @@
 //! | `rich_club` | series | linear | — (beyond-paper check) |
 //! | `d_x` | series | all-pairs | `d(x)` (§2) |
 //! | `b_k` | series | all-pairs | `b̄(k)` (figs 6b, 9) |
+//! | `distance_sketch` | series | sketch | `d(x)` estimate (HyperANF) |
 //!
 //! Metrics sharing a [`Dep`] are computed from one shared pass: `d_*` and
 //! `b_*` both ride the fused all-source traversal
@@ -47,6 +50,25 @@
 //! means, **not** for reproduction tables, which must stay on the exact
 //! metrics. `K ≥ n` makes them equal to the exact values bit for bit.
 //!
+//! ## Sketch (HyperANF) modes
+//!
+//! The `*_sketch` metrics ([`Cost::Sketch`], between [`Cost::Sampled`]
+//! and [`Cost::AllPairs`]) estimate the **distance family** from
+//! HyperLogLog neighborhood sketches ([`crate::sketch`], Boldi–Rosa–
+//! Vigna HyperANF): `O(rounds)` sharded passes of bit-parallel register
+//! unions instead of `n` BFS sweeps, with relative error governed by
+//! the register count — standard error `1.04/√(2^b)` per counter
+//! ([`crate::sketch::standard_error`]), `b` being the
+//! [`Analyzer::sketch_bits`](crate::analyzer::Analyzer::sketch_bits)
+//! knob / CLI `--sketch-bits` (default 8). Deterministic (node-id
+//! seeded, no entropy) and invariant to shard/thread counts; memory is
+//! the `n·2^b`-byte register file (×2 while a round runs). Where the
+//! sampled estimators spend `O(K·m)` to cover betweenness *and*
+//! distances with `~1/√K` error, the sketches spend a dozen or so
+//! register-union passes to cover the distance family alone — the
+//! better trade at 10⁶ nodes, where even `K = 64` pivot sweeps dwarf
+//! the union rounds.
+//!
 //! ## Execution routes and memory bounds
 //!
 //! Each cost class maps to an execution route over the shared
@@ -58,6 +80,7 @@
 //! |------|-------|--------------------------|
 //! | `trivial`, `linear` | single pass over the snapshot | O(n + m) |
 //! | `sampled` | K pivots through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** |
+//! | `sketch` | ≤ diameter rounds of register unions through the shard executor | **n·2^b bytes** per register file (×2 per round: Jacobi double buffer), error 1.04/√2^b |
 //! | `all-pairs` | n sources through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** |
 //! | `spectral` | Lanczos (dense below cutoff) | O(n) iteration vectors |
 //!
@@ -124,6 +147,11 @@ pub enum Cost {
     /// approximate alternative to [`Cost::AllPairs`]. Deterministic but
     /// carries ~`1/√K` sampling error; see the module docs.
     Sampled,
+    /// O((n + m)·2^b·rounds) byte-ops — HyperANF neighborhood sketches
+    /// ([`crate::sketch`]), the distance-family estimator whose error
+    /// `1.04/√2^b` is set by the register count, not a pivot budget;
+    /// see the module docs.
+    Sketch,
     /// O(n·m) — all-source BFS (distances, betweenness). On large
     /// graphs runs via the sharded streaming route with O(workers·n)
     /// working memory; see the module docs' route table.
@@ -139,9 +167,19 @@ impl Cost {
             Cost::Trivial => "trivial",
             Cost::Linear => "linear",
             Cost::Sampled => "sampled",
+            Cost::Sketch => "sketch",
             Cost::AllPairs => "all-pairs",
             Cost::Spectral => "spectral",
         }
+    }
+
+    /// Whether this class is an *estimator* (sampled pivots or
+    /// neighborhood sketches) rather than an exact computation. Estimator
+    /// metrics are opt-in by name: no set keyword except `all` includes
+    /// them, because reproduction batteries must not mix estimator noise
+    /// with exact values.
+    pub const fn is_estimator(self) -> bool {
+        matches!(self, Cost::Sampled | Cost::Sketch)
     }
 }
 
@@ -170,6 +208,9 @@ pub enum Dep {
     /// Sampled K-pivot traversal (Brandes–Pich) — the `*_approx`
     /// metrics' shared pass.
     Sampled,
+    /// HyperANF neighborhood-sketch iteration ([`crate::sketch`]) — the
+    /// `*_sketch` metrics' shared pass (implies [`Dep::Csr`]).
+    Sketch,
     /// Normalized-Laplacian spectral extremes.
     Spectral,
 }
@@ -180,6 +221,21 @@ impl Dep {
     /// cache builds the snapshot iff any selected dep implies it.
     pub fn implies_csr(self) -> bool {
         !matches!(self, Dep::Spectral)
+    }
+
+    /// Whether this dep's pass runs **through the sharded traversal
+    /// executor** ([`crate::stream`]) and therefore owes the
+    /// streamed-vs-in-memory equivalence contract. The equivalence
+    /// suites (`tests/stream_equivalence.rs`, the
+    /// `proptests::streamed_analysis_equals_in_memory` property) derive
+    /// their metric list from this predicate, so a future estimator dep
+    /// added here is swept automatically — and one *not* added here is
+    /// a metadata bug, not a silently skipped test.
+    pub fn rides_shard_executor(self) -> bool {
+        matches!(
+            self,
+            Dep::Distances | Dep::Betweenness | Dep::Sampled | Dep::Sketch
+        )
     }
 }
 
@@ -442,6 +498,41 @@ static REGISTRY: &[Def] = &[
         },
     },
     Def {
+        name: "avg_distance_sketch",
+        aliases: &["d_avg_sketch"],
+        description: "sketch estimate of d̄ (HyperANF neighborhood function)",
+        kind: Kind::Scalar,
+        cost: Cost::Sketch,
+        deps: &[Dep::Sketch],
+        compute: |cx| {
+            // a round-capped (non-converged) iteration only covers
+            // distances up to the cap — report Undefined rather than a
+            // silently truncated mean (raise Analyzer::sketch_rounds)
+            let sketch = cx.sketch();
+            if cx.graph().node_count() <= 1 || !sketch.converged {
+                MetricValue::Undefined
+            } else {
+                scalar(sketch.avg_distance())
+            }
+        },
+    },
+    Def {
+        name: "effective_diameter_sketch",
+        aliases: &["eff_diameter_sketch"],
+        description: "sketch estimate of the 90% effective diameter (HyperANF)",
+        kind: Kind::Scalar,
+        cost: Cost::Sketch,
+        deps: &[Dep::Sketch],
+        compute: |cx| {
+            let sketch = cx.sketch();
+            if cx.graph().node_count() == 0 || !sketch.converged {
+                MetricValue::Undefined
+            } else {
+                scalar(sketch.effective_diameter(0.9))
+            }
+        },
+    },
+    Def {
         name: "lambda1",
         aliases: &[],
         description: "smallest nonzero normalized-Laplacian eigenvalue λ1 (§2)",
@@ -545,6 +636,24 @@ static REGISTRY: &[Def] = &[
             MetricValue::Series(betweenness::by_degree_from(cx.graph(), &cx.betweenness()))
         },
     },
+    Def {
+        name: "distance_sketch",
+        aliases: &["d_x_sketch"],
+        description: "sketch estimate of the distance distribution d(x) (HyperANF)",
+        kind: Kind::Series,
+        cost: Cost::Sketch,
+        deps: &[Dep::Sketch],
+        compute: |cx| {
+            let sketch = cx.sketch();
+            if sketch.converged {
+                MetricValue::Series(sketch.distance_pdf())
+            } else {
+                // the PDF over a capped round range would be silently
+                // renormalized over a truncated support — refuse instead
+                MetricValue::Undefined
+            }
+        },
+    },
 ];
 
 /// Type-erased handle to a registered metric.
@@ -606,10 +715,11 @@ impl AnyMetric {
     /// Parses a comma-separated metric list. Each element is a metric
     /// name, an alias, or a set keyword: `default` (paper battery),
     /// `cheap` (sub-quadratic scalars), `scalars` (every *exact* scalar
-    /// — the sampled estimators stay opt-in by name, as reproduction
-    /// batteries must not mix estimator noise with exact values),
-    /// `series`, or `all` (everything, sampled included).
-    /// Duplicates are removed, first occurrence wins.
+    /// — the sampled and sketch estimators stay opt-in by name, as
+    /// reproduction batteries must not mix estimator noise with exact
+    /// values), `series` (every exact series), or `all` (everything,
+    /// estimators included). Duplicates are removed, first occurrence
+    /// wins.
     pub fn parse_list(list: &str) -> Result<Vec<AnyMetric>, String> {
         let mut out: Vec<AnyMetric> = Vec::new();
         let mut push = |m: AnyMetric| {
@@ -623,10 +733,10 @@ impl AnyMetric {
                 "cheap" => AnyMetric::cheap_set().into_iter().for_each(&mut push),
                 "all" => AnyMetric::all().for_each(&mut push),
                 "scalars" => AnyMetric::all()
-                    .filter(|m| m.kind() == Kind::Scalar && m.cost() != Cost::Sampled)
+                    .filter(|m| m.kind() == Kind::Scalar && !m.cost().is_estimator())
                     .for_each(&mut push),
                 "series" => AnyMetric::all()
-                    .filter(|m| m.kind() == Kind::Series)
+                    .filter(|m| m.kind() == Kind::Series && !m.cost().is_estimator())
                     .for_each(&mut push),
                 name => push(name.parse::<AnyMetric>()?),
             }
@@ -653,11 +763,20 @@ impl AnyMetric {
                 m.description(),
             ));
         }
-        out.push_str("sets: default (paper battery), cheap, scalars (exact only), series, all\n");
+        out.push_str(
+            "sets: default (paper battery), cheap, scalars (exact only), \
+             series (exact only), all\n",
+        );
         out.push_str(
             "sampled metrics estimate their all-pairs twin from K pivot sources \
              (--samples, default 64): deterministic, ~1/sqrt(K) error, exact when \
              K >= n; select them by name — no set except `all` includes them\n",
+        );
+        out.push_str(
+            "sketch metrics estimate the distance family from HyperANF \
+             neighborhood sketches (--sketch-bits B in 4..=16, default 8): \
+             deterministic, ~1.04/sqrt(2^B) error, n*2^B bytes of registers; \
+             select them by name — no set except `all` includes them\n",
         );
         out.push_str(
             "large graphs stream all-pairs/sampled passes shard by shard \
@@ -748,14 +867,14 @@ mod tests {
         assert_eq!(l[2].name(), "b_max");
         let all = AnyMetric::parse_list("all").unwrap();
         assert_eq!(all.len(), AnyMetric::all().count());
-        // scalars + series covers everything EXCEPT the sampled
-        // estimators, which only `all` (or naming them) selects
+        // scalars + series covers everything EXCEPT the estimators
+        // (sampled pivots, sketches), which only `all` (or naming them)
+        // selects
         let both = AnyMetric::parse_list("scalars,series").unwrap();
-        let sampled_count = AnyMetric::all()
-            .filter(|m| m.cost() == Cost::Sampled)
-            .count();
-        assert_eq!(both.len(), all.len() - sampled_count);
-        assert!(both.iter().all(|m| m.cost() != Cost::Sampled));
+        let estimator_count = AnyMetric::all().filter(|m| m.cost().is_estimator()).count();
+        assert!(estimator_count >= 5, "sampled + sketch metrics registered");
+        assert_eq!(both.len(), all.len() - estimator_count);
+        assert!(both.iter().all(|m| !m.cost().is_estimator()));
         assert!(AnyMetric::parse_list("").is_err());
         assert!(AnyMetric::parse_list("k_avg,bogus").is_err());
     }

@@ -246,6 +246,87 @@ fn streaming_flags_via_binary() {
 }
 
 #[test]
+fn sketch_flags_via_binary() {
+    let dir = tmpdir();
+    let graph = write_karate(&dir);
+    let path = graph.to_str().unwrap();
+
+    // the sketch metrics are reachable by name; the JSON report carries
+    // the scalar twins and the [[x, p], ...] series shape
+    let (ok, text) = run(&[
+        "metrics",
+        path,
+        "--metrics",
+        "distance_sketch,avg_distance_sketch,effective_diameter_sketch",
+        "--sketch-bits",
+        "8",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{text}");
+    for key in [
+        "\"graph\":{",
+        "\"analyzed_nodes\":34",
+        "\"distance_sketch\":[[1,",
+        "\"avg_distance_sketch\":",
+        "\"effective_diameter_sketch\":",
+    ] {
+        assert!(text.contains(key), "missing {key}: {text}");
+    }
+    assert!(!text.contains("null"), "sketch values defined: {text}");
+
+    // --sketch-bits is honored: a bigger register file sharpens the
+    // estimate, so the two reports generally differ — but both parse
+    let (ok, b10) = run(&[
+        "metrics",
+        path,
+        "--metrics",
+        "avg_distance_sketch",
+        "--sketch-bits",
+        "10",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{b10}");
+    assert!(b10.contains("\"avg_distance_sketch\":"), "{b10}");
+
+    // invalid values are rejected with CLI-worded errors naming the flag
+    for bad in ["3", "17", "0", "huh", "-4", "8.5"] {
+        let (ok, text) = run(&["metrics", path, "--sketch-bits", bad]);
+        assert!(!ok, "--sketch-bits {bad:?} must be rejected");
+        assert!(text.contains("--sketch-bits"), "{text}");
+        assert!(text.contains("4..=16"), "range named: {text}");
+        assert!(!text.contains("Analyzer"), "library API leaked: {text}");
+    }
+    let (ok, text) = run(&["metrics", path, "--sketch-bits"]);
+    assert!(!ok);
+    assert!(text.contains("missing value after --sketch-bits"), "{text}");
+
+    // compare honors the flag too
+    let (ok, text) = run(&[
+        "compare",
+        path,
+        path,
+        "--metrics",
+        "k_avg,avg_distance_sketch",
+        "--sketch-bits",
+        "6",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("avg_distance_sketch"), "{text}");
+
+    // the capability listing documents the new cost class and its knob
+    let (ok, text) = run(&["metrics", "--metrics", "help"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("sketch"), "{text}");
+    assert!(text.contains("--sketch-bits"), "{text}");
+    assert!(
+        text.contains("1.04/sqrt(2^B)"),
+        "error formula listed: {text}"
+    );
+}
+
+#[test]
 fn missing_arguments_fail_cleanly() {
     let (ok, text) = run(&["extract", "2"]);
     assert!(!ok);

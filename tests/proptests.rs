@@ -108,19 +108,18 @@ proptest! {
 
     /// Sharded streaming analysis is bit-identical to the in-memory
     /// route across shard counts {1, 2, 7, n} and thread counts, for
-    /// every traversal metric in the registry (exact distance family,
-    /// betweenness family, and the sampled estimators — the set is
-    /// derived from the registry's dependency metadata, so new traversal
-    /// metrics are covered automatically).
+    /// every metric whose pass rides the shard executor (exact distance
+    /// family, betweenness family, the sampled estimators, the HyperANF
+    /// sketches — the set is derived from the registry's dependency
+    /// metadata via `Dep::rides_shard_executor`, so a future estimator
+    /// metric is swept automatically instead of silently skipped).
     #[test]
     fn streamed_analysis_equals_in_memory(g in arb_graph(24, 80), threads in 1usize..4) {
-        use dk_repro::metrics::metric::{AnyMetric, Dep};
+        use dk_repro::metrics::metric::AnyMetric;
         use dk_repro::metrics::stream::ExecMode;
         use dk_repro::metrics::Analyzer;
         let names = AnyMetric::all()
-            .filter(|m| m.deps().iter().any(|d| {
-                matches!(d, Dep::Distances | Dep::Betweenness | Dep::Sampled)
-            }))
+            .filter(|m| m.deps().iter().any(|d| d.rides_shard_executor()))
             .map(|m| m.name())
             .collect::<Vec<_>>()
             .join(",");
@@ -142,6 +141,81 @@ proptest! {
                 .analyze(&g);
             prop_assert_eq!(&oracle, &streamed, "shards {}, threads {}", shards, threads);
             prop_assert_eq!(oracle.to_json(), streamed.to_json());
+        }
+    }
+
+    /// Sketch union-merge is a semilattice: associative, commutative,
+    /// and idempotent — the algebra HyperANF's correctness rests on
+    /// (register files may be unioned in any grouping or order without
+    /// changing a bit).
+    #[test]
+    fn sketch_union_is_a_semilattice(
+        xs in proptest::collection::vec(0u64..1000, 0..40),
+        ys in proptest::collection::vec(0u64..1000, 0..40),
+        zs in proptest::collection::vec(0u64..1000, 0..40),
+        bits in 4u32..=8,
+    ) {
+        use dk_repro::metrics::sketch::HllSketch;
+        let of = |items: &[u64]| {
+            let mut s = HllSketch::new(bits);
+            for &v in items {
+                s.insert(v);
+            }
+            s
+        };
+        let (a, b, c) = (of(&xs), of(&ys), of(&zs));
+        // associative: (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = a.clone();
+        left.union(&b);
+        left.union(&c);
+        let mut right_bc = b.clone();
+        right_bc.union(&c);
+        let mut right = a.clone();
+        right.union(&right_bc);
+        prop_assert_eq!(&left, &right);
+        // commutative: a ∪ b == b ∪ a
+        let mut ab = a.clone();
+        ab.union(&b);
+        let mut ba = b.clone();
+        ba.union(&a);
+        prop_assert_eq!(&ab, &ba);
+        // idempotent: a ∪ a == a
+        let mut aa = a.clone();
+        aa.union(&a);
+        prop_assert_eq!(&aa, &a);
+        // NOTE: estimate() monotonicity under union is deliberately NOT
+        // asserted — the registers only grow, but the small-range
+        // (linear counting) correction can dip at its hand-off point,
+        // which is exactly why HyperAnf clamps N(t) monotone. The
+        // estimate must merely stay finite and positive here.
+        prop_assert!(ab.estimate().is_finite() && ab.estimate() >= 0.0);
+    }
+
+    /// HyperANF results are bit-identical across thread counts and
+    /// shard counts {1, 2, 7, n}, on both the in-memory and the
+    /// streamed route — the same invariant family as
+    /// `streamed_analysis_equals_in_memory`, at the library layer.
+    #[test]
+    fn hyperanf_bit_identical_across_shards_and_threads(
+        g in arb_graph(24, 80),
+        threads in 1usize..4,
+        bits in 4u32..=7,
+    ) {
+        use dk_repro::metrics::sketch::{hyper_anf_sharded, hyper_anf_streamed};
+        let csr = CsrGraph::from_graph(&g);
+        let n = g.node_count();
+        let oracle = hyper_anf_sharded(&csr, bits, 64, 1, 1);
+        for shards in [1, 2, 7, n.max(1)] {
+            prop_assert_eq!(
+                &hyper_anf_sharded(&csr, bits, 64, shards, threads),
+                &oracle,
+                "in-memory, shards {}", shards
+            );
+            prop_assert_eq!(
+                &hyper_anf_streamed(&csr, bits, 64, shards, threads),
+                &oracle,
+                "streamed, shards {}", shards
+            );
         }
     }
 

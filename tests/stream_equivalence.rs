@@ -33,22 +33,24 @@ fn zoo() -> Vec<Graph> {
     ]
 }
 
-/// Comma-separated names of every registry metric that reads a traversal
-/// pass (exact or sampled) — derived from the registry so a future
-/// traversal metric is covered automatically.
+/// Comma-separated names of every registry metric whose pass rides the
+/// shard executor (exact, sampled, or sketch) — derived from the
+/// registry's dependency metadata via `Dep::rides_shard_executor`, so a
+/// future estimator metric is covered automatically instead of silently
+/// skipping the equivalence sweep.
 fn traversal_metric_names() -> String {
-    use dk_repro::metrics::metric::{AnyMetric, Dep};
+    use dk_repro::metrics::metric::AnyMetric;
     let names: Vec<&str> = AnyMetric::all()
-        .filter(|m| {
-            m.deps()
-                .iter()
-                .any(|d| matches!(d, Dep::Distances | Dep::Betweenness | Dep::Sampled))
-        })
+        .filter(|m| m.deps().iter().any(|d| d.rides_shard_executor()))
         .map(|m| m.name())
         .collect();
     assert!(
-        names.len() >= 8,
+        names.len() >= 11,
         "registry lost traversal metrics: {names:?}"
+    );
+    assert!(
+        names.contains(&"avg_distance_sketch"),
+        "dep metadata must route the sketch metrics into the sweep: {names:?}"
     );
     names.join(",")
 }
