@@ -469,8 +469,8 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn square() -> Graph {
-        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    fn square() -> Result<Graph, GraphError> {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
     }
 
     #[test]
@@ -484,8 +484,8 @@ mod tests {
     }
 
     #[test]
-    fn basic_accessors() {
-        let g = square();
+    fn basic_accessors() -> Result<(), GraphError> {
+        let g = square()?;
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 4);
         assert_eq!(g.avg_degree(), 2.0);
@@ -496,10 +496,11 @@ mod tests {
         assert!(!g.has_edge(0, 2));
         assert!(!g.has_edge(0, 99));
         assert_eq!(g.nodes().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        Ok(())
     }
 
     #[test]
-    fn add_edge_rejects_bad_input() {
+    fn add_edge_rejects_bad_input() -> Result<(), GraphError> {
         let mut g = Graph::with_nodes(3);
         assert_eq!(g.add_edge(0, 0), Err(GraphError::SelfLoop(0)));
         assert_eq!(
@@ -510,9 +511,9 @@ mod tests {
             g.add_edge(5, 0),
             Err(GraphError::NodeOutOfRange { node: 5, nodes: 3 })
         );
-        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 1)?;
         assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge(0, 1)));
-        g.check_invariants().unwrap();
+        g.check_invariants()
     }
 
     #[test]
@@ -525,46 +526,48 @@ mod tests {
     }
 
     #[test]
-    fn has_edge_fast_matches_has_edge_on_valid_ids() {
-        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (4, 1), (4, 2)]).unwrap();
+    fn has_edge_fast_matches_has_edge_on_valid_ids() -> Result<(), GraphError> {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (4, 1), (4, 2)])?;
         for u in 0..5u32 {
             for v in 0..5 {
                 assert_eq!(g.has_edge(u, v), g.has_edge_fast(u, v), "({u}, {v})");
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn remove_edge_swaps_correctly() {
-        let mut g = square();
-        g.remove_edge(1, 0).unwrap(); // reversed orientation must work
+    fn remove_edge_swaps_correctly() -> Result<(), GraphError> {
+        let mut g = square()?;
+        g.remove_edge(1, 0)?; // reversed orientation must work
         assert_eq!(g.edge_count(), 3);
         assert!(!g.has_edge(0, 1));
         assert_eq!(g.remove_edge(0, 1), Err(GraphError::MissingEdge(0, 1)));
-        g.check_invariants().unwrap();
+        g.check_invariants()?;
         // Remove all remaining edges.
-        g.remove_edge(1, 2).unwrap();
-        g.remove_edge(2, 3).unwrap();
-        g.remove_edge(3, 0).unwrap();
+        g.remove_edge(1, 2)?;
+        g.remove_edge(2, 3)?;
+        g.remove_edge(3, 0)?;
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.degrees(), vec![0, 0, 0, 0]);
-        g.check_invariants().unwrap();
+        g.check_invariants()
     }
 
     #[test]
-    fn from_edges_dedup_skips_junk() {
-        let g = Graph::from_edges_dedup(3, [(0, 1), (1, 0), (1, 1), (1, 2)]).unwrap();
+    fn from_edges_dedup_skips_junk() -> Result<(), GraphError> {
+        let g = Graph::from_edges_dedup(3, [(0, 1), (1, 0), (1, 1), (1, 2)])?;
         assert_eq!(g.edge_count(), 2);
         assert!(Graph::from_edges_dedup(2, [(0, 5)]).is_err());
+        Ok(())
     }
 
     #[test]
-    fn random_edge_uniformity() {
-        let g = square();
+    fn random_edge_uniformity() -> Result<(), GraphError> {
+        let g = square()?;
         let mut rng = StdRng::seed_from_u64(7);
         let mut counts = std::collections::BTreeMap::new();
         for _ in 0..4000 {
-            let e = g.random_edge(&mut rng).unwrap();
+            let e = g.random_edge(&mut rng)?;
             *counts.entry(e).or_insert(0u32) += 1;
         }
         assert_eq!(counts.len(), 4);
@@ -574,55 +577,61 @@ mod tests {
         }
         let empty = Graph::with_nodes(2);
         assert!(empty.random_edge(&mut rng).is_err());
+        Ok(())
     }
 
     #[test]
-    fn common_neighbors_counts() {
-        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (4, 1), (4, 2)]).unwrap();
+    fn common_neighbors_counts() -> Result<(), GraphError> {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (4, 1), (4, 2)])?;
         assert_eq!(g.common_neighbors(0, 4), 2); // 1 and 2
         assert_eq!(g.common_neighbors(1, 2), 2); // 0 and 4
         assert_eq!(g.common_neighbors(3, 4), 0);
+        Ok(())
     }
 
     #[test]
-    fn subgraph_induced() {
-        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
-        let (sub, map) = g.subgraph(&[0, 1, 2]).unwrap();
+    fn subgraph_induced() -> Result<(), GraphError> {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])?;
+        let (sub, map) = g.subgraph(&[0, 1, 2])?;
         assert_eq!(sub.node_count(), 3);
         assert_eq!(sub.edge_count(), 2); // (0,1) and (1,2)
         assert_eq!(map, vec![0, 1, 2]);
         assert!(g.subgraph(&[0, 0]).is_err());
         assert!(g.subgraph(&[99]).is_err());
+        Ok(())
     }
 
     #[test]
-    fn likelihood_on_star() {
+    fn likelihood_on_star() -> Result<(), GraphError> {
         // Star S4: center degree 4, leaves degree 1 → S = 4 edges × (4·1) = 16.
-        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])?;
         assert_eq!(g.likelihood_s(), 16.0);
+        Ok(())
     }
 
     #[test]
-    fn structural_equality_ignores_edge_order() {
-        let a = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
-        let b = Graph::from_edges(3, [(2, 1), (1, 0)]).unwrap();
+    fn structural_equality_ignores_edge_order() -> Result<(), GraphError> {
+        let a = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+        let b = Graph::from_edges(3, [(2, 1), (1, 0)])?;
         assert_eq!(a, b);
-        let c = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        let c = Graph::from_edges(3, [(0, 1), (0, 2)])?;
         assert_ne!(a, c);
+        Ok(())
     }
 
     #[test]
-    fn wire_repr_roundtrip() {
+    fn wire_repr_roundtrip() -> Result<(), GraphError> {
         // `(node_count, edges())` is the stable wire form; rebuilding from
         // it must reproduce the graph exactly.
-        let g = square();
-        let rebuilt = Graph::from_edges(g.node_count(), g.edges().iter().copied()).unwrap();
+        let g = square()?;
+        let rebuilt = Graph::from_edges(g.node_count(), g.edges().iter().copied())?;
         assert_eq!(rebuilt.node_count(), 4);
         assert_eq!(rebuilt, g);
+        Ok(())
     }
 
     #[test]
-    fn stress_add_remove_keeps_invariants() {
+    fn stress_add_remove_keeps_invariants() -> Result<(), GraphError> {
         let mut rng = StdRng::seed_from_u64(42);
         let mut g = Graph::with_nodes(30);
         use rand::Rng;
@@ -632,9 +641,9 @@ mod tests {
             if rng.gen_bool(0.6) {
                 let _ = g.try_add_edge(u, v);
             } else if g.has_edge(u, v) {
-                g.remove_edge(u, v).unwrap();
+                g.remove_edge(u, v)?;
             }
         }
-        g.check_invariants().unwrap();
+        g.check_invariants()
     }
 }

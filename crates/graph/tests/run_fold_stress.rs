@@ -1,0 +1,121 @@
+//! Stress tests for the `run_fold` condvar turn lock — the one
+//! genuinely race-prone region in the workspace, and therefore the
+//! ThreadSanitizer target in CI (nightly `tsan` job, alongside
+//! `stream_equivalence`). Uneven job costs force workers to finish far
+//! out of turn, exercising the wait/notify handoff; the panic test
+//! exercises the `FoldAbort` drop-guard so a dying worker can never
+//! strand its siblings on the condvar.
+//!
+//! No wall-clock anywhere: job cost is simulated with a deterministic
+//! spin so the tests stay valid under the `no-wall-clock` lint and
+//! under TSan's heavy slowdown.
+
+use dk_graph::ensemble::{derive_seed, run, run_fold};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Deterministic busy work proportional to `units`.
+fn spin(units: u64) -> u64 {
+    let mut acc = 0u64;
+    for k in 0..units * 1500 {
+        acc = acc.wrapping_add(derive_seed(acc, k));
+    }
+    acc
+}
+
+#[test]
+fn fold_order_is_strict_under_uneven_load() {
+    let jobs = 240u64;
+    for threads in [2, 3, 4, 8] {
+        let order = run_fold(
+            jobs,
+            0xD15_EA5E,
+            threads,
+            |i, _rng: &mut StdRng| {
+                // jobs early in the turn order are the *slowest*, so
+                // successors pile up waiting on the condvar
+                std::hint::black_box(spin(6 - (i % 7).min(6)));
+                i
+            },
+            Vec::with_capacity(jobs as usize),
+            |acc: &mut Vec<u64>, i, out| {
+                assert_eq!(i, out, "fold handed job {i} someone else's output");
+                acc.push(i);
+            },
+        );
+        assert_eq!(
+            order,
+            (0..jobs).collect::<Vec<_>>(),
+            "threads={threads}: fold order must be strict job order"
+        );
+    }
+}
+
+#[test]
+fn float_fold_bit_identical_across_thread_counts() {
+    let jobs = 160u64;
+    let job = |i: u64, rng: &mut StdRng| -> f64 {
+        std::hint::black_box(spin(i % 5));
+        rng.gen_range(0.0..1.0) + (i as f64).sqrt()
+    };
+    let fold = |acc: &mut f64, _i: u64, x: f64| *acc += x;
+    let reference = run_fold(jobs, 42, 1, job, 0.0f64, fold);
+    for threads in [2, 4, 8, 0] {
+        let parallel = run_fold(jobs, 42, threads, job, 0.0f64, fold);
+        assert_eq!(
+            parallel.to_bits(),
+            reference.to_bits(),
+            "threads={threads}: ordered f64 fold must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn fold_matches_collect_then_merge_under_load() {
+    let jobs = 120u64;
+    let job = |i: u64, rng: &mut StdRng| -> (u64, u64) {
+        std::hint::black_box(spin(i % 4));
+        (i, rng.gen_range(0..1_000_000))
+    };
+    let collected = run(jobs, 7, 4, job);
+    let mut merged = Vec::new();
+    for (i, out) in collected.into_iter().enumerate() {
+        merged.push((i as u64, out));
+    }
+    let folded = run_fold(
+        jobs,
+        7,
+        4,
+        job,
+        Vec::new(),
+        |acc: &mut Vec<(u64, (u64, u64))>, i, out| acc.push((i, out)),
+    );
+    assert_eq!(folded, merged);
+}
+
+#[test]
+fn panicking_job_propagates_without_deadlock() {
+    // A worker that unwinds mid-fold must wake every sibling blocked on
+    // the turn condvar (the FoldAbort drop-guard) and surface the panic
+    // at the scope join — never a hang, never a silent partial result.
+    let result = std::panic::catch_unwind(|| {
+        run_fold(
+            64,
+            1,
+            4,
+            |i, _rng: &mut StdRng| {
+                std::hint::black_box(spin(i % 3));
+                if i == 7 {
+                    panic!("job 7 dies");
+                }
+                i
+            },
+            0u64,
+            |acc: &mut u64, _i, x| *acc += x,
+        )
+    });
+    assert!(
+        result.is_err(),
+        "the job panic must propagate to the caller"
+    );
+}

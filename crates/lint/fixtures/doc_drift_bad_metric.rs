@@ -1,0 +1,45 @@
+//! BAD: the registry table names a ghost metric and omits `r`, the
+//! route table omits `linear`, and `default_set` names an unregistered
+//! metric.
+//!
+//! | name | kind | cost |
+//! |------|------|------|
+//! | `n`, `ghost` | scalar | trivial |
+//!
+//! | cost | route |
+//! |------|-------|
+//! | `trivial` | counters |
+
+pub enum Cost {
+    Trivial,
+    Linear,
+}
+
+impl Cost {
+    pub const fn name(self) -> &'static str {
+        match self {
+            Cost::Trivial => "trivial",
+            Cost::Linear => "linear",
+        }
+    }
+}
+
+pub struct Def {
+    pub name: &'static str,
+    pub aliases: &'static [&'static str],
+}
+
+static REGISTRY: &[Def] = &[
+    Def {
+        name: "n",
+        aliases: &[],
+    },
+    Def {
+        name: "r",
+        aliases: &[],
+    },
+];
+
+pub fn default_set() -> Vec<&'static str> {
+    ["n", "bogus"].to_vec()
+}

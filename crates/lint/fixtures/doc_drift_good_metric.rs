@@ -1,0 +1,53 @@
+//! GOOD: doc tables agree with the registry and the Cost labels.
+//!
+//! | name | kind | cost |
+//! |------|------|------|
+//! | `n`, `m` | scalar | trivial |
+//! | `r` | scalar | linear |
+//!
+//! | cost | route |
+//! |------|-------|
+//! | `trivial` | counters |
+//! | `linear` | single pass |
+
+pub enum Cost {
+    Trivial,
+    Linear,
+}
+
+impl Cost {
+    pub const fn name(self) -> &'static str {
+        match self {
+            Cost::Trivial => "trivial",
+            Cost::Linear => "linear",
+        }
+    }
+}
+
+pub struct Def {
+    pub name: &'static str,
+    pub aliases: &'static [&'static str],
+}
+
+static REGISTRY: &[Def] = &[
+    Def {
+        name: "n",
+        aliases: &["nodes"],
+    },
+    Def {
+        name: "m",
+        aliases: &[],
+    },
+    Def {
+        name: "r",
+        aliases: &["assortativity"],
+    },
+];
+
+pub fn default_set() -> Vec<&'static str> {
+    ["n", "m", "assortativity"].to_vec()
+}
+
+pub fn cheap_set() -> Vec<&'static str> {
+    ["n", "nodes"].to_vec()
+}

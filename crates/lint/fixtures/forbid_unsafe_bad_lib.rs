@@ -1,0 +1,5 @@
+//! BAD: a crate root with no `#![forbid(unsafe_code)]`.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,7 @@
+//! GOOD: a crate root carrying the attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

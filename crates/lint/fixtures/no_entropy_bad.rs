@@ -1,0 +1,8 @@
+// BAD: OS-entropy seeding — three different spellings.
+pub fn scramble(xs: &mut [u32]) {
+    let mut rng = rand::thread_rng();
+    let _alt = rand::rngs::StdRng::from_entropy();
+    let mut buf = [0u8; 8];
+    getrandom(&mut buf);
+    let _ = (&mut rng, xs);
+}

@@ -1,0 +1,7 @@
+// GOOD: explicit seeding only.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn replica_rng(master: u64, replica: u64) -> StdRng {
+    StdRng::seed_from_u64(dk_graph::ensemble::derive_seed(master, replica))
+}

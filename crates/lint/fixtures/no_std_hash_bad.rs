@@ -1,0 +1,14 @@
+// BAD: std hash collections iterate in a per-process random order.
+use std::collections::{HashMap, HashSet};
+
+pub fn degree_census(edges: &[(u32, u32)]) -> HashMap<u32, u32> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut out = HashMap::new();
+    for &(u, v) in edges {
+        seen.insert(u);
+        seen.insert(v);
+        *out.entry(u).or_insert(0) += 1;
+        *out.entry(v).or_insert(0) += 1;
+    }
+    out
+}

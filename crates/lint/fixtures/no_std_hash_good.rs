@@ -1,0 +1,13 @@
+// GOOD: deterministic maps, and a HashMap mention in a comment (plus
+// one in a string) that must not fire.
+use dk_graph::hashers::{det_hash_map, DetHashMap};
+
+pub fn degree_census(edges: &[(u32, u32)]) -> DetHashMap<u32, u32> {
+    let mut out = det_hash_map();
+    for &(u, v) in edges {
+        *out.entry(u).or_insert(0) += 1;
+        *out.entry(v).or_insert(0) += 1;
+    }
+    let _doc = "a std HashMap or HashSet here would be nondeterministic";
+    out
+}

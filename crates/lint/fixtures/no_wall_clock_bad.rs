@@ -1,0 +1,6 @@
+// BAD: wall-clock reads outside crates/bench.
+pub fn elapsed_sketch() -> u128 {
+    let t0 = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::now();
+    t0.elapsed().as_nanos()
+}

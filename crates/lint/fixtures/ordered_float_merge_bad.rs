@@ -1,0 +1,12 @@
+// BAD: unordered f64 reductions with no allowlist entry or waiver.
+pub fn mean_degree(degrees: &[u32]) -> f64 {
+    let mut total = 0.0f64;
+    for &d in degrees {
+        total += d as f64;
+    }
+    total / degrees.len() as f64
+}
+
+pub fn second_moment(degrees: &[f64]) -> f64 {
+    degrees.iter().map(|d| d * d).sum::<f64>()
+}

@@ -1,0 +1,6 @@
+// GOOD: the reduction carries a waiver citing the equivalence test
+// that locks its merge order.
+pub fn shard_total(partials: &[f64]) -> f64 {
+    // lint: allow(ordered-float-merge) — partials arrive in shard order via run_fold; locked by stream_equivalence
+    partials.iter().sum::<f64>()
+}

@@ -1,0 +1,9 @@
+// BAD: three panic sites against the fixture's implicit baseline of 0.
+pub fn head(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("nonempty");
+    if first > last {
+        panic!("unsorted");
+    }
+    *first
+}

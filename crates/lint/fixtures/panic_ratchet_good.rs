@@ -1,0 +1,7 @@
+// GOOD: structured errors instead of panics; the only `.unwrap()` and
+// `panic!` spellings live in this comment and the string below.
+pub fn head(xs: &[u32]) -> Result<u32, String> {
+    xs.first()
+        .copied()
+        .ok_or_else(|| "empty input: refusing to .unwrap() or panic!".to_string())
+}

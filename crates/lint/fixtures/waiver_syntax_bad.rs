@@ -1,0 +1,11 @@
+// BAD: three broken waivers — no reason, unknown rule, and one that
+// suppresses nothing.
+pub fn f() {
+    // lint: allow(no-entropy)
+    let _rng = rand::thread_rng();
+    // lint: allow(no-such-rule) — covered by some test
+    let _x = 1;
+}
+
+// lint: allow(no-wall-clock) — nothing here reads a clock, so this waiver is unused; see any test
+pub fn g() {}

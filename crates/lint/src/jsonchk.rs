@@ -1,0 +1,268 @@
+//! Minimal JSON validity checker for the bench log.
+//!
+//! `results/BENCH_metrics.json` is a JSON-lines perf log appended to by
+//! the `perf_*` bench binaries (`dk_bench::append_json_line`); nothing
+//! in the workspace ever *reads* it back, which is exactly how a log
+//! format rots. `dk-lint --bench-log` re-parses every line with this
+//! hand-rolled recursive-descent parser (the workspace ships no JSON
+//! reader — `dk_metrics::json` is a writer) and checks the one schema
+//! invariant every consumer of the log relies on: each line is a JSON
+//! **object** carrying a `"bench"` key that names the emitting
+//! benchmark.
+
+/// Maximum nesting depth accepted — the log is flat in practice; the
+/// bound keeps the recursive parser stack-safe on adversarial input.
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON value spanning the whole of `line` and returns the
+/// top-level object keys (empty for non-object values).
+///
+/// # Errors
+/// A message with a byte offset on malformed input.
+pub fn parse_line(line: &str) -> Result<Vec<String>, String> {
+    let bytes = line.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let keys = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(keys)
+}
+
+/// Validates a whole JSON-lines log: every non-empty line parses and
+/// carries the `"bench"` key. Returns `(line_number, message)` pairs.
+pub fn check_bench_log(contents: &str) -> Vec<(usize, String)> {
+    let mut problems = Vec::new();
+    let mut seen_any = false;
+    for (idx, line) in contents.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        seen_any = true;
+        match parse_line(line) {
+            Err(e) => problems.push((idx + 1, format!("not valid JSON: {e}"))),
+            Ok(keys) if !keys.iter().any(|k| k == "bench") => problems.push((
+                idx + 1,
+                "JSON line lacks the \"bench\" key naming the emitting benchmark".to_string(),
+            )),
+            Ok(_) => {}
+        }
+    }
+    if !seen_any {
+        problems.push((1, "bench log is empty".to_string()));
+    }
+    problems
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    /// Parses one value; returns its keys if it is an object.
+    fn value(&mut self, depth: usize) -> Result<Vec<String>, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Vec::new());
+                }
+                loop {
+                    self.value(depth + 1)?;
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => {
+                            self.pos += 1;
+                            self.skip_ws();
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Vec::new());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.string()?;
+                Ok(Vec::new())
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                self.number()?;
+                Ok(Vec::new())
+            }
+            Some(c) => Err(format!(
+                "unexpected {:?} at byte {}",
+                char::from(*c),
+                self.pos
+            )),
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Vec<String>, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut keys = Vec::new();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(keys);
+        }
+        loop {
+            self.skip_ws();
+            keys.push(self.string()?);
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(keys);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        let mut out = String::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    // escape: skip the introducer and the escaped byte
+                    // (\uXXXX consumes its 4 hex digits as ordinary
+                    // bytes on later iterations — validity of the hex
+                    // is not this checker's concern)
+                    self.pos += 2;
+                    out.push('\u{FFFD}');
+                }
+                _ => {
+                    out.push(char::from(b));
+                    self.pos += 1;
+                }
+            }
+        }
+        Err(format!("unterminated string starting at byte {start}"))
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text: String = self.bytes[start..self.pos]
+            .iter()
+            .map(|&b| char::from(b))
+            .collect();
+        if text.parse::<f64>().is_ok() {
+            Ok(())
+        } else {
+            Err(format!("malformed number {text:?} at byte {start}"))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<Vec<String>, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(Vec::new())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_bench_lines_parse() {
+        let line = r#"{"bench":"csr","n":100000,"fused_s":1.30,"ok":true,"tags":[1,2],"nested":{"a":null}}"#;
+        let keys = parse_line(line).expect("valid");
+        assert!(keys.contains(&"bench".to_string()));
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "{",
+            "{\"a\" 1}",
+            "{\"a\": }",
+            "[1, 2",
+            "{\"a\":1} trailing",
+            "nul",
+            "{\"n\": 1.2.3}",
+            "\"open",
+            "",
+        ] {
+            assert!(parse_line(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn numbers_and_escapes() {
+        assert!(parse_line(r#"{"x": -1.5e-3, "s": "a\"b\\c"}"#).is_ok());
+        assert!(parse_line("3.25").is_ok());
+        assert!(parse_line("true").is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(parse_line(&deep).is_err());
+    }
+
+    #[test]
+    fn bench_log_check_flags_each_problem_line() {
+        let log = "{\"bench\":\"a\"}\n\n{\"other\":1}\nnot json\n{\"bench\":\"b\"}\n";
+        let problems = check_bench_log(log);
+        assert_eq!(problems.len(), 2);
+        assert_eq!(problems[0].0, 3);
+        assert_eq!(problems[1].0, 4);
+        assert_eq!(
+            check_bench_log(""),
+            vec![(1, "bench log is empty".to_string())]
+        );
+        assert!(check_bench_log("{\"bench\":\"x\"}\n").is_empty());
+    }
+}

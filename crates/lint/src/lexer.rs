@@ -1,0 +1,420 @@
+//! A minimal Rust *lexical stripper*.
+//!
+//! The rule engine must never fire inside a doc comment that merely
+//! *mentions* `HashMap`, or inside a string literal that happens to
+//! contain `.unwrap()` (dk-lint's own source is full of such strings).
+//! This module produces a **code view** of a source file: the original
+//! text with every comment, string literal, and char literal blanked to
+//! spaces, newlines preserved — so line/column arithmetic on the code
+//! view maps 1:1 onto the original file — plus the comment texts
+//! themselves (waivers live in comments, see [`crate::rules`]).
+//!
+//! This is *not* a full Rust lexer: it recognizes exactly the token
+//! classes whose contents must be invisible to the rules —
+//!
+//! * line comments (`//`, `///`, `//!`),
+//! * block comments (`/* */`, **nested**, as in Rust),
+//! * string literals (`"…"` with escapes, byte strings `b"…"`),
+//! * raw strings (`r"…"`, `r#"…"#` with any number of `#`, `br#"…"#`),
+//! * char and byte-char literals (`'a'`, `'\n'`, `b'x'`) — carefully
+//!   distinguished from lifetimes (`'a`, `'static`), which are code.
+//!
+//! Everything else passes through untouched. The stripper is a single
+//! forward pass over the char sequence: it always terminates, and it
+//! never panics on arbitrary input (both properties are locked down by
+//! the `lexer_fuzz` proptest) — malformed input (an unterminated
+//! string, a stray quote) degrades to "blank to end of file", which is
+//! the conservative direction for a linter: it can only *hide* tokens
+//! from the rules, and only past the point where the file stopped
+//! being valid Rust.
+
+/// One comment extracted from a source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Comment text *without* the `//` / `/*` delimiters, trimmed.
+    pub text: String,
+}
+
+/// Result of stripping one source file.
+#[derive(Clone, Debug)]
+pub struct Stripped {
+    /// The code view: same char count and line structure as the input,
+    /// with comments and string/char literals blanked to spaces.
+    pub code: String,
+    /// Every comment, in file order.
+    pub comments: Vec<Comment>,
+}
+
+/// `true` for characters that may continue an identifier.
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Strips comments and literals from `src`. See the module docs.
+pub fn strip(src: &str) -> Stripped {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code: Vec<char> = Vec::with_capacity(chars.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    // The last char emitted *as code* — used to tell a raw-string `r"`
+    // from the tail of an identifier like `var"` (not valid Rust, but
+    // the stripper must not misfire on it either way).
+    let mut prev_code: Option<char> = None;
+
+    // Blanks chars[from..to] into `code`, preserving newlines.
+    let blank = |code: &mut Vec<char>, chars: &[char], from: usize, to: usize| {
+        for &c in &chars[from..to] {
+            code.push(if c == '\n' { '\n' } else { ' ' });
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                // Line comment: runs to (excluding) the newline.
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start + 2..i].iter().collect();
+                // Strip only the *contiguous* doc markers (`///`, `//!`)
+                // so that a doc line quoting a `// lint: …` waiver
+                // example keeps its inner `//` and is not itself parsed
+                // as a waiver.
+                comments.push(Comment {
+                    line,
+                    text: text.trim_start_matches(['/', '!']).trim().to_string(),
+                });
+                blank(&mut code, &chars, start, i);
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                // Block comment — Rust block comments nest.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end_text = i.saturating_sub(2).max(start + 2);
+                let text: String = chars[start + 2..end_text.min(chars.len())].iter().collect();
+                comments.push(Comment {
+                    line: start_line,
+                    text: text.trim().to_string(),
+                });
+                blank(&mut code, &chars, start, i);
+            }
+            '"' => {
+                let start = i;
+                i = skip_string_body(&chars, i + 1, &mut line);
+                blank(&mut code, &chars, start, i);
+            }
+            'r' | 'b' if prev_code.is_none_or(|p| !is_ident_char(p)) => {
+                // Candidate raw/byte string or byte char: r", r#", b", br",
+                // b'…'. Anything else falls through as plain code.
+                if let Some(end) = try_skip_raw_or_byte(&chars, i, &mut line) {
+                    blank(&mut code, &chars, i, end);
+                    i = end;
+                    prev_code = None;
+                } else {
+                    code.push(c);
+                    prev_code = Some(c);
+                    i += 1;
+                }
+                continue;
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime is `'` followed by
+                // an identifier *not* closed by another `'` right after
+                // its first char ('a' is a char literal, 'ab is … not
+                // valid, but `'a>` / `'a,` / `'a ` are lifetimes).
+                let is_char_lit = match chars.get(i + 1) {
+                    Some('\\') => true,
+                    Some(&n) if is_ident_char(n) => chars.get(i + 2) == Some(&'\''),
+                    Some(_) => chars.get(i + 2) == Some(&'\''),
+                    None => false,
+                };
+                if is_char_lit {
+                    let start = i;
+                    i += 1; // past the opening quote
+                    if chars.get(i) == Some(&'\\') {
+                        i += 1; // the escape introducer
+                                // skip the escaped char / sequence up to the
+                                // closing quote
+                        while i < chars.len() && chars[i] != '\'' {
+                            if chars[i] == '\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                        i = (i + 1).min(chars.len());
+                    } else {
+                        i = (i + 3).min(chars.len()); // char + closing quote
+                    }
+                    blank(&mut code, &chars, start, i);
+                    prev_code = None;
+                } else {
+                    code.push(c);
+                    prev_code = Some(c);
+                    i += 1;
+                }
+                continue;
+            }
+            _ => {
+                if c == '\n' {
+                    line += 1;
+                }
+                code.push(c);
+                prev_code = Some(c);
+                i += 1;
+                continue;
+            }
+        }
+        // Shared tail for the blanking arms: a blanked literal or
+        // comment ends the previous code token. (`line` was updated
+        // inside the arm: line comments contain no newlines, block
+        // comments count inline, strings count in `skip_string_body`.)
+        prev_code = None;
+    }
+
+    Stripped {
+        code: code.into_iter().collect(),
+        comments,
+    }
+}
+
+/// Skips a (non-raw) string body starting just *after* the opening
+/// quote; returns the index just past the closing quote (or EOF).
+fn skip_string_body(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2, // skip the escaped char, whatever it is
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    chars.len()
+}
+
+/// If `chars[i..]` begins a raw string (`r"`, `r#"`, …), byte string
+/// (`b"`, `br"`, `br#"`), or byte-char literal (`b'x'`), returns the
+/// index just past its end. Otherwise `None`.
+fn try_skip_raw_or_byte(chars: &[char], i: usize, line: &mut usize) -> Option<usize> {
+    let mut j = i;
+    let mut raw = false;
+    match chars.get(j) {
+        Some('b') => {
+            j += 1;
+            if chars.get(j) == Some(&'r') {
+                raw = true;
+                j += 1;
+            }
+        }
+        Some('r') => {
+            raw = true;
+            j += 1;
+        }
+        _ => return None,
+    }
+    if raw {
+        // count the `#`s
+        let mut hashes = 0usize;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) != Some(&'"') {
+            return None;
+        }
+        j += 1;
+        // scan for `"` followed by `hashes` `#`s
+        while j < chars.len() {
+            if chars[j] == '\n' {
+                *line += 1;
+            }
+            if chars[j] == '"' && chars[j + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+            {
+                return Some(j + 1 + hashes);
+            }
+            j += 1;
+        }
+        Some(chars.len())
+    } else if chars.get(j) == Some(&'"') {
+        // plain byte string b"…"
+        Some(skip_string_body(chars, j + 1, line))
+    } else if chars.get(j) == Some(&'\'') {
+        // byte char literal b'x' / b'\n'
+        j += 1;
+        if chars.get(j) == Some(&'\\') {
+            j += 1;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            Some((j + 1).min(chars.len()))
+        } else if chars.get(j + 1) == Some(&'\'') {
+            Some(j + 2)
+        } else {
+            None
+        }
+    } else {
+        None
+    }
+}
+
+/// `true` if `code[pos..pos + ident.len()]` is the identifier `ident`
+/// on identifier boundaries (so `DetHashMap` does not contain the
+/// identifier `HashMap`).
+pub fn ident_at(code: &str, pos: usize, ident: &str) -> bool {
+    if !code[pos..].starts_with(ident) {
+        return false;
+    }
+    let before_ok = pos == 0
+        || !code[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(is_ident_char);
+    let after_ok = !code[pos + ident.len()..]
+        .chars()
+        .next()
+        .is_some_and(is_ident_char);
+    before_ok && after_ok
+}
+
+/// Byte offsets of every occurrence of identifier `ident` in `code`,
+/// on identifier boundaries.
+pub fn find_ident(code: &str, ident: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(off) = code[from..].find(ident) {
+        let pos = from + off;
+        if ident_at(code, pos, ident) {
+            out.push(pos);
+        }
+        from = pos + ident.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_collected() {
+        let s = strip("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!s.code.contains("HashMap"));
+        assert!(s.code.contains("let y = 2;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(s.comments[0].text.contains("HashMap here"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let s = strip(src);
+        assert_eq!(s.code.chars().count(), src.chars().count());
+        assert!(!s.code.contains("inner"));
+        assert!(s.code.starts_with("a "));
+        assert!(s.code.ends_with(" b"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_and_escapes_are_blanked() {
+        let s = strip(r#"call(".unwrap() \" still string", x)"#);
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("call("));
+        assert!(s.code.contains(", x)"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = strip(r###"let s = r#"panic!("inner")"# ; done"###);
+        assert!(!s.code.contains("panic"));
+        assert!(s.code.contains("done"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let s = strip("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(s.code.contains("<'a>"));
+        assert!(s.code.contains("&'a str"));
+        assert!(!s.code.contains("'x'"));
+        assert!(!s.code.contains("\\n"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let s = strip(r#"let a = b"unwrap"; let c = b'u'; keep"#);
+        assert!(!s.code.contains("unwrap"));
+        assert!(!s.code.contains("b'u'"));
+        assert!(s.code.contains("keep"));
+    }
+
+    #[test]
+    fn identifier_r_is_not_a_raw_string() {
+        let s = strip("let r = 1; for x in r..2 {}");
+        assert!(s.code.contains("let r = 1"));
+        assert!(s.code.contains("r..2"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n\"two\nlines\"\n/* c\nc */ b\n";
+        let s = strip(src);
+        assert_eq!(
+            s.code.matches('\n').count(),
+            src.matches('\n').count(),
+            "newline count must survive blanking"
+        );
+        assert_eq!(s.code.chars().count(), src.chars().count());
+    }
+
+    #[test]
+    fn stripping_is_idempotent() {
+        let src = r##"let x = "s"; // c
+            let y = 'c'; /* b */ r#"raw"# ;"##;
+        let once = strip(src);
+        let twice = strip(&once.code);
+        assert_eq!(once.code, twice.code);
+        assert!(twice.comments.is_empty());
+    }
+
+    #[test]
+    fn unterminated_tokens_do_not_panic() {
+        for src in [
+            "\"open", "r#\"open", "/* open", "'\\", "b'", "b\"x", "r#", "'",
+        ] {
+            let s = strip(src);
+            assert_eq!(s.code.chars().count(), src.chars().count(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn ident_boundaries() {
+        let code = "DetHashMap HashMap my_HashMap HashMap2 (HashMap)";
+        let hits = find_ident(code, "HashMap");
+        assert_eq!(hits.len(), 2); // the bare one and the parenthesized one
+    }
+}

@@ -1,0 +1,164 @@
+//! The per-rule fixture corpus: every `*_bad.*` file under
+//! `crates/lint/fixtures/` must produce at least one finding of its
+//! rule (with a usable `file:line` position), and every `*_good.*`
+//! twin must produce none — exercised twice, through the library API
+//! and through the `dk-lint` binary, so the CLI exit-code contract is
+//! pinned as well.
+
+use dk_lint::rules::{self, Context};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn ctx() -> Context {
+    Context {
+        known_tests: vec!["stream_equivalence".to_string()],
+        baseline: Default::default(),
+    }
+}
+
+/// `no_std_hash_bad.rs` → `no-std-hash`.
+fn expected_rule(stem: &str) -> String {
+    let cut = stem
+        .find("_bad")
+        .or_else(|| stem.find("_good"))
+        .expect("fixture names end in _bad/_good");
+    stem[..cut].replace('_', "-")
+}
+
+fn fixture_paths(suffix: &str) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures dir exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| {
+            p.file_stem()
+                .is_some_and(|s| s.to_string_lossy().contains(suffix))
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no {suffix} fixtures found");
+    out
+}
+
+fn scan(path: &Path) -> (Vec<rules::Finding>, usize) {
+    let name = path.file_name().expect("file name").to_string_lossy();
+    let contents = std::fs::read_to_string(path).expect("fixture readable");
+    if name.ends_with(".jsonl") {
+        (rules::bench_log_findings(&name, &contents), 0)
+    } else {
+        rules::scan_file(&name, &contents, &ctx(), false)
+    }
+}
+
+#[test]
+fn every_bad_fixture_fires_its_rule() {
+    for path in fixture_paths("_bad") {
+        let stem = path
+            .file_stem()
+            .expect("stem")
+            .to_string_lossy()
+            .into_owned();
+        let (findings, panics) = scan(&path);
+        if stem.starts_with("panic_ratchet") {
+            assert!(panics > 0, "{stem}: expected panic sites");
+            continue;
+        }
+        // prefix match: `forbid_unsafe_bad_lib` → rule `forbid-unsafe-drift`
+        let want = expected_rule(&stem);
+        assert!(
+            findings.iter().any(|f| f.rule.starts_with(&want)),
+            "{stem}: expected a `{want}` finding, got {findings:?}"
+        );
+        for f in &findings {
+            assert!(f.line >= 1, "{stem}: finding without a line: {f:?}");
+            assert!(!f.file.is_empty(), "{stem}: finding without a file: {f:?}");
+        }
+    }
+}
+
+#[test]
+fn every_good_fixture_is_clean() {
+    for path in fixture_paths("_good") {
+        let stem = path
+            .file_stem()
+            .expect("stem")
+            .to_string_lossy()
+            .into_owned();
+        let (findings, panics) = scan(&path);
+        assert!(
+            findings.is_empty(),
+            "{stem}: unexpected findings {findings:?}"
+        );
+        if stem.starts_with("panic_ratchet") {
+            assert_eq!(panics, 0, "{stem}: expected zero panic sites");
+        }
+    }
+}
+
+#[test]
+fn unused_and_malformed_waivers_are_findings() {
+    let (findings, _) = scan(&fixtures_dir().join("waiver_syntax_bad.rs"));
+    assert!(findings.iter().any(|f| f.rule == rules::WAIVER_SYNTAX));
+    assert!(findings.iter().any(|f| f.rule == rules::UNUSED_WAIVER));
+    // a malformed waiver must not suppress the finding it points at
+    assert!(findings.iter().any(|f| f.rule == rules::NO_ENTROPY));
+}
+
+/// The binary contract from the acceptance criteria: nonzero exit plus
+/// a `file:line:` diagnostic on every bad fixture, exit 0 on every
+/// good one.
+#[test]
+fn binary_exit_codes_match_fixture_polarity() {
+    let exe = env!("CARGO_BIN_EXE_dk-lint");
+    for path in fixture_paths("_bad") {
+        let out = Command::new(exe)
+            .arg(&path)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("dk-lint runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !out.status.success(),
+            "{}: expected nonzero exit, stderr:\n{stderr}",
+            path.display()
+        );
+        let name = path.file_name().expect("name").to_string_lossy();
+        let diag = format!("{name}:");
+        assert!(
+            stderr.lines().any(|l| l.contains(&diag)),
+            "{name}: no file:line diagnostic in stderr:\n{stderr}"
+        );
+    }
+    for path in fixture_paths("_good") {
+        let out = Command::new(exe)
+            .arg(&path)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("dk-lint runs");
+        assert!(
+            out.status.success(),
+            "{}: expected exit 0, stderr:\n{}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+/// `--workspace` from the binary agrees with the library pass used by
+/// `tests/lint_clean.rs` (both clean on this repo).
+#[test]
+fn binary_workspace_pass_is_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dk-lint"))
+        .arg("--workspace")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("dk-lint runs");
+    assert!(
+        out.status.success(),
+        "workspace not lint-clean:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

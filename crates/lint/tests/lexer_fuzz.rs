@@ -1,0 +1,68 @@
+//! Property tests for the lexical stripper: it must never panic and
+//! always terminate on arbitrary input, preserve the char count and
+//! line structure exactly (rule positions map 1:1 onto the original
+//! file), and be idempotent — stripping a code view changes nothing.
+
+use dk_lint::lexer::strip;
+use proptest::prelude::*;
+
+/// Fragments chosen to collide token boundaries: quote flavors, raw
+/// string fences, comment openers/closers, escapes, lifetimes.
+const TOKENS: &[&str] = &[
+    "\"",
+    "'",
+    "\\",
+    "//",
+    "/*",
+    "*/",
+    "\n",
+    " ",
+    "r",
+    "b",
+    "#",
+    "r#\"",
+    "\"#",
+    "b'x'",
+    "'a",
+    "'a'",
+    "ident",
+    "HashMap",
+    ".unwrap()",
+    "0.5",
+    "+=",
+    "r\"",
+    "b\"",
+    "lint: allow(",
+    ")",
+    "—",
+    "/",
+    "*",
+    "!",
+    "é",
+    "∑",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..400)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let s = strip(&src);
+        prop_assert_eq!(s.code.chars().count(), src.chars().count());
+        prop_assert_eq!(s.code.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn token_soup_round_trips(picks in proptest::collection::vec(0usize..30, 0..80)) {
+        let src: String = picks.iter().map(|&i| TOKENS[i % TOKENS.len()]).collect();
+        let once = strip(&src);
+        prop_assert_eq!(once.code.chars().count(), src.chars().count());
+        prop_assert_eq!(once.code.matches('\n').count(), src.matches('\n').count());
+        // Idempotence: a code view re-stripped is unchanged (and holds
+        // no comments for waiver parsing to misread).
+        let twice = strip(&once.code);
+        prop_assert_eq!(&twice.code, &once.code);
+        prop_assert!(twice.comments.is_empty());
+    }
+}

@@ -13,6 +13,8 @@
 //!
 //! See the README for the quickstart and `DESIGN.md` for the system map.
 
+#![forbid(unsafe_code)]
+
 pub use dk_core as core;
 pub use dk_graph as graph;
 pub use dk_linalg as linalg;

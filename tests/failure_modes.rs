@@ -53,6 +53,7 @@ fn non_graphical_but_even_sequence_fails_in_construction_not_forever() {
     // [5,5,1,1,1,1]: even sum, fails Erdős–Gallai. Matching must
     // terminate with an error (bounded repair), not spin.
     let d = Dist1K::from_degree_sequence(&[5, 5, 1, 1, 1, 1]);
+    // lint: allow(no-wall-clock) — watchdog bound on the failure path; this failure_modes test asserts speed, not results
     let start = std::time::Instant::now();
     let res = matching::generate_1k(&d, &mut rng());
     assert!(res.is_err());

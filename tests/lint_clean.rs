@@ -1,0 +1,23 @@
+//! Tier-1 gate: the workspace is `dk-lint`-clean.
+//!
+//! This is the same pass as `cargo run -p dk-lint -- --workspace`
+//! (see `LINTS.md` for the rule catalogue), run inside `cargo test` so
+//! the determinism rules gate local development, not just CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = dk_lint::run_workspace(root).expect("lint scan completes");
+    assert!(
+        findings.is_empty(),
+        "dk-lint found {} problem(s) — run `cargo run -p dk-lint -- --workspace`:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
