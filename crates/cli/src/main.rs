@@ -26,7 +26,11 @@ distribution files are the Orbis-style formats documented in dk-core.
 `--metrics` takes comma-separated metric names or sets (default, cheap,
 scalars, series, all) — `--metrics help` lists every metric. `--samples K`
 sets the pivot budget of the sampled distance_approx/betweenness_approx
-metrics (default 64; K >= n reproduces the exact values). `--sketch-bits B`
+metrics (default 64; K >= n reproduces the exact values). `rewire` (and
+`generate --algo targeting`) runs on the incremental-move MCMC engine:
+every double-edge swap is an explicit proposal record validated against an
+O(1) edge index, with O(1) census deltas applied on acceptance — `--attempts`
+budgets proposed (not accepted) moves, default 50 per edge. `--sketch-bits B`
 sets the HyperLogLog register bits of the sketch distance metrics
 (distance_sketch/avg_distance_sketch/effective_diameter_sketch; 4..=16,
 default 8 — error ~1.04/sqrt(2^B), memory n*2^B bytes). `--shards N`

@@ -48,6 +48,7 @@
 
 pub mod delta;
 pub mod matching;
+pub mod objective;
 pub mod pseudograph;
 pub mod rewire;
 pub mod stochastic;

@@ -15,6 +15,12 @@
 //!   histograms unchanged, verified exactly via incremental delta
 //!   tracking ([`super::delta`]) with revert on violation.
 //!
+//! The swap families (`d ≥ 1`) run on the [`dk_mcmc`] engine: explicit
+//! [`MoveProposal`] records, O(1) edge-index presence checks, and — for
+//! `d = 3` — the [`Preserve3K`] objective deciding acceptance from the
+//! tracked census delta. External [`RewireConstraint`]s plug in as the
+//! chain's veto filter.
+//!
 //! ## Convergence budget
 //!
 //! The paper performs `10 ×` (number of possible initial rewirings) steps
@@ -27,8 +33,9 @@
 //! (rewire more, confirm metrics stay put).
 
 use crate::constraints::{NoConstraint, RewireConstraint};
-use crate::generate::delta::{add_edge_tracked, frozen_degrees, remove_edge_tracked, Delta3K};
+use crate::generate::objective::Preserve3K;
 use dk_graph::Graph;
+use dk_mcmc::{ChainOptions, McmcChain, MoveProposal, NullObjective, ProposalKind, RunBudget};
 use rand::Rng;
 
 /// How many rewiring steps to attempt.
@@ -80,6 +87,13 @@ pub fn randomize<R: Rng + ?Sized>(
 }
 
 /// [`randomize`] with an external [`RewireConstraint`] (paper §6).
+///
+/// `d ∈ {1, 2, 3}` runs on the [`dk_mcmc`] double-edge-swap chain
+/// (neutral temperature: every valid, constraint-allowed, preserving
+/// move is accepted), so each attempt costs O(1) presence lookups plus
+/// — for `d = 3` only — the tracked O(deg) census delta. The `d = 0`
+/// move is an edge *relocation*, not a swap, and keeps its dedicated
+/// loop.
 pub fn randomize_with<R: Rng + ?Sized, C: RewireConstraint + ?Sized>(
     g: &mut Graph,
     d: u8,
@@ -93,21 +107,39 @@ pub fn randomize_with<R: Rng + ?Sized, C: RewireConstraint + ?Sized>(
     if g.edge_count() < 2 {
         return stats;
     }
-    let deg = frozen_degrees(g);
-    let mut scratch = Delta3K::default();
-    for _ in 0..attempts {
-        stats.attempts += 1;
-        let ok = match d {
-            0 => try_move_0k(g, constraint, rng),
-            1 => try_move_1k(g, constraint, rng),
-            2 => try_move_2k(g, constraint, rng),
-            _ => try_move_3k(g, &deg, &mut scratch, constraint, rng),
-        };
-        if ok {
-            stats.accepted += 1;
+    if d == 0 {
+        for _ in 0..attempts {
+            stats.attempts += 1;
+            if try_move_0k(g, constraint, rng) {
+                stats.accepted += 1;
+            }
         }
+        return stats;
     }
-    stats
+    let chain_opts = ChainOptions {
+        proposal: if d == 1 {
+            ProposalKind::Plain
+        } else {
+            ProposalKind::JddPreserving
+        },
+        ..Default::default()
+    };
+    let veto = |gr: &Graph, p: &MoveProposal| constraint.allows(gr, &p.remove, &p.add);
+    let mut chain = McmcChain::from_rng(std::mem::take(g), rng, chain_opts);
+    let run = if d == 3 {
+        chain.run_filtered(
+            &mut Preserve3K::default(),
+            &RunBudget::steps(attempts),
+            &veto,
+        )
+    } else {
+        chain.run_filtered(&mut NullObjective, &RunBudget::steps(attempts), &veto)
+    };
+    *g = chain.into_graph();
+    RewireStats {
+        attempts: run.attempts,
+        accepted: run.accepted,
+    }
 }
 
 fn resolve_budget(g: &Graph, d: u8, budget: SwapBudget) -> u64 {
@@ -134,7 +166,7 @@ fn try_move_0k<R: Rng + ?Sized, C: RewireConstraint + ?Sized>(
     let x = rng.gen_range(0..n);
     let y = rng.gen_range(0..n);
     // endpoints sampled from 0..n are valid by construction
-    if x == y || g.has_edge_fast(x, y) {
+    if x == y || g.has_edge_indexed(x, y) {
         return false;
     }
     if !constraint.allows(g, &[(u, v)], &[(x, y)]) {
@@ -159,41 +191,13 @@ fn two_edges<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Option<((u32, u32), (u3
 
 /// Validity of replacing `{a,b},{c,d}` by `{a,d},{c,b}` in a simple graph.
 ///
-/// All four endpoints come from the edge list, so the id-validating
-/// [`Graph::has_edge`] would re-check known-valid nodes on every one of
-/// the 50·m attempts — `has_edge_fast` skips that.
+/// Presence goes through the canonical edge index
+/// ([`Graph::has_edge_indexed`]), one O(1) hash probe per query
+/// regardless of degree — the same path the MCMC engine's own validator
+/// uses.
 #[inline]
 fn swap_valid(g: &Graph, a: u32, b: u32, c: u32, d: u32) -> bool {
-    a != d && c != b && !g.has_edge_fast(a, d) && !g.has_edge_fast(c, b)
-}
-
-#[inline]
-fn apply_swap(g: &mut Graph, a: u32, b: u32, c: u32, d: u32) {
-    g.remove_edge(a, b).expect("edge 1 exists");
-    g.remove_edge(c, d).expect("edge 2 exists");
-    g.add_edge(a, d).expect("validated");
-    g.add_edge(c, b).expect("validated");
-}
-
-/// 1K move: random partner swap of two random edges.
-fn try_move_1k<R: Rng + ?Sized, C: RewireConstraint + ?Sized>(
-    g: &mut Graph,
-    constraint: &C,
-    rng: &mut R,
-) -> bool {
-    let Some(((a, b), e2)) = two_edges(g, rng) else {
-        return false;
-    };
-    // random orientation of the second edge covers both swap variants
-    let (c, d) = if rng.gen_bool(0.5) { e2 } else { (e2.1, e2.0) };
-    if !swap_valid(g, a, b, c, d) {
-        return false;
-    }
-    if !constraint.allows(g, &[(a, b), (c, d)], &[(a, d), (c, b)]) {
-        return false;
-    }
-    apply_swap(g, a, b, c, d);
-    true
+    a != d && c != b && !g.has_edge_indexed(a, d) && !g.has_edge_indexed(c, b)
 }
 
 /// JDD preservation test for the swap `{a,b},{c,d} → {a,d},{c,b}`:
@@ -203,31 +207,20 @@ fn preserves_jdd(g: &Graph, a: u32, b: u32, c: u32, d: u32) -> bool {
     g.degree(b) == g.degree(d) || g.degree(a) == g.degree(c)
 }
 
-/// 2K move: as 1K restricted to JDD-preserving orientations.
-fn try_move_2k<R: Rng + ?Sized, C: RewireConstraint + ?Sized>(
-    g: &mut Graph,
-    constraint: &C,
-    rng: &mut R,
-) -> bool {
-    let Some((e1, e2, orient)) = pick_2k_swap(g, rng) else {
-        return false;
-    };
-    let (a, b) = e1;
-    let (c, d) = if orient { e2 } else { (e2.1, e2.0) };
-    if !constraint.allows(g, &[(a, b), (c, d)], &[(a, d), (c, b)]) {
-        return false;
-    }
-    apply_swap(g, a, b, c, d);
-    true
-}
-
 /// A candidate 2K swap: the two sampled edges plus the orientation of
 /// the second one.
 pub(crate) type SwapCandidate = ((u32, u32), (u32, u32), bool);
 
 /// Selects two edges plus an orientation such that the swap is both
-/// simple-graph-valid and JDD-preserving. Returns `None` if the sampled
-/// pair admits no such orientation (the attempt just fails).
+/// simple-graph-valid and JDD-preserving, trying the other orientation
+/// as a fallback. Returns `None` if the sampled pair admits no such
+/// orientation (the attempt just fails).
+///
+/// Used by the exploration walks ([`crate::explore`]), which want the
+/// higher hit rate of the fallback scan. The rewiring/targeting chains
+/// instead propose a *single* uniform orientation through
+/// [`dk_mcmc::propose_swap`], whose proposal probabilities are exactly
+/// symmetric — the fallback would bias the MH proposal density.
 pub(crate) fn pick_2k_swap<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Option<SwapCandidate> {
     let (e1, e2) = two_edges(g, rng)?;
     let (a, b) = e1;
@@ -242,40 +235,6 @@ pub(crate) fn pick_2k_swap<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Option<Sw
         }
     }
     None
-}
-
-/// 3K move: a 2K move that leaves wedge/triangle histograms unchanged;
-/// applied tentatively and reverted when the delta is nonzero.
-fn try_move_3k<R: Rng + ?Sized, C: RewireConstraint + ?Sized>(
-    g: &mut Graph,
-    deg: &[u32],
-    scratch: &mut Delta3K,
-    constraint: &C,
-    rng: &mut R,
-) -> bool {
-    let Some((e1, e2, orient)) = pick_2k_swap(g, rng) else {
-        return false;
-    };
-    let (a, b) = e1;
-    let (c, d) = if orient { e2 } else { (e2.1, e2.0) };
-    if !constraint.allows(g, &[(a, b), (c, d)], &[(a, d), (c, b)]) {
-        return false;
-    }
-    scratch.clear();
-    remove_edge_tracked(g, a, b, deg, scratch);
-    remove_edge_tracked(g, c, d, deg, scratch);
-    add_edge_tracked(g, a, d, deg, scratch);
-    add_edge_tracked(g, c, b, deg, scratch);
-    if scratch.is_zero() {
-        true
-    } else {
-        // revert in reverse order
-        g.remove_edge(a, d).expect("just added");
-        g.remove_edge(c, b).expect("just added");
-        g.add_edge(a, b).expect("restoring original");
-        g.add_edge(c, d).expect("restoring original");
-        false
-    }
 }
 
 /// Stationarity probe (paper §4.1.4): rewires a *copy* further and
@@ -436,16 +395,33 @@ mod tests {
 
     #[test]
     fn convergence_probe_on_randomized_graph() {
-        let mut g = builders::karate_club();
-        let mut rng = StdRng::seed_from_u64(8);
-        randomize(&mut g, 1, &opts(20_000), &mut rng);
-        let probe = verify_randomization(&g, 1, &opts(20_000), &mut rng);
-        // After heavy randomization, more rewiring barely moves metrics.
-        // Karate has only 34 nodes, so single-probe assortativity drift is
-        // noisy; the tolerance reflects that scale, not slow mixing.
+        // After heavy randomization, more rewiring barely moves metrics —
+        // but karate has only 34 nodes, so a *single* probe is noisy: over
+        // 48 chain-owned seeds the per-probe |drift| measures mean ≈ 0.057
+        // with σ ≈ 0.049 (clustering, the widest of the three components).
+        // Averaging K = 16 probes shrinks the sampling error to
+        // σ/√K ≈ 0.012, so the tolerance is set at
+        // mean + 4·σ/√K ≈ 0.057 + 0.049 ≈ 0.105 — a drift beyond that is
+        // slow mixing, not small-graph noise.
+        const K: u64 = 16;
+        let (mut c, mut r, mut s) = (0.0, 0.0, 0.0);
+        for seed in 0..K {
+            let mut g = builders::karate_club();
+            let mut rng = StdRng::seed_from_u64(8 + seed);
+            randomize(&mut g, 1, &opts(20_000), &mut rng);
+            let probe = verify_randomization(&g, 1, &opts(20_000), &mut rng);
+            c += probe.clustering_drift;
+            r += probe.assortativity_drift;
+            s += probe.likelihood_rel_drift;
+        }
+        let avg = ConvergenceProbe {
+            clustering_drift: c / K as f64,
+            assortativity_drift: r / K as f64,
+            likelihood_rel_drift: s / K as f64,
+        };
         assert!(
-            probe.converged(0.15),
-            "drift too large: {probe:?} (randomization not converged)"
+            avg.converged(0.105),
+            "drift too large: {avg:?} (randomization not converged)"
         );
     }
 

@@ -21,11 +21,12 @@
 //! 2K-targeting 1K-preserving rewiring…, then 3K-targeting 2K-preserving
 //! rewiring").
 
-use crate::dist::{canon_pair, Degree, Dist1K, Dist2K, Dist3K};
-use crate::generate::delta::{add_edge_tracked, frozen_degrees, remove_edge_tracked, Delta3K};
+use crate::dist::{Dist1K, Dist2K, Dist3K};
+use crate::generate::objective::{Objective2K, Objective3K};
 use crate::generate::{matching, pseudograph};
 use dk_graph::hashers::{det_hash_map, DetHashMap};
 use dk_graph::{Graph, GraphError};
+use dk_mcmc::{ChainOptions, McmcChain, ProposalKind, RunBudget, SwapObjective};
 use rand::Rng;
 
 /// Options for targeting rewiring.
@@ -202,108 +203,71 @@ pub fn target_1k_from_0k<R: Rng + ?Sized>(
 // 2K-targeting 1K-preserving rewiring
 // ---------------------------------------------------------------------
 
+/// Maps [`TargetOptions`] onto the chain's acceptance knobs and budget.
+fn chain_config(opts: &TargetOptions, proposal: ProposalKind) -> (ChainOptions, RunBudget) {
+    (
+        ChainOptions {
+            temperature: opts.temperature,
+            accept_neutral: opts.accept_neutral,
+            proposal,
+        },
+        RunBudget {
+            max_steps: opts.max_attempts,
+            patience: opts.patience,
+            stop_at_zero: opts.stop_at_zero,
+        },
+    )
+}
+
+/// Runs one targeting pass on the [`dk_mcmc`] chain: take ownership of
+/// the graph, drive the objective to budget exhaustion (or target), put
+/// the graph back, and report [`TargetStats`].
+fn run_targeting_chain<R: Rng + ?Sized, O: SwapObjective>(
+    g: &mut Graph,
+    obj: &mut O,
+    opts: &TargetOptions,
+    proposal: ProposalKind,
+    rng: &mut R,
+) -> TargetStats {
+    let initial = obj.distance().unwrap_or(0.0);
+    let mut stats = TargetStats {
+        attempts: 0,
+        accepted: 0,
+        initial_distance: initial,
+        final_distance: initial,
+    };
+    if g.edge_count() < 2 {
+        return stats;
+    }
+    let (chain_opts, budget) = chain_config(opts, proposal);
+    let mut chain = McmcChain::from_rng(std::mem::take(g), rng, chain_opts);
+    let run = chain.run(obj, &budget);
+    *g = chain.into_graph();
+    stats.attempts = run.attempts;
+    stats.accepted = run.accepted;
+    stats.final_distance = obj.distance().unwrap_or(0.0);
+    stats
+}
+
 /// Rewires `g` with 1K-preserving swaps toward a target JDD, minimizing
 /// `D_2 = Σ (m_cur(k1,k2) − m_tgt(k1,k2))²` (the paper's §4.1.4 metric).
+///
+/// Runs on the [`dk_mcmc`] chain with the O(1)-per-move [`Objective2K`]
+/// census delta — four frozen-degree histogram bumps per proposal, no
+/// re-extraction.
 pub fn target_2k_from_1k<R: Rng + ?Sized>(
     g: &mut Graph,
     target: &Dist2K,
     opts: &TargetOptions,
     rng: &mut R,
 ) -> TargetStats {
-    let mut cur: DetHashMap<(Degree, Degree), i64> = det_hash_map();
-    for (&k, &v) in &Dist2K::from_graph(g).counts {
-        cur.insert(k, v as i64);
-    }
-    let tgt: DetHashMap<(Degree, Degree), i64> =
-        target.counts.iter().map(|(&k, &v)| (k, v as i64)).collect();
-    let full_dist = |cur: &DetHashMap<(Degree, Degree), i64>| -> f64 {
-        let mut acc = 0.0;
-        for (k, &a) in cur {
-            let b = tgt.get(k).copied().unwrap_or(0);
-            acc += ((a - b) as f64).powi(2);
-        }
-        for (k, &b) in &tgt {
-            if !cur.contains_key(k) {
-                acc += (b as f64).powi(2);
-            }
-        }
-        acc
-    };
-    let mut d_cur = full_dist(&cur);
-    let mut stats = TargetStats {
-        attempts: 0,
-        accepted: 0,
-        initial_distance: d_cur,
-        final_distance: d_cur,
-    };
-    if g.edge_count() < 2 {
-        return stats;
-    }
-    let deg = frozen_degrees(g);
-    let kd = |u: u32| deg[u as usize];
-    let mut since_improve = 0u64;
-    for _ in 0..opts.max_attempts {
-        if opts.stop_at_zero && d_cur == 0.0 {
-            break;
-        }
-        if let Some(p) = opts.patience {
-            if since_improve >= p {
-                break;
-            }
-        }
-        stats.attempts += 1;
-        since_improve += 1;
-        // random 1K swap candidate
-        let m = g.edge_count();
-        let i = rng.gen_range(0..m);
-        let j = rng.gen_range(0..m - 1);
-        let j = if j >= i { j + 1 } else { j };
-        let (a, b) = g.edge_at(i);
-        let e2 = g.edge_at(j);
-        let (c, d) = if rng.gen_bool(0.5) { e2 } else { (e2.1, e2.0) };
-        if a == d || c == b || g.has_edge(a, d) || g.has_edge(c, b) {
-            continue;
-        }
-        // class changes
-        let mut class_delta: DetHashMap<(Degree, Degree), i64> = det_hash_map();
-        *class_delta.entry(canon_pair(kd(a), kd(b))).or_insert(0) -= 1;
-        *class_delta.entry(canon_pair(kd(c), kd(d))).or_insert(0) -= 1;
-        *class_delta.entry(canon_pair(kd(a), kd(d))).or_insert(0) += 1;
-        *class_delta.entry(canon_pair(kd(c), kd(b))).or_insert(0) += 1;
-        let mut dd = 0.0;
-        for (key, &dv) in &class_delta {
-            if dv == 0 {
-                continue;
-            }
-            let c0 = cur.get(key).copied().unwrap_or(0);
-            let t0 = tgt.get(key).copied().unwrap_or(0);
-            let before = (c0 - t0) as f64;
-            let after = (c0 + dv - t0) as f64;
-            dd += after * after - before * before;
-        }
-        if !accept(dd, opts, rng) {
-            continue;
-        }
-        g.remove_edge(a, b).expect("edge 1");
-        g.remove_edge(c, d).expect("edge 2");
-        g.add_edge(a, d).expect("validated");
-        g.add_edge(c, b).expect("validated");
-        for (key, &dv) in &class_delta {
-            if dv != 0 {
-                *cur.entry(*key).or_insert(0) += dv;
-            }
-        }
-        d_cur += dd;
-        stats.accepted += 1;
-        if dd < 0.0 {
-            since_improve = 0;
-        }
-    }
+    let mut obj = Objective2K::new(g, target);
+    let mut stats = run_targeting_chain(g, &mut obj, opts, ProposalKind::Plain, rng);
     stats.final_distance = Dist2K::from_graph(g).distance_sq(target);
     debug_assert!(
-        (stats.final_distance - d_cur).abs() < 1e-6,
+        (stats.final_distance - obj.current_distance()).abs() < 1e-6,
         "incremental D2 drifted: {} vs {}",
-        d_cur,
+        obj.current_distance(),
         stats.final_distance
     );
     stats
@@ -315,90 +279,22 @@ pub fn target_2k_from_1k<R: Rng + ?Sized>(
 
 /// Rewires `g` with 2K-preserving swaps toward a target 3K-distribution,
 /// minimizing `D_3` (wedge + triangle squared differences).
+///
+/// Runs on the [`dk_mcmc`] chain with [`ProposalKind::JddPreserving`]
+/// proposals and the tracked tentative-apply [`Objective3K`] delta.
 pub fn target_3k_from_2k<R: Rng + ?Sized>(
     g: &mut Graph,
     target: &Dist3K,
     opts: &TargetOptions,
     rng: &mut R,
 ) -> TargetStats {
-    let mut cur = Dist3K::from_graph(g);
-    let mut d_cur = cur.distance_sq(target);
-    let mut stats = TargetStats {
-        attempts: 0,
-        accepted: 0,
-        initial_distance: d_cur,
-        final_distance: d_cur,
-    };
-    if g.edge_count() < 2 {
-        return stats;
-    }
-    let deg = frozen_degrees(g);
-    let mut delta = Delta3K::default();
-    let mut since_improve = 0u64;
-    for _ in 0..opts.max_attempts {
-        if opts.stop_at_zero && d_cur == 0.0 {
-            break;
-        }
-        if let Some(p) = opts.patience {
-            if since_improve >= p {
-                break;
-            }
-        }
-        stats.attempts += 1;
-        since_improve += 1;
-        let Some((e1, e2, orient)) = super::rewire::pick_2k_swap(g, rng) else {
-            continue;
-        };
-        let (a, b) = e1;
-        let (c, d) = if orient { e2 } else { (e2.1, e2.0) };
-        // tentative application with tracking
-        delta.clear();
-        remove_edge_tracked(g, a, b, &deg, &mut delta);
-        remove_edge_tracked(g, c, d, &deg, &mut delta);
-        add_edge_tracked(g, a, d, &deg, &mut delta);
-        add_edge_tracked(g, c, b, &deg, &mut delta);
-        // ΔD3 over changed keys
-        let mut dd = 0.0;
-        for (key, &dv) in &delta.wedges {
-            if dv == 0 {
-                continue;
-            }
-            let c0 = cur.wedges.get(key).copied().unwrap_or(0) as i64;
-            let t0 = target.wedges.get(key).copied().unwrap_or(0) as i64;
-            let before = (c0 - t0) as f64;
-            let after = (c0 + dv - t0) as f64;
-            dd += after * after - before * before;
-        }
-        for (key, &dv) in &delta.triangles {
-            if dv == 0 {
-                continue;
-            }
-            let c0 = cur.triangles.get(key).copied().unwrap_or(0) as i64;
-            let t0 = target.triangles.get(key).copied().unwrap_or(0) as i64;
-            let before = (c0 - t0) as f64;
-            let after = (c0 + dv - t0) as f64;
-            dd += after * after - before * before;
-        }
-        if accept(dd, opts, rng) {
-            delta.apply_to(&mut cur);
-            d_cur += dd;
-            stats.accepted += 1;
-            if dd < 0.0 {
-                since_improve = 0;
-            }
-        } else {
-            // revert
-            g.remove_edge(a, d).expect("just added");
-            g.remove_edge(c, b).expect("just added");
-            g.add_edge(a, b).expect("restore");
-            g.add_edge(c, d).expect("restore");
-        }
-    }
+    let mut obj = Objective3K::new(g, target);
+    let mut stats = run_targeting_chain(g, &mut obj, opts, ProposalKind::JddPreserving, rng);
     stats.final_distance = Dist3K::from_graph(g).distance_sq(target);
     debug_assert!(
-        (stats.final_distance - d_cur).abs() < 1e-6,
+        (stats.final_distance - obj.current_distance()).abs() < 1e-6,
         "incremental D3 drifted: {} vs {}",
-        d_cur,
+        obj.current_distance(),
         stats.final_distance
     );
     stats

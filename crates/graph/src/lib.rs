@@ -68,6 +68,6 @@ pub mod traversal;
 
 pub use csr::{AdjacencyView, CsrGraph};
 pub use error::GraphError;
-pub use graph::{Graph, NodeId};
+pub use graph::{canon_edge, Graph, NodeId};
 pub use multigraph::MultiGraph;
 pub use traversal::{bfs_distances, connected_components, giant_component, is_connected};

@@ -288,11 +288,7 @@ pub fn ident_at(code: &str, pos: usize, ident: &str) -> bool {
     if !code[pos..].starts_with(ident) {
         return false;
     }
-    let before_ok = pos == 0
-        || !code[..pos]
-            .chars()
-            .next_back()
-            .is_some_and(is_ident_char);
+    let before_ok = pos == 0 || !code[..pos].chars().next_back().is_some_and(is_ident_char);
     let after_ok = !code[pos + ident.len()..]
         .chars()
         .next()

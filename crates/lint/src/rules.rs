@@ -695,6 +695,7 @@ const RATCHET_SCOPE: &[&str] = &[
     "crates/graph/src/",
     "crates/linalg/src/",
     "crates/metrics/src/",
+    "crates/mcmc/src/",
     "crates/core/src/",
     "crates/topologies/src/",
     "crates/cli/src/",

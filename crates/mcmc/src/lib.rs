@@ -1,0 +1,67 @@
+//! # dk-mcmc — incremental-move double-edge-swap MCMC engine
+//!
+//! The generation side of the dK reproduction (targeting and
+//! dK-preserving randomization, paper §4.1.4) is a Markov chain over
+//! simple graphs whose only move is the double-edge swap
+//! `{a,b},{c,d} → {a,d},{c,b}`. This crate is that chain, factored out
+//! of `dk-core` so every move is an **explicit, inspectable record**
+//! instead of a fused sample-validate-mutate loop, and so per-move costs
+//! are O(1) at 10⁶-node scale.
+//!
+//! ## The move / dry-run / delta contract
+//!
+//! * **Move records** ([`MoveProposal`]): a proposal names the two edges
+//!   it removes, the two it adds, and its forward/reverse proposal
+//!   probabilities under the sampler that produced it. Nothing about a
+//!   proposal is implicit — it can be logged, replayed against another
+//!   graph, or handed to the validator below without touching the chain.
+//! * **Dry-run validation** ([`dry_run`]): a proposal can be checked
+//!   against any graph without mutating it; the verdict
+//!   ([`DryRunVerdict`]) carries a typed reason ([`SwapInvalid`]) on
+//!   failure. The mutating path ([`apply_swap_checked`]) succeeds exactly
+//!   when the dry run says `Valid` — the equivalence suite pins this.
+//! * **Census deltas** ([`SwapObjective`]): the chain never re-extracts
+//!   a distribution. An objective inspects a validated proposal, reports
+//!   the distance change `ΔD` of the move (for 2K targets this is four
+//!   O(1) histogram bumps on the frozen endpoint degrees; see
+//!   `dk_core::generate::delta`), and folds the pending delta into its
+//!   bookkeeping **only when the chain accepts** — `commit` on accept,
+//!   `discard` (plus an engine-side revert of any tentative mutation) on
+//!   reject.
+//!
+//! ## Acceptance
+//!
+//! Acceptance is Metropolis–Hastings on `ΔD` at a configurable
+//! temperature, with the proposal ratio `q_rev/q_fwd` taken from the
+//! move record (Bassler et al., "Exact sampling of graphs with
+//! prescribed degree correlations"). The uniform pair-plus-orientation
+//! sampler used here is symmetric — `q_rev = q_fwd` — so plain runs
+//! reduce to classic Metropolis; the probabilities stay explicit so any
+//! future non-uniform sampler (degree-biased pair selection, fallback
+//! scans) keeps the stationary distribution honest by construction.
+//!
+//! ## Determinism
+//!
+//! A chain owns its RNG stream: seed it once ([`McmcChain::seeded`]) and
+//! every subsequent draw — edge pair, orientation, acceptance coin — is
+//! taken from that stream in a fixed order, so a run is exactly
+//! re-runnable and **resumable**: running `k` steps and then `m` steps
+//! is byte-identical to running `k + m` steps. Edge-presence tests go
+//! through the graph's canonical edge index
+//! ([`dk_graph::Graph::has_edge_indexed`], the deterministic-hasher set
+//! every mutation already maintains), so validity checks are O(1)
+//! regardless of degree.
+
+#![forbid(unsafe_code)]
+
+mod chain;
+mod proposal;
+
+pub use chain::{
+    ChainOptions, ChainStats, DistanceTrace, Evaluation, McmcChain, NullObjective, RunBudget,
+    StepOutcome, SwapObjective,
+};
+pub use proposal::{
+    apply_swap, apply_swap_checked, dry_run, propose_swap, revert_swap, DryRunVerdict,
+    MoveProposal, ProposalKind, SwapInvalid,
+};

@@ -7,6 +7,8 @@
 //! * [`graph`] — graph substrate (`dk-graph`);
 //! * [`linalg`] — spectral solvers (`dk-linalg`);
 //! * [`metrics`] — the paper's §2 metric suite (`dk-metrics`);
+//! * [`mcmc`] — the incremental-move double-edge-swap engine
+//!   (`dk-mcmc`);
 //! * [`core`] — dK-distributions, generators, rewiring, exploration
 //!   (`dk-core`);
 //! * [`topologies`] — evaluation inputs and baselines (`dk-topologies`).
@@ -18,5 +20,6 @@
 pub use dk_core as core;
 pub use dk_graph as graph;
 pub use dk_linalg as linalg;
+pub use dk_mcmc as mcmc;
 pub use dk_metrics as metrics;
 pub use dk_topologies as topologies;

