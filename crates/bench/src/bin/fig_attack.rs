@@ -1,0 +1,182 @@
+//! **fig_attack** — comparative resilience of dK-random ensembles:
+//! GCC fraction vs removal fraction under seeded random failure and
+//! degree-ranked targeted attack, for 0K..3K reconstructions of the
+//! skitter-like input against the original.
+//!
+//! The paper's companion robustness question: which dK level captures
+//! how the topology *breaks*? Degree-preserving levels reproduce the
+//! scale-free signature — near-immune to random failure, fragile under
+//! degree attack — but the attack threshold keeps sharpening as the dK
+//! order rises and the correlation/clustering structure locks in.
+//!
+//! Emits `results/fig_attack.csv` (per-level mean curves on a
+//! percent-removed grid, random vs degree) and `results/fig_attack.json`
+//! (per-level interpolated halving thresholds, mean ± std across the
+//! ensemble).
+//!
+//! ```text
+//! cargo run -p dk-bench --release --bin fig_attack -- [--full] [--seeds N]
+//! ```
+
+use dk_bench::csv::SeriesSet;
+use dk_bench::inputs::{self, Input};
+use dk_bench::variants::dk_random;
+use dk_bench::{emit_series, Config};
+use dk_graph::{ensemble, Graph};
+use dk_metrics::attack::{AttackOptions, Strategy, DEFAULT_ATTACK_SEED};
+use dk_metrics::{json, Analyzer};
+
+/// Percent-removed grid the per-replica curves are resampled onto so
+/// replicas with different GCC sizes average pointwise.
+const GRID: usize = 100;
+
+/// Resampled GCC-fraction curve plus the interpolated halving threshold.
+type Resilience = (Vec<f64>, Option<f64>);
+
+/// One sweep on the replica's GCC.
+fn resilience(g: &Graph, strategy: Strategy, seed: u64) -> Resilience {
+    let rep = Analyzer::new().threads(1).attack(
+        g,
+        &AttackOptions {
+            strategy,
+            seed,
+            checkpoints: Vec::new(),
+        },
+    );
+    let n = rep.nodes;
+    let curve = (0..=GRID)
+        .map(|p| rep.gcc_fraction_at((p * n / GRID).min(n)))
+        .collect();
+    (curve, rep.threshold(0.5))
+}
+
+/// Mean and population std of a sample (skipping nothing; callers
+/// filter undefined thresholds first).
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Averages per-replica outputs into (mean curve, threshold stats).
+struct LevelSummary {
+    failure_curve: Vec<f64>,
+    attack_curve: Vec<f64>,
+    failure_thresholds: Vec<f64>,
+    attack_thresholds: Vec<f64>,
+}
+
+impl LevelSummary {
+    fn from_runs(runs: Vec<(Resilience, Resilience)>) -> Self {
+        let replicas = runs.len() as f64;
+        let mut out = LevelSummary {
+            failure_curve: vec![0.0; GRID + 1],
+            attack_curve: vec![0.0; GRID + 1],
+            failure_thresholds: Vec::new(),
+            attack_thresholds: Vec::new(),
+        };
+        for ((f_curve, f_t), (a_curve, a_t)) in runs {
+            for (acc, y) in out.failure_curve.iter_mut().zip(f_curve) {
+                *acc += y / replicas;
+            }
+            for (acc, y) in out.attack_curve.iter_mut().zip(a_curve) {
+                *acc += y / replicas;
+            }
+            out.failure_thresholds.extend(f_t);
+            out.attack_thresholds.extend(a_t);
+        }
+        out
+    }
+
+    fn json_entry(&self, replicas: u64) -> String {
+        let stat = |xs: &[f64], key: &str| -> Vec<(String, String)> {
+            if xs.is_empty() {
+                return vec![(format!("{key}_mean"), "null".into())];
+            }
+            let (mean, std) = mean_std(xs);
+            vec![
+                (format!("{key}_mean"), json::number(mean)),
+                (format!("{key}_std"), json::number(std)),
+            ]
+        };
+        let mut fields = vec![("replicas".to_string(), replicas.to_string())];
+        fields.extend(stat(&self.attack_thresholds, "attack_threshold"));
+        fields.extend(stat(&self.failure_thresholds, "random_failure_threshold"));
+        json::object(fields)
+    }
+}
+
+fn grid_series(curve: &[f64]) -> Vec<(usize, f64)> {
+    curve.iter().copied().enumerate().collect()
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let original = inputs::load(&cfg, Input::SkitterLike);
+    println!(
+        "fig_attack: skitter-like n = {}, m = {}, {} replicas per dK level",
+        original.node_count(),
+        original.edge_count(),
+        cfg.seeds
+    );
+    let mut set = SeriesSet::new();
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for d in 0..=3u8 {
+        let runs = ensemble::run(
+            cfg.seeds,
+            cfg.master_seed ^ u64::from(d),
+            cfg.threads,
+            |i, rng| {
+                let g = dk_random(&original, d, rng);
+                let failure = resilience(&g, Strategy::Random, DEFAULT_ATTACK_SEED.wrapping_add(i));
+                let attack = resilience(&g, Strategy::Degree, 0);
+                (failure, attack)
+            },
+        );
+        let level = LevelSummary::from_runs(runs);
+        let label = format!("{d}K-random");
+        println!(
+            "  {label}: attack_threshold = {}, random_failure_threshold = {}",
+            level
+                .attack_thresholds
+                .first()
+                .map_or("undefined".into(), |_| format!(
+                    "{:.4}",
+                    mean_std(&level.attack_thresholds).0
+                )),
+            level
+                .failure_thresholds
+                .first()
+                .map_or("undefined".into(), |_| format!(
+                    "{:.4}",
+                    mean_std(&level.failure_thresholds).0
+                )),
+        );
+        set.push(
+            format!("{label} failure"),
+            grid_series(&level.failure_curve),
+        );
+        set.push(format!("{label} attack"), grid_series(&level.attack_curve));
+        entries.push((label, level.json_entry(cfg.seeds)));
+    }
+    // the original topology as the single-graph reference row
+    let (orig_failure, orig_ft) = resilience(&original, Strategy::Random, DEFAULT_ATTACK_SEED);
+    let (orig_attack, orig_at) = resilience(&original, Strategy::Degree, 0);
+    set.push("orig failure", grid_series(&orig_failure));
+    set.push("orig attack", grid_series(&orig_attack));
+    entries.push((
+        "original".into(),
+        json::object([
+            (
+                "attack_threshold".into(),
+                orig_at.map_or_else(|| "null".into(), json::number),
+            ),
+            (
+                "random_failure_threshold".into(),
+                orig_ft.map_or_else(|| "null".into(), json::number),
+            ),
+        ]),
+    ));
+    emit_series(&cfg, "fig_attack", "percent_removed", &set, entries);
+}

@@ -1,0 +1,248 @@
+//! **perf_attack** — the reverse union-find attack engine's perf and
+//! correctness record: every strategy's incremental trajectory checked
+//! bit for bit against a per-step component recompute oracle at an
+//! oracle-feasible scale, and — with `--full` — full 10⁶-node
+//! Barabási–Albert removal trajectories (degree, degree-adaptive,
+//! random) with their interpolated halving thresholds.
+//!
+//! The naive sweep is `O(n·(n + m))` — at 10⁶ nodes, a million
+//! component recomputes. The engine replays the removal order backwards
+//! as union-find insertions and reads the whole trajectory out of one
+//! `O(m·α)` pass (see `dk_metrics::attack`), so the full curve at 10⁶
+//! nodes lands in seconds.
+//!
+//! Appends `"bench": "attack"` records (stages `oracle` / `large`) to
+//! the `BENCH_metrics.json` JSON-lines log.
+//!
+//! ```text
+//! cargo run -p dk-bench --release --bin perf_attack -- \
+//!     [--full] [--oracle-n N] [--threads N] [--seed N] [--out DIR]
+//! ```
+
+use dk_bench::append_json_line;
+use dk_graph::{traversal, CsrGraph, Graph, NodeId};
+use dk_metrics::attack::{gcc_trajectory, removal_order, threshold_from_sizes, Strategy};
+use dk_metrics::json;
+use dk_topologies::ba::{barabasi_albert, BaParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Node count of the `--full` large-graph runs.
+const LARGE_N: usize = 1_000_000;
+/// Pivot budget of the oracle stage's betweenness ranking.
+const RANK_SAMPLES: usize = 16;
+
+struct Args {
+    full: bool,
+    oracle_n: usize,
+    threads: usize,
+    seed: u64,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        full: false,
+        oracle_n: 2_000,
+        threads: 0,
+        seed: 20060911,
+        out_dir: PathBuf::from("results"),
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = || -> ! {
+        eprintln!(
+            "flags: --full (add the 10^6-node trajectories)  --oracle-n N (default 2000)\n       --threads N (0 = all cores)  --seed N  --out DIR (default results/)"
+        );
+        std::process::exit(2)
+    };
+    while i < raw.len() {
+        let flag = raw[i].as_str();
+        match flag {
+            "--full" => args.full = true,
+            "--oracle-n" | "--threads" | "--seed" | "--out" => {
+                i += 1;
+                let Some(value) = raw.get(i) else {
+                    eprintln!("error: {flag} needs a value");
+                    usage()
+                };
+                match flag {
+                    "--oracle-n" => args.oracle_n = value.parse().unwrap_or_else(|_| usage()),
+                    "--threads" => args.threads = value.parse().unwrap_or_else(|_| usage()),
+                    "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
+                    _ => args.out_dir = PathBuf::from(value),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Process peak RSS in bytes (Linux `VmHWM`; `None` elsewhere).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+fn ba(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    barabasi_albert(
+        &BaParams {
+            nodes: n,
+            edges_per_node: 2,
+            seed_nodes: 3,
+        },
+        &mut rng,
+    )
+}
+
+fn time_s<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = std::hint::black_box(f());
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+/// The `O(n·(n + m))` baseline: recompute the component structure from
+/// scratch after every removal prefix.
+fn oracle_trajectory(g: &Graph, order: &[NodeId]) -> (Vec<u32>, Vec<u32>) {
+    let n = g.node_count();
+    let mut alive = vec![true; n];
+    let mut gcc_sizes = Vec::with_capacity(n + 1);
+    let mut component_counts = Vec::with_capacity(n + 1);
+    let snapshot = |alive: &[bool]| {
+        let keep: Vec<NodeId> = (0..n as NodeId).filter(|&u| alive[u as usize]).collect();
+        let (sub, _) = g.subgraph(&keep).expect("live nodes are valid");
+        let sizes = traversal::component_sizes(&sub);
+        (
+            sizes.iter().copied().max().unwrap_or(0) as u32,
+            sizes.len() as u32,
+        )
+    };
+    let (s, c) = snapshot(&alive);
+    gcc_sizes.push(s);
+    component_counts.push(c);
+    for &u in order {
+        alive[u as usize] = false;
+        let (s, c) = snapshot(&alive);
+        gcc_sizes.push(s);
+        component_counts.push(c);
+    }
+    (gcc_sizes, component_counts)
+}
+
+/// Engine vs per-step oracle for every strategy: bit-identical
+/// trajectories, speedup recorded.
+fn oracle_stage(args: &Args, threads: usize) {
+    let g = ba(args.oracle_n, args.seed);
+    let csr = CsrGraph::from_graph(&g);
+    println!(
+        "oracle: BA n = {}, m = {}, threads = {threads}",
+        g.node_count(),
+        g.edge_count()
+    );
+    let mut fields = vec![
+        ("bench".into(), "\"attack\"".to_string()),
+        ("stage".into(), "\"oracle\"".to_string()),
+        ("n".into(), g.node_count().to_string()),
+        ("m".into(), g.edge_count().to_string()),
+        ("threads".into(), threads.to_string()),
+    ];
+    for strategy in Strategy::all() {
+        let order = removal_order(&csr, strategy, args.seed, RANK_SAMPLES, threads);
+        let (engine_s, engine) = time_s(|| gcc_trajectory(&csr, &order));
+        let (oracle_s, oracle) = time_s(|| oracle_trajectory(&g, &order));
+        assert_eq!(
+            engine, oracle,
+            "{strategy}: engine trajectory diverged from the per-step oracle"
+        );
+        let threshold = threshold_from_sizes(&engine.0, g.node_count(), 0.5);
+        println!(
+            "{strategy:>16}: engine {engine_s:>9.4} s, oracle {oracle_s:>8.2} s ({:>6.0}x), threshold = {}",
+            oracle_s / engine_s.max(1e-9),
+            threshold.map_or("undefined".into(), |t| format!("{t:.4}")),
+        );
+        let key = strategy.name().replace('-', "_");
+        fields.push((format!("engine_s_{key}"), json::number(engine_s)));
+        fields.push((format!("oracle_s_{key}"), json::number(oracle_s)));
+        if let Some(t) = threshold {
+            fields.push((format!("threshold_{key}"), json::number(t)));
+        }
+    }
+    let out = args.out_dir.join("BENCH_metrics.json");
+    append_json_line(&out, &json::object(fields)).expect("append to BENCH_metrics.json");
+    println!("appended to {}", out.display());
+}
+
+/// The 10⁶-node trajectories: ranking + one reverse sweep per strategy.
+fn large_stage(args: &Args, threads: usize) {
+    let (gen_s, g) = time_s(|| ba(LARGE_N, args.seed));
+    println!(
+        "large: BA n = {}, m = {}, generated in {gen_s:.1} s",
+        g.node_count(),
+        g.edge_count()
+    );
+    let (csr_s, csr) = time_s(|| CsrGraph::from_graph(&g));
+    let mut fields = vec![
+        ("bench".into(), "\"attack\"".to_string()),
+        ("stage".into(), "\"large\"".to_string()),
+        ("n".into(), g.node_count().to_string()),
+        ("m".into(), g.edge_count().to_string()),
+        ("threads".into(), threads.to_string()),
+        ("gen_s".into(), json::number(gen_s)),
+        ("csr_s".into(), json::number(csr_s)),
+    ];
+    for strategy in [Strategy::Degree, Strategy::DegreeAdaptive, Strategy::Random] {
+        let (rank_s, order) =
+            time_s(|| removal_order(&csr, strategy, args.seed, RANK_SAMPLES, threads));
+        let (sweep_s, (sizes, _counts)) = time_s(|| gcc_trajectory(&csr, &order));
+        let threshold = threshold_from_sizes(&sizes, g.node_count(), 0.5);
+        println!(
+            "{strategy:>16}: rank {rank_s:>6.2} s + sweep {sweep_s:>6.2} s, threshold = {}",
+            threshold.map_or("undefined".into(), |t| format!("{t:.4}")),
+        );
+        let key = strategy.name().replace('-', "_");
+        fields.push((format!("rank_s_{key}"), json::number(rank_s)));
+        fields.push((format!("sweep_s_{key}"), json::number(sweep_s)));
+        if let Some(t) = threshold {
+            fields.push((format!("threshold_{key}"), json::number(t)));
+        }
+    }
+    if let Some(p) = peak_rss_bytes() {
+        println!("peak RSS {:.0} MiB", p as f64 / (1 << 20) as f64);
+        fields.push((
+            "peak_rss_mb".into(),
+            json::number(p as f64 / (1 << 20) as f64),
+        ));
+    }
+    let out = args.out_dir.join("BENCH_metrics.json");
+    append_json_line(&out, &json::object(fields)).expect("append to BENCH_metrics.json");
+    println!("appended to {}", out.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = if args.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        args.threads
+    };
+    oracle_stage(&args, threads);
+    if args.full {
+        large_stage(&args, threads);
+    }
+}

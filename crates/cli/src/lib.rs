@@ -14,6 +14,7 @@
 //!             [--sketch-bits B] [--shards N] [--memory-budget B]
 //! dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
 //!             [--sketch-bits B] [--shards N] [--memory-budget B]
+//! dk attack   <graph.edges> [--strategy S] [--checkpoints F,..] [--seed N] [--format text|json]
 //! dk census   <graph.edges>                       Table 5 census
 //! dk viz      <graph.edges>     -o <out.svg>      layout + SVG
 //! ```
@@ -30,7 +31,7 @@ use dk_core::generate::rewire::{randomize, RewireOptions, SwapBudget};
 use dk_core::generate::Generator;
 use dk_core::{census, io as dist_io};
 use dk_graph::{io as graph_io, GraphError};
-use dk_metrics::{json, Analyzer, AnyMetric, GccPolicy, MetricTable};
+use dk_metrics::{json, Analyzer, AnyMetric, AttackOptions, GccPolicy, MetricTable, Strategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
@@ -392,6 +393,134 @@ pub fn cmd_metrics(graph_path: &Path, opts: &MetricsOptions) -> Result<String, G
     Ok(match opts.format {
         OutputFormat::Json => rep.to_json(),
         OutputFormat::Text => format!("{}\n{}", graph_path.display(), rep.to_text()),
+    })
+}
+
+/// Options for [`cmd_attack`], mapped one-to-one from CLI flags.
+#[derive(Clone, Debug)]
+pub struct AttackCmdOptions {
+    /// `--strategy S`: removal-order strategy name (`None` = `degree`).
+    pub strategy: Option<String>,
+    /// `--seed N`: seed of the `random` strategy's order (default 1,
+    /// like the other verbs; the ranked strategies ignore it).
+    pub seed: u64,
+    /// `--checkpoints F1,F2,...`: removal fractions in `0..=1` at which
+    /// to probe the residual GCC (`None` = `0.01,0.05,0.1,0.25,0.5`).
+    pub checkpoints: Option<String>,
+    /// `--format text|json`.
+    pub format: OutputFormat,
+    /// `--no-gcc` clears this (default: sweep the GCC, §5.2).
+    pub gcc_off: bool,
+    /// `--samples K`: pivot budget of the betweenness ranking and the
+    /// checkpoint distance probes (`None` = the analyzer default, 64).
+    pub samples: Option<usize>,
+}
+
+impl Default for AttackCmdOptions {
+    fn default() -> Self {
+        AttackCmdOptions {
+            strategy: None,
+            seed: 1,
+            checkpoints: None,
+            format: OutputFormat::Text,
+            gcc_off: false,
+            samples: None,
+        }
+    }
+}
+
+/// Parses a `--checkpoints` value: comma-separated removal fractions,
+/// each in `0.0..=1.0`.
+pub fn parse_checkpoints(s: &str) -> Result<Vec<f64>, String> {
+    let bad = || {
+        format!(
+            "bad --checkpoints {s:?}: use comma-separated removal fractions \
+             in 0..=1 (e.g. --checkpoints 0.05,0.1,0.25)"
+        )
+    };
+    let fractions = s
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| match t.parse::<f64>() {
+            Ok(f) if (0.0..=1.0).contains(&f) => Ok(f),
+            _ => Err(bad()),
+        })
+        .collect::<Result<Vec<f64>, String>>()?;
+    if fractions.is_empty() {
+        return Err(bad());
+    }
+    Ok(fractions)
+}
+
+/// `dk attack`: node-removal percolation sweep over one graph.
+///
+/// Computes the full GCC-fraction trajectory under the chosen removal
+/// strategy (one reverse union-find pass — see `dk_metrics::attack`),
+/// probes the residual GCC at the requested removal fractions, and
+/// reports the interpolated fraction where the GCC halves. `--format
+/// json` emits the machine-readable report with a decimated curve.
+pub fn cmd_attack(graph_path: &Path, opts: &AttackCmdOptions) -> Result<String, GraphError> {
+    let strategy: Strategy = match opts.strategy.as_deref() {
+        None => Strategy::Degree,
+        Some(s) => s.parse().map_err(|_| {
+            GraphError::ConstructionFailed(format!(
+                "bad --strategy {s:?}: use random, degree, betweenness, or degree-adaptive"
+            ))
+        })?,
+    };
+    let checkpoints = match opts.checkpoints.as_deref() {
+        None => vec![0.01, 0.05, 0.1, 0.25, 0.5],
+        Some(s) => parse_checkpoints(s).map_err(GraphError::ConstructionFailed)?,
+    };
+    let g = graph_io::load_edge_list(graph_path)?;
+    let mut analyzer = Analyzer::new();
+    if opts.gcc_off {
+        analyzer = analyzer.gcc(GccPolicy::Whole);
+    }
+    if let Some(k) = opts.samples {
+        analyzer = analyzer.sample_sources(k);
+    }
+    let rep = analyzer.attack(
+        &g,
+        &AttackOptions {
+            strategy,
+            seed: opts.seed,
+            checkpoints,
+        },
+    );
+    Ok(match opts.format {
+        OutputFormat::Json => rep.to_json(),
+        OutputFormat::Text => {
+            let mut out = format!(
+                "attack sweep of {} (strategy {}, analyzed n = {}, m = {})\n",
+                graph_path.display(),
+                rep.strategy,
+                rep.nodes,
+                rep.edges
+            );
+            match rep.threshold(0.5) {
+                Some(t) => out.push_str(&format!("GCC halves at removal fraction {t:.6}\n")),
+                None => out.push_str("GCC never drops below 1/2\n"),
+            }
+            out.push_str(&format!(
+                "{:>9} {:>8} {:>9} {:>11} {:>13} {:>9}\n",
+                "fraction", "removed", "gcc", "components", "avg distance", "hub"
+            ));
+            for c in &rep.checkpoints {
+                out.push_str(&format!(
+                    "{:>9.4} {:>8} {:>9.4} {:>11} {:>13} {:>9}\n",
+                    c.fraction,
+                    c.removed,
+                    c.gcc_fraction,
+                    c.components,
+                    c.avg_distance_estimate
+                        .map_or("-".to_string(), |d| format!("{d:.4}")),
+                    c.hub.map_or("-".to_string(), |h| h.to_string()),
+                ));
+            }
+            out
+        }
     })
 }
 
@@ -820,6 +949,72 @@ mod tests {
         .unwrap();
         assert!(m.contains("all-pairs"), "{m}");
         assert!(m.contains("b_max"), "{m}");
+    }
+
+    #[test]
+    fn attack_renders_text_and_json() {
+        let graph = write_karate();
+        let t = cmd_attack(&graph, &AttackCmdOptions::default()).unwrap();
+        assert!(t.contains("strategy degree"), "{t}");
+        assert!(t.contains("GCC halves at removal fraction"), "{t}");
+        assert!(t.contains("avg distance"), "checkpoint table: {t}");
+        let j = cmd_attack(
+            &graph,
+            &AttackCmdOptions {
+                strategy: Some("degree-adaptive".into()),
+                checkpoints: Some("0.0, 0.25".into()),
+                format: OutputFormat::Json,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(j.contains("\"strategy\":\"degree-adaptive\""), "{j}");
+        assert!(j.contains("\"attack_threshold\":"), "{j}");
+        assert!(j.contains("\"checkpoints\":[{\"fraction\":0"), "{j}");
+        // karate is connected: the sweep covers all 34 nodes
+        assert!(j.contains("\"nodes\":34"), "{j}");
+    }
+
+    #[test]
+    fn attack_random_is_seed_reproducible() {
+        let graph = write_karate();
+        let run = |seed| {
+            cmd_attack(
+                &graph,
+                &AttackCmdOptions {
+                    strategy: Some("random".into()),
+                    seed,
+                    format: OutputFormat::Json,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        assert_eq!(run(7), run(7), "same seed, same report");
+        assert_ne!(run(7), run(8), "different failure order");
+    }
+
+    #[test]
+    fn attack_rejections_are_cli_worded() {
+        let graph = write_karate();
+        let err = cmd_attack(
+            &graph,
+            &AttackCmdOptions {
+                strategy: Some("bogus".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--strategy"), "{msg}");
+        assert!(msg.contains("degree-adaptive"), "options listed: {msg}");
+        assert!(!msg.contains("Strategy"), "library API leaked: {msg}");
+        for bad in ["1.5", "-0.1", "0.1;0.2", "", "half"] {
+            let err = parse_checkpoints(bad).unwrap_err();
+            assert!(err.contains("--checkpoints"), "{bad}: {err}");
+            assert!(err.contains("0..=1"), "range named: {err}");
+        }
+        assert_eq!(parse_checkpoints("0.05, 0.1,0.25").unwrap().len(), 3);
     }
 
     #[test]

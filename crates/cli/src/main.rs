@@ -18,6 +18,8 @@ USAGE:
               [--sketch-bits B] [--shards N] [--memory-budget B]
   dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
               [--sketch-bits B] [--shards N] [--memory-budget B]
+  dk attack   <graph.edges> [--strategy random|degree|betweenness|degree-adaptive] [--seed N]
+              [--checkpoints F1,F2,...] [--format text|json] [--no-gcc] [--samples K]
   dk census   <graph.edges> [--max-d D]
   dk viz      <graph.edges> -o <out.svg> [--seed N]
 
@@ -36,7 +38,13 @@ sets the HyperLogLog register bits of the sketch distance metrics
 default 8 — error ~1.04/sqrt(2^B), memory n*2^B bytes). `--shards N`
 streams the all-pairs/sampled passes shard by shard (identical results,
 memory bounded by workers — the default past ~131k nodes); `--memory-budget
-B` caps their working memory (bytes, K/M/G suffixes).";
+B` caps their working memory (bytes, K/M/G suffixes). `attack` computes
+the full node-removal percolation trajectory in one reverse union-find
+pass (bit-identical for every thread count): `--strategy` picks the
+removal order (default degree), `--checkpoints` probes the residual GCC
+at the given removal fractions (default 0.01,0.05,0.1,0.25,0.5), and the
+JSON report carries the decimated curve plus the interpolated fraction
+where the GCC halves.";
 
 struct Args {
     positional: Vec<String>,
@@ -46,6 +54,8 @@ struct Args {
     attempts: Option<u64>,
     max_d: u8,
     metrics: Option<String>,
+    strategy: Option<String>,
+    checkpoints: Option<String>,
     format: OutputFormat,
     no_gcc: bool,
     samples: Option<usize>,
@@ -63,6 +73,8 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
         attempts: None,
         max_d: 3,
         metrics: None,
+        strategy: None,
+        checkpoints: None,
         format: OutputFormat::Text,
         no_gcc: false,
         samples: None,
@@ -78,6 +90,12 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
             }
             "--algo" => args.algo = raw.pop().ok_or("missing value after --algo")?.parse()?,
             "--metrics" => args.metrics = Some(raw.pop().ok_or("missing value after --metrics")?),
+            "--strategy" => {
+                args.strategy = Some(raw.pop().ok_or("missing value after --strategy")?)
+            }
+            "--checkpoints" => {
+                args.checkpoints = Some(raw.pop().ok_or("missing value after --checkpoints")?)
+            }
             "--format" => args.format = raw.pop().ok_or("missing value after --format")?.parse()?,
             "--no-gcc" => args.no_gcc = true,
             "--samples" => {
@@ -137,6 +155,17 @@ fn need_out(a: &Args) -> Result<&PathBuf, String> {
 }
 
 impl Args {
+    fn attack_options(&self) -> AttackCmdOptions {
+        AttackCmdOptions {
+            strategy: self.strategy.clone(),
+            seed: self.seed,
+            checkpoints: self.checkpoints.clone(),
+            format: self.format,
+            gcc_off: self.no_gcc,
+            samples: self.samples,
+        }
+    }
+
     fn metrics_options(&self) -> MetricsOptions {
         MetricsOptions {
             metrics: self.metrics.clone(),
@@ -190,6 +219,7 @@ fn run() -> Result<String, String> {
         }
         "metrics" => cmd_metrics(p(0)?.as_ref(), &a.metrics_options()).map_err(err),
         "compare" => cmd_compare(p(0)?.as_ref(), p(1)?.as_ref(), &a.metrics_options()).map_err(err),
+        "attack" => cmd_attack(p(0)?.as_ref(), &a.attack_options()).map_err(err),
         "census" => cmd_census(p(0)?.as_ref(), a.max_d).map_err(err),
         "viz" => cmd_viz(p(0)?.as_ref(), need_out(&a)?, a.seed).map_err(err),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),

@@ -18,6 +18,9 @@
 //!   constructions before cleanup (paper §4.1.2).
 //! * [`traversal`] — BFS, connected components, giant-connected-component
 //!   (GCC) extraction. The paper computes all evaluation metrics on GCCs.
+//! * [`unionfind`] — deterministic disjoint-set forest with size and
+//!   minimum-id tracking, the substrate of the reverse incremental-GCC
+//!   percolation sweeps in `dk-metrics`.
 //! * [`degree`] — degree-sequence utilities, including the Erdős–Gallai
 //!   graphicality test.
 //! * [`io`] — plain-text edge-list reader/writer and Graphviz DOT export.
@@ -65,9 +68,11 @@ pub mod layout;
 pub mod multigraph;
 pub mod svg;
 pub mod traversal;
+pub mod unionfind;
 
 pub use csr::{AdjacencyView, CsrGraph};
 pub use error::GraphError;
-pub use graph::{canon_edge, Graph, NodeId};
+pub use graph::{canon_edge, Graph, NodeId, SubgraphMap};
 pub use multigraph::MultiGraph;
 pub use traversal::{bfs_distances, connected_components, giant_component, is_connected};
+pub use unionfind::UnionFind;

@@ -84,7 +84,11 @@ pub fn bfs_distances<V: AdjacencyView + ?Sized>(g: &V, source: NodeId) -> Vec<u3
 /// Connected components as a label vector plus component count.
 ///
 /// `labels[u]` is the 0-based component id of node `u`; components are
-/// numbered in order of their smallest node id, so labeling is deterministic.
+/// numbered in **increasing order of their smallest member id** (the BFS
+/// seeds scan ids ascending), so labeling is deterministic and label
+/// order doubles as the workspace-wide size tie-break key: a smaller
+/// label means "contains a smaller node id". See
+/// [`giant_component_nodes`] for the rule's statement.
 pub fn connected_components<V: AdjacencyView + ?Sized>(g: &V) -> (Vec<u32>, usize) {
     let n = g.node_count();
     let mut labels = vec![u32::MAX; n];
@@ -132,8 +136,17 @@ pub fn is_connected<V: AdjacencyView + ?Sized>(g: &V) -> bool {
 }
 
 /// Node ids of the giant (largest) connected component, in ascending
-/// order. Ties between equal-size components break toward the smaller
-/// component label (deterministic). Empty for an empty graph.
+/// order. Empty for an empty graph.
+///
+/// **Tie-break rule:** when two or more components tie for largest, the
+/// winner is deterministically the component **containing the smallest
+/// node id**. (Component labels from [`connected_components`] ascend
+/// with each component's smallest member, so "smallest label wins"
+/// implements exactly this.) The rule is workspace-wide: the attack
+/// engine in `dk-metrics` replicates it through
+/// [`UnionFind::min_of`](crate::unionfind::UnionFind::min_of), so
+/// removal-sweep trajectories and thresholds are reproducible against
+/// this function step for step.
 pub fn giant_component_nodes<V: AdjacencyView + ?Sized>(g: &V) -> Vec<NodeId> {
     if g.node_count() == 0 {
         return Vec::new();
@@ -158,8 +171,9 @@ pub fn giant_component_nodes<V: AdjacencyView + ?Sized>(g: &V) -> Vec<NodeId> {
 ///
 /// Returns the GCC as a new graph with nodes renumbered `0..size` (in
 /// ascending original-id order) and the mapping `new id → original id`.
-/// Ties between equal-size components break toward the smaller component
-/// label (deterministic).
+/// Ties between equal-size components break toward the component
+/// containing the smallest node id — the deterministic rule stated on
+/// [`giant_component_nodes`].
 ///
 /// The component labeling runs on a fresh [`CsrGraph`] snapshot — at
 /// reproduction scale the flat-array BFS more than pays for the O(n + m)
@@ -266,6 +280,25 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         let (_, map) = giant_component(&g);
         assert_eq!(map, vec![0, 1]);
+    }
+
+    #[test]
+    fn gcc_tie_breaks_to_component_with_smallest_node_id() {
+        // two triangles of equal size, with the component containing
+        // node 0 listed LAST in the edge list: {1,3,5} then {0,2,4}.
+        // The documented rule — on size ties, the component containing
+        // the smallest node id wins — must hold regardless of edge
+        // insertion order.
+        let g = Graph::from_edges(6, [(1, 3), (3, 5), (5, 1), (0, 2), (2, 4), (4, 0)]).unwrap();
+        assert_eq!(giant_component_nodes(&g), vec![0, 2, 4]);
+        let (gcc, map) = giant_component(&g);
+        assert_eq!(map, vec![0, 2, 4]);
+        assert_eq!(gcc.edge_count(), 3);
+        // and identically on the CSR snapshot
+        assert_eq!(
+            giant_component_nodes(&CsrGraph::from_graph(&g)),
+            vec![0, 2, 4]
+        );
     }
 
     #[test]

@@ -219,6 +219,22 @@ impl Analyzer {
         }
     }
 
+    /// Runs a percolation / targeted-attack sweep (see [`crate::attack`])
+    /// under this analyzer's configuration: the GCC policy decides the
+    /// analyzed graph, the cached CSR snapshot is built once (shared
+    /// with any later metric pass on the same cache), and the
+    /// `sample_sources` / `threads` budgets drive the sampled
+    /// betweenness ranking and the checkpoint distance probes.
+    pub fn attack(
+        &self,
+        g: &Graph,
+        opts: &crate::attack::AttackOptions,
+    ) -> crate::attack::AttackReport {
+        let prep = [AnyMetric::get("attack_threshold").expect("registered")];
+        let cache = AnalysisCache::build(g, &prep, &self.opts);
+        crate::attack::attack_sweep_cached(&cache, opts)
+    }
+
     /// Analyzes an ensemble: `make(rng)` builds replica `i` from the
     /// deterministically derived seed, each replica is analyzed, and the
     /// per-metric summary statistics come back as an

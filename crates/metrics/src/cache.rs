@@ -366,6 +366,18 @@ impl<'g> AnalysisCache<'g> {
         }
     }
 
+    /// The `samples` budget this cache was built with (pivot count for
+    /// sampled passes; attack-sweep checkpoints reuse it).
+    pub(crate) fn samples_budget(&self) -> usize {
+        self.samples
+    }
+
+    /// The resolved worker-thread count (an explicit `threads` cap, or
+    /// the machine default when unset).
+    pub(crate) fn worker_threads(&self) -> usize {
+        self.inner_threads()
+    }
+
     /// The frozen CSR snapshot of the analyzed graph (cached when any
     /// traversal-shaped dep was prepared; built on demand otherwise).
     pub fn csr(&self) -> Cow<'_, CsrGraph> {

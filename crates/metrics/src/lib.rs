@@ -54,6 +54,7 @@
 //! | Laplacian spectrum extremes | [`spectral`] | `λ1`, `λ_{n−1}` |
 //! | k-core decomposition | [`kcore`] | — (beyond-paper check) |
 //! | rich-club connectivity | [`richclub`] | — (beyond-paper check) |
+//! | attack/failure percolation | [`attack`] | — (robustness study) |
 //!
 //! [`report::MetricReport`] — the historical fixed-field scalar battery —
 //! survives as a thin wrapper over the analyzer.
@@ -88,6 +89,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod attack;
 pub mod betweenness;
 pub mod cache;
 pub mod clustering;
@@ -107,6 +109,7 @@ pub mod stream;
 pub mod table;
 
 pub use analyzer::{Analyzer, EnsembleSummary, ScalarSummary};
+pub use attack::{AttackOptions, AttackReport, Checkpoint, Strategy};
 pub use cache::{AnalysisCache, AnalyzeOptions, GccPolicy};
 pub use metric::{AnyMetric, Metric, MetricValue};
 pub use report::{MetricReport, Report};

@@ -15,6 +15,7 @@
 //! | `c_mean`, `transitivity` | scalar | linear | `C̄` (§2) |
 //! | `s`, `s2` | scalar | linear | likelihood `S`, `S2` (§4.3) |
 //! | `kcore_max` | scalar | linear | — (beyond-paper check) |
+//! | `attack_threshold`, `random_failure_threshold` | scalar | incremental | — (robustness study) |
 //! | `d_avg`, `d_std`, `diameter` | scalar | all-pairs | `d̄`, `σ_d` (§2) |
 //! | `b_max` | scalar | all-pairs | max normalized betweenness (§2) |
 //! | `distance_approx` | scalar | sampled | `d̄` estimate (Brandes–Pich pivots) |
@@ -81,6 +82,7 @@
 //! | `trivial`, `linear` | single pass over the snapshot | O(n + m) |
 //! | `sampled` | K pivots through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** |
 //! | `sketch` | ≤ diameter rounds of register unions through the shard executor | **n·2^b bytes** per register file (×2 per round: Jacobi double buffer), error 1.04/√2^b |
+//! | `incremental` | reverse union-find percolation sweep over the snapshot ([`crate::attack`]) | O(n) forest + trajectory |
 //! | `all-pairs` | n sources through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** |
 //! | `spectral` | Lanczos (dense below cutoff) | O(n) iteration vectors |
 //!
@@ -152,6 +154,11 @@ pub enum Cost {
     /// `1.04/√2^b` is set by the register count, not a pivot budget;
     /// see the module docs.
     Sketch,
+    /// O(m·α(n)) per sweep — reverse incremental union-find percolation
+    /// trajectories ([`crate::attack`]): the whole removal curve in one
+    /// near-linear pass, exact (not an estimator) and bit-identical
+    /// across thread counts; see the module docs' route table.
+    Incremental,
     /// O(n·m) — all-source BFS (distances, betweenness). On large
     /// graphs runs via the sharded streaming route with O(workers·n)
     /// working memory; see the module docs' route table.
@@ -168,6 +175,7 @@ impl Cost {
             Cost::Linear => "linear",
             Cost::Sampled => "sampled",
             Cost::Sketch => "sketch",
+            Cost::Incremental => "incremental",
             Cost::AllPairs => "all-pairs",
             Cost::Spectral => "spectral",
         }
@@ -533,6 +541,24 @@ static REGISTRY: &[Def] = &[
         },
     },
     Def {
+        name: "attack_threshold",
+        aliases: &["degree_attack_threshold"],
+        description: "removal fraction halving the GCC under the degree-ranked attack",
+        kind: Kind::Scalar,
+        cost: Cost::Incremental,
+        deps: &[Dep::Csr],
+        compute: crate::attack::attack_threshold_metric,
+    },
+    Def {
+        name: "random_failure_threshold",
+        aliases: &["failure_threshold"],
+        description: "mean removal fraction halving the GCC under seeded uniform failure",
+        kind: Kind::Scalar,
+        cost: Cost::Incremental,
+        deps: &[Dep::Csr],
+        compute: crate::attack::random_failure_threshold_metric,
+    },
+    Def {
         name: "lambda1",
         aliases: &[],
         description: "smallest nonzero normalized-Laplacian eigenvalue λ1 (§2)",
@@ -777,6 +803,11 @@ impl AnyMetric {
              neighborhood sketches (--sketch-bits B in 4..=16, default 8): \
              deterministic, ~1.04/sqrt(2^B) error, n*2^B bytes of registers; \
              select them by name — no set except `all` includes them\n",
+        );
+        out.push_str(
+            "incremental metrics replay a full node-removal sweep in reverse as \
+             union-find insertions (one O(m*alpha) pass, exact and thread-count \
+             invariant); `dk attack` exposes the full trajectory behind them\n",
         );
         out.push_str(
             "large graphs stream all-pairs/sampled passes shard by shard \
