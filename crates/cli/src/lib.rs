@@ -430,7 +430,11 @@ impl Default for AttackCmdOptions {
 }
 
 /// Parses a `--checkpoints` value: comma-separated removal fractions,
-/// each in `0.0..=1.0`.
+/// each in `0.0..=1.0`, returned sorted ascending with exact
+/// duplicates removed — e.g. `0.5,0.1,0.1` parses to `[0.1, 0.5]`.
+/// Normalizing here keeps the CLI surface honest about what the sweep
+/// actually probes (the report is checkpoint-sorted regardless), so
+/// echoed option strings and downstream keys never disagree on order.
 pub fn parse_checkpoints(s: &str) -> Result<Vec<f64>, String> {
     let bad = || {
         format!(
@@ -438,7 +442,7 @@ pub fn parse_checkpoints(s: &str) -> Result<Vec<f64>, String> {
              in 0..=1 (e.g. --checkpoints 0.05,0.1,0.25)"
         )
     };
-    let fractions = s
+    let mut fractions = s
         .split(',')
         .map(str::trim)
         .filter(|t| !t.is_empty())
@@ -450,6 +454,9 @@ pub fn parse_checkpoints(s: &str) -> Result<Vec<f64>, String> {
     if fractions.is_empty() {
         return Err(bad());
     }
+    // every value passed the 0..=1 range check, so no NaNs here
+    fractions.sort_by(f64::total_cmp);
+    fractions.dedup();
     Ok(fractions)
 }
 
@@ -522,6 +529,34 @@ pub fn cmd_attack(graph_path: &Path, opts: &AttackCmdOptions) -> Result<String, 
             out
         }
     })
+}
+
+/// `dk serve`: runs the analysis/generation daemon in the foreground
+/// until a client sends the `shutdown` op. The protocol reference
+/// lives in the `dk_serve` crate docs.
+pub fn cmd_serve(
+    socket: &Path,
+    memory_budget: Option<u64>,
+    threads: usize,
+) -> Result<String, GraphError> {
+    let config = dk_serve::ServerConfig {
+        socket: socket.to_path_buf(),
+        memory_budget,
+        threads,
+    };
+    dk_serve::run(&config)
+        .map_err(|e| GraphError::ConstructionFailed(format!("serve failed on {socket:?}: {e}")))?;
+    Ok(format!(
+        "serve: shut down, removed socket {}",
+        socket.display()
+    ))
+}
+
+/// `dk client`: sends one JSON request line to a running daemon and
+/// prints the one-line response.
+pub fn cmd_client(socket: &Path, request: &str) -> Result<String, GraphError> {
+    dk_serve::one_shot(socket, request)
+        .map_err(|e| GraphError::ConstructionFailed(format!("client failed on {socket:?}: {e}")))
 }
 
 /// `dk census`: prints the Table 5 rewiring census.
@@ -1015,6 +1050,44 @@ mod tests {
             assert!(err.contains("0..=1"), "range named: {err}");
         }
         assert_eq!(parse_checkpoints("0.05, 0.1,0.25").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn checkpoints_are_sorted_and_deduped() {
+        // the doc example: duplicates dropped, order normalized
+        assert_eq!(parse_checkpoints("0.5,0.1,0.1").unwrap(), vec![0.1, 0.5]);
+        assert_eq!(
+            parse_checkpoints("1,0.25,0,0.25").unwrap(),
+            vec![0.0, 0.25, 1.0]
+        );
+        // already-clean input passes through untouched
+        assert_eq!(
+            parse_checkpoints("0.01,0.05,0.1").unwrap(),
+            vec![0.01, 0.05, 0.1]
+        );
+    }
+
+    #[test]
+    fn attack_checkpoints_come_back_ascending() {
+        let graph = write_karate();
+        let j = cmd_attack(
+            &graph,
+            &AttackCmdOptions {
+                checkpoints: Some("0.5,0.1,0.1,0.25".into()),
+                format: OutputFormat::Json,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fractions: Vec<f64> = j
+            .match_indices("\"fraction\":")
+            .map(|(i, _)| {
+                let rest = &j[i + "\"fraction\":".len()..];
+                let end = rest.find([',', '}']).unwrap();
+                rest[..end].parse().unwrap()
+            })
+            .collect();
+        assert_eq!(fractions, vec![0.1, 0.25, 0.5], "ascending, deduped: {j}");
     }
 
     #[test]

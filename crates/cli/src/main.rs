@@ -22,6 +22,8 @@ USAGE:
               [--checkpoints F1,F2,...] [--format text|json] [--no-gcc] [--samples K]
   dk census   <graph.edges> [--max-d D]
   dk viz      <graph.edges> -o <out.svg> [--seed N]
+  dk serve    --socket <path.sock> [--memory-budget B] [--threads N]
+  dk client   --socket <path.sock> '<request JSON>'
 
 Graphs are whitespace edge lists (`#` comments, optional `nodes N` header);
 distribution files are the Orbis-style formats documented in dk-core.
@@ -42,9 +44,17 @@ B` caps their working memory (bytes, K/M/G suffixes). `attack` computes
 the full node-removal percolation trajectory in one reverse union-find
 pass (bit-identical for every thread count): `--strategy` picks the
 removal order (default degree), `--checkpoints` probes the residual GCC
-at the given removal fractions (default 0.01,0.05,0.1,0.25,0.5), and the
-JSON report carries the decimated curve plus the interpolated fraction
-where the GCC halves.";
+at the given removal fractions (default 0.01,0.05,0.1,0.25,0.5; sorted,
+duplicates dropped), and the JSON report carries the decimated curve
+plus the interpolated fraction where the GCC halves. `serve` runs a
+long-lived daemon holding named graphs with warm analysis caches behind
+a line-delimited JSON protocol on a Unix socket (ops: load, metric,
+compare, attack, rewire, generate-into, stats, shutdown — full
+reference in the dk-serve crate docs): identical concurrent requests
+coalesce onto one computation, `--memory-budget` admission-rejects
+requests that cannot fit, and responses are byte-identical for every
+`--threads` value. `client` sends one request line and prints the
+response, e.g. `dk client --socket /tmp/dk.sock '{\"op\":\"stats\"}'`.";
 
 struct Args {
     positional: Vec<String>,
@@ -62,6 +72,8 @@ struct Args {
     sketch_bits: Option<u32>,
     shards: Option<usize>,
     memory_budget: Option<u64>,
+    socket: Option<PathBuf>,
+    threads: Option<usize>,
 }
 
 fn parse(mut raw: Vec<String>) -> Result<Args, String> {
@@ -81,6 +93,8 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
         sketch_bits: None,
         shards: None,
         memory_budget: None,
+        socket: None,
+        threads: None,
     };
     raw.reverse();
     while let Some(tok) = raw.pop() {
@@ -120,6 +134,19 @@ fn parse(mut raw: Vec<String>) -> Result<Args, String> {
                 args.memory_budget = Some(parse_memory_budget(
                     &raw.pop().ok_or("missing value after --memory-budget")?,
                 )?)
+            }
+            "--socket" => {
+                args.socket = Some(PathBuf::from(
+                    raw.pop().ok_or("missing value after --socket")?,
+                ))
+            }
+            "--threads" => {
+                args.threads = Some(
+                    raw.pop()
+                        .ok_or("missing value after --threads")?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                )
             }
             "--seed" => {
                 args.seed = raw
@@ -222,6 +249,14 @@ fn run() -> Result<String, String> {
         "attack" => cmd_attack(p(0)?.as_ref(), &a.attack_options()).map_err(err),
         "census" => cmd_census(p(0)?.as_ref(), a.max_d).map_err(err),
         "viz" => cmd_viz(p(0)?.as_ref(), need_out(&a)?, a.seed).map_err(err),
+        "serve" => {
+            let socket = a.socket.as_ref().ok_or("missing --socket <path.sock>")?;
+            cmd_serve(socket, a.memory_budget, a.threads.unwrap_or(1)).map_err(err)
+        }
+        "client" => {
+            let socket = a.socket.as_ref().ok_or("missing --socket <path.sock>")?;
+            cmd_client(socket, p(0)?).map_err(err)
+        }
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
 }

@@ -1,0 +1,542 @@
+//! # dk-json — hand-rolled JSON value parser
+//!
+//! The workspace builds offline without serde (dropped in PR 1), so its
+//! JSON surface is split into two deliberately small halves:
+//!
+//! * **emission** — `dk_metrics::json`, string assembly for reports and
+//!   the bench log;
+//! * **parsing** — this crate: a recursive-descent parser producing a
+//!   full [`JsonValue`] tree.
+//!
+//! The parser started life as `dk-lint`'s bench-log validity checker
+//! (`jsonchk`), which only needed top-level object keys. The `dk serve`
+//! protocol needs real values — request verbs, knob numbers, nested
+//! options — so the parser was promoted here and extended to build the
+//! tree; `jsonchk` is now a thin wrapper over it. Both consumers are
+//! dependency-free by design (the linter must build before everything
+//! it audits), which is why this crate depends on nothing.
+//!
+//! Properties:
+//!
+//! * **Strict**: trailing garbage, unterminated strings, malformed
+//!   numbers, bad escapes, and lone surrogates are errors with byte
+//!   offsets — never silent repair.
+//! * **Bounded**: nesting deeper than [`MAX_DEPTH`] is rejected, so
+//!   adversarial input cannot overflow the recursion stack.
+//! * **Order-preserving**: object members keep source order (and
+//!   duplicate keys — callers that care, like the bench-log checker,
+//!   can see every occurrence).
+//! * **Deterministic**: no hashing, no allocation-order dependence; the
+//!   same input always produces the same tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Maximum nesting depth accepted — protocol and log lines are flat in
+/// practice; the bound keeps the recursive parser stack-safe on
+/// adversarial input.
+pub const MAX_DEPTH: usize = 64;
+
+/// One parsed JSON value.
+///
+/// Numbers are `f64` (JSON has one number type); object members keep
+/// their source order, duplicates included.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, with escapes decoded.
+    String(String),
+    /// `[...]`.
+    Array(Vec<JsonValue>),
+    /// `{...}` — members in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one JSON value spanning the whole of `text`.
+    ///
+    /// # Errors
+    /// A message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut p = Parser {
+            text,
+            bytes,
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Member `key` of an object (first occurrence); `None` for missing
+    /// keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object members in source order; `None` for non-objects.
+    pub fn entries(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Array elements; `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String content; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value; `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Exactly-integral numeric value in `u64` range; `None` otherwise
+    /// (knob values must not be silently truncated).
+    pub fn as_u64(&self) -> Option<u64> {
+        let x = self.as_f64()?;
+        // f64 holds integers exactly up to 2^53; beyond that a "u64"
+        // in JSON has already lost precision, so refuse it
+        (x.fract() == 0.0 && (0.0..=9007199254740992.0).contains(&x)).then_some(x as u64)
+    }
+
+    /// As [`JsonValue::as_u64`], narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|x| usize::try_from(x).ok())
+    }
+
+    /// Boolean value; `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// The value's JSON type name (`"object"`, `"array"`, `"string"`,
+    /// `"number"`, `"bool"`, `"null"`) — for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Number(_) => "number",
+            JsonValue::String(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    /// Debug-oriented rendering (`{"a":1}` style). Wire emission stays
+    /// with `dk_metrics::json`; this exists for error messages and
+    /// tests.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Number(x) => {
+                if x.is_finite() {
+                    write!(f, "{x}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            JsonValue::String(s) => write!(f, "\"{}\"", escape(s)),
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(members) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(c) => Err(format!(
+                "unexpected {:?} at byte {}",
+                char::from(*c),
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut members = Vec::new();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        let mut out = String::new();
+        let mut run = self.pos; // start of the current escape-free run
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    out.push_str(&self.text[run..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.text[run..self.pos]);
+                    self.pos += 1;
+                    out.push(self.escape_char()?);
+                    run = self.pos;
+                }
+                Some(c) if *c < 0x20 => {
+                    return Err(format!("raw control byte at {} inside string", self.pos))
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(format!("unterminated string starting at byte {start}")),
+            }
+        }
+    }
+
+    /// Decodes one escape sequence (the `\` already consumed).
+    fn escape_char(&mut self) -> Result<char, String> {
+        let at = self.pos;
+        let c = match self.bytes.get(self.pos) {
+            Some(b'"') => '"',
+            Some(b'\\') => '\\',
+            Some(b'/') => '/',
+            Some(b'b') => '\u{8}',
+            Some(b'f') => '\u{c}',
+            Some(b'n') => '\n',
+            Some(b'r') => '\r',
+            Some(b't') => '\t',
+            Some(b'u') => {
+                self.pos += 1;
+                return self.unicode_escape();
+            }
+            _ => return Err(format!("bad escape at byte {at}")),
+        };
+        self.pos += 1;
+        Ok(c)
+    }
+
+    /// Decodes `XXXX` (and a following `\uXXXX` when the first unit is a
+    /// high surrogate); the `\u` introducer is already consumed.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let at = self.pos;
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // high surrogate: require the low half
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
+            {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(code)
+                        .ok_or_else(|| format!("bad surrogate pair at byte {at}"));
+                }
+            }
+            return Err(format!("lone high surrogate at byte {at}"));
+        }
+        if (0xDC00..0xE000).contains(&hi) {
+            return Err(format!("lone low surrogate at byte {at}"));
+        }
+        char::from_u32(hi).ok_or_else(|| format!("bad \\u escape at byte {at}"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let at = self.pos;
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bytes.get(self.pos) {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(format!("bad \\u escape at byte {at}")),
+            };
+            code = (code << 4) | digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = &self.text[start..self.pos];
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(JsonValue::Number(x)),
+            _ => Err(format!("malformed number {text:?} at byte {start}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> JsonValue {
+        JsonValue::parse(s).expect("valid")
+    }
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null"), JsonValue::Null);
+        assert_eq!(parse("true"), JsonValue::Bool(true));
+        assert_eq!(parse("false"), JsonValue::Bool(false));
+        assert_eq!(parse("3.25"), JsonValue::Number(3.25));
+        assert_eq!(parse("-1.5e-3"), JsonValue::Number(-0.0015));
+        assert_eq!(parse("\"hi\""), JsonValue::String("hi".into()));
+        assert_eq!(parse(" 7 "), JsonValue::Number(7.0));
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let v = parse(r#"{"b":1,"a":[2,{"c":null}],"b":3}"#);
+        let entries = v.entries().unwrap();
+        assert_eq!(entries.len(), 3, "duplicate keys kept");
+        assert_eq!(entries[0].0, "b");
+        assert_eq!(entries[2], ("b".into(), JsonValue::Number(3.0)));
+        assert_eq!(v.get("b"), Some(&JsonValue::Number(1.0)), "first wins");
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_f64(), Some(2.0));
+        assert!(a[1].get("c").unwrap().is_null());
+    }
+
+    #[test]
+    fn accessors_are_typed() {
+        let v = parse(r#"{"n":64,"big":1e300,"frac":1.5,"s":"x","yes":true}"#);
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(64));
+        assert_eq!(v.get("n").unwrap().as_usize(), Some(64));
+        assert_eq!(v.get("big").unwrap().as_u64(), None, "not exactly integral");
+        assert_eq!(v.get("frac").unwrap().as_u64(), None);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("yes").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        assert_eq!(v.type_name(), "object");
+        assert_eq!(v.get("s").unwrap().type_name(), "string");
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        assert_eq!(parse(r#""a\"b\\c\n\t\/""#).as_str(), Some("a\"b\\c\n\t/"));
+        assert_eq!(parse(r#""Aé""#).as_str(), Some("Aé"));
+        // astral plane via surrogate pair
+        assert_eq!(parse(r#""😀""#).as_str(), Some("😀"));
+        // raw multi-byte UTF-8 passes through
+        assert_eq!(parse("\"αβ\"").as_str(), Some("αβ"));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\" 1}",
+            "{\"a\": }",
+            "[1, 2",
+            "{\"a\":1} trailing",
+            "nul",
+            "{\"n\": 1.2.3}",
+            "\"open",
+            "1e999",
+            r#""\q""#,
+            r#""\u12g4""#,
+            r#""\ud800""#,
+            r#""\udc00 lone low""#,
+            "\"raw\u{1}control\"",
+            "[1,]",
+            "{\"a\":1,}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        let err = JsonValue::parse("{\"a\":!}").unwrap_err();
+        assert!(err.contains("byte 5"), "{err}");
+        let err = JsonValue::parse("[1, 2").unwrap_err();
+        assert!(err.contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(JsonValue::parse(&deep).is_err());
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            r#"{"bench":"csr","n":100000,"ok":true,"tags":[1,2],"nested":{"a":null}}"#,
+            r#"[1,2.5,"x\n",false]"#,
+            "null",
+        ] {
+            let v = parse(text);
+            assert_eq!(JsonValue::parse(&v.to_string()).unwrap(), v, "{text}");
+        }
+    }
+}

@@ -1,34 +1,32 @@
-//! Minimal JSON validity checker for the bench log.
+//! Bench-log JSON schema check, over the shared [`dk_json`] parser.
 //!
 //! `results/BENCH_metrics.json` is a JSON-lines perf log appended to by
 //! the `perf_*` bench binaries (`dk_bench::append_json_line`); nothing
-//! in the workspace ever *reads* it back, which is exactly how a log
-//! format rots. `dk-lint --bench-log` re-parses every line with this
-//! hand-rolled recursive-descent parser (the workspace ships no JSON
-//! reader — `dk_metrics::json` is a writer) and checks the one schema
-//! invariant every consumer of the log relies on: each line is a JSON
-//! **object** carrying a `"bench"` key that names the emitting
-//! benchmark.
+//! in the workspace ever *read* it back until the serve daemon arrived,
+//! which is exactly how a log format rots. `dk-lint --bench-log`
+//! re-parses every line and checks the one schema invariant every
+//! consumer of the log relies on: each line is a JSON **object**
+//! carrying a `"bench"` key that names the emitting benchmark.
+//!
+//! The recursive-descent parser that used to live here was promoted to
+//! the dependency-free `dk-json` crate (PR 9) so the serve protocol
+//! could parse full value trees with it; this module keeps only the
+//! bench-log schema logic.
 
-/// Maximum nesting depth accepted — the log is flat in practice; the
-/// bound keeps the recursive parser stack-safe on adversarial input.
-const MAX_DEPTH: usize = 64;
+use dk_json::JsonValue;
 
 /// Parses one JSON value spanning the whole of `line` and returns the
-/// top-level object keys (empty for non-object values).
+/// top-level object keys (duplicates included; empty for non-object
+/// values).
 ///
 /// # Errors
 /// A message with a byte offset on malformed input.
 pub fn parse_line(line: &str) -> Result<Vec<String>, String> {
-    let bytes = line.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
-    p.skip_ws();
-    let keys = p.value(0)?;
-    p.skip_ws();
-    if p.pos != bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(keys)
+    let value = JsonValue::parse(line)?;
+    Ok(value
+        .entries()
+        .map(|members| members.iter().map(|(k, _)| k.clone()).collect())
+        .unwrap_or_default())
 }
 
 /// Validates a whole JSON-lines log: every non-empty line parses and
@@ -54,160 +52,6 @@ pub fn check_bench_log(contents: &str) -> Vec<(usize, String)> {
         problems.push((1, "bench log is empty".to_string()));
     }
     problems
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
-        }
-    }
-
-    /// Parses one value; returns its keys if it is an object.
-    fn value(&mut self, depth: usize) -> Result<Vec<String>, String> {
-        if depth > MAX_DEPTH {
-            return Err(format!("nesting deeper than {MAX_DEPTH}"));
-        }
-        match self.bytes.get(self.pos) {
-            Some(b'{') => self.object(depth),
-            Some(b'[') => {
-                self.pos += 1;
-                self.skip_ws();
-                if self.bytes.get(self.pos) == Some(&b']') {
-                    self.pos += 1;
-                    return Ok(Vec::new());
-                }
-                loop {
-                    self.value(depth + 1)?;
-                    self.skip_ws();
-                    match self.bytes.get(self.pos) {
-                        Some(b',') => {
-                            self.pos += 1;
-                            self.skip_ws();
-                        }
-                        Some(b']') => {
-                            self.pos += 1;
-                            return Ok(Vec::new());
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-                    }
-                }
-            }
-            Some(b'"') => {
-                self.string()?;
-                Ok(Vec::new())
-            }
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => {
-                self.number()?;
-                Ok(Vec::new())
-            }
-            Some(c) => Err(format!(
-                "unexpected {:?} at byte {}",
-                char::from(*c),
-                self.pos
-            )),
-            None => Err("unexpected end of line".to_string()),
-        }
-    }
-
-    fn object(&mut self, depth: usize) -> Result<Vec<String>, String> {
-        self.expect(b'{')?;
-        self.skip_ws();
-        let mut keys = Vec::new();
-        if self.bytes.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            return Ok(keys);
-        }
-        loop {
-            self.skip_ws();
-            keys.push(self.string()?);
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            self.value(depth + 1)?;
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(keys);
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let start = self.pos;
-        let mut out = String::new();
-        while let Some(&b) = self.bytes.get(self.pos) {
-            match b {
-                b'"' => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    // escape: skip the introducer and the escaped byte
-                    // (\uXXXX consumes its 4 hex digits as ordinary
-                    // bytes on later iterations — validity of the hex
-                    // is not this checker's concern)
-                    self.pos += 2;
-                    out.push('\u{FFFD}');
-                }
-                _ => {
-                    out.push(char::from(b));
-                    self.pos += 1;
-                }
-            }
-        }
-        Err(format!("unterminated string starting at byte {start}"))
-    }
-
-    fn number(&mut self) -> Result<(), String> {
-        let start = self.pos;
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        ) {
-            self.pos += 1;
-        }
-        let text: String = self.bytes[start..self.pos]
-            .iter()
-            .map(|&b| char::from(b))
-            .collect();
-        if text.parse::<f64>().is_ok() {
-            Ok(())
-        } else {
-            Err(format!("malformed number {text:?} at byte {start}"))
-        }
-    }
-
-    fn literal(&mut self, word: &str) -> Result<Vec<String>, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(Vec::new())
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
 }
 
 #[cfg(test)]
@@ -250,6 +94,12 @@ mod tests {
     fn deep_nesting_is_bounded() {
         let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
         assert!(parse_line(&deep).is_err());
+    }
+
+    #[test]
+    fn non_objects_have_no_keys() {
+        assert!(parse_line("[1,2]").unwrap().is_empty());
+        assert!(parse_line("42").unwrap().is_empty());
     }
 
     #[test]

@@ -700,6 +700,8 @@ const RATCHET_SCOPE: &[&str] = &[
     "crates/topologies/src/",
     "crates/cli/src/",
     "crates/lint/src/",
+    "crates/json/src/",
+    "crates/serve/src/",
 ];
 
 /// `true` if `rel` is ratcheted.

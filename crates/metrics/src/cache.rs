@@ -52,6 +52,16 @@ use dk_graph::{traversal, CsrGraph, Graph};
 use dk_linalg::laplacian::SpectralExtremes;
 use std::borrow::Cow;
 
+/// Fraction of the original `total` nodes retained by the extracted
+/// GCC (`1.0` on an empty input, matching the historical convention).
+fn retained_fraction(gcc: &Graph, total: usize) -> f64 {
+    if total == 0 {
+        1.0
+    } else {
+        gcc.node_count() as f64 / total as f64
+    }
+}
+
 /// Whether metrics describe the giant connected component (the paper's
 /// §5.2 convention, the default) or the whole input graph.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -95,6 +105,13 @@ pub struct AnalyzeOptions {
     pub memory_budget: Option<u64>,
     /// Route policy for the traversal passes — see [`stream::plan`].
     pub exec: ExecMode,
+    /// Generation stamp of the graph this analysis reads. Long-lived
+    /// holders (the `dk serve` registry) bump a per-graph epoch on every
+    /// mutation and stamp it here at build time; comparing
+    /// [`AnalysisCache::epoch`] against the current epoch makes a stale
+    /// cache *detectable by construction* instead of silently reusable.
+    /// Pure bookkeeping — no effect on any computed value. Default `0`.
+    pub epoch: u64,
 }
 
 impl Default for AnalyzeOptions {
@@ -109,6 +126,7 @@ impl Default for AnalyzeOptions {
             shards: None,
             memory_budget: None,
             exec: ExecMode::Auto,
+            epoch: 0,
         }
     }
 }
@@ -145,6 +163,9 @@ pub struct AnalysisCache<'g> {
     /// Resolved execution plan for the traversal passes (route, shard
     /// count, worker count).
     exec: ExecPlan,
+    /// Generation stamp copied from [`AnalyzeOptions::epoch`] at build
+    /// time (see there).
+    epoch: u64,
     /// Frozen CSR snapshot of `target`, shared by every traversal-shaped
     /// pass ([`Dep::Csr`]).
     csr: Option<CsrGraph>,
@@ -163,28 +184,77 @@ impl<'g> AnalysisCache<'g> {
     /// internally), with distances and betweenness fused into one
     /// traversal when both are needed.
     pub fn build(g: &'g Graph, metrics: &[AnyMetric], opts: &AnalyzeOptions) -> Self {
+        let (target, gcc_fraction, gcc_applied) = match opts.gcc {
+            GccPolicy::Extract => {
+                let (gcc, _) = traversal::giant_component(g);
+                let fraction = retained_fraction(&gcc, g.node_count());
+                (Cow::Owned(gcc), fraction, true)
+            }
+            GccPolicy::Whole => (Cow::Borrowed(g), 1.0, false),
+        };
+        Self::finish(
+            g.node_count(),
+            g.edge_count(),
+            target,
+            gcc_fraction,
+            gcc_applied,
+            metrics,
+            opts,
+        )
+    }
+
+    /// As [`AnalysisCache::build`], but takes the graph by value, so the
+    /// cache borrows nothing — the `'static` lifetime long-lived holders
+    /// need. The `dk serve` registry keeps one of these warm per graph
+    /// (sharing the analyzed graph, the frozen CSR snapshot, and every
+    /// prepared dep across requests) next to the epoch that stamps it.
+    pub fn build_owned(
+        g: Graph,
+        metrics: &[AnyMetric],
+        opts: &AnalyzeOptions,
+    ) -> AnalysisCache<'static> {
+        let original_nodes = g.node_count();
+        let original_edges = g.edge_count();
+        let (target, gcc_fraction, gcc_applied) = match opts.gcc {
+            GccPolicy::Extract => {
+                let (gcc, _) = traversal::giant_component(&g);
+                let fraction = retained_fraction(&gcc, original_nodes);
+                (Cow::Owned(gcc), fraction, true)
+            }
+            GccPolicy::Whole => (Cow::Owned(g), 1.0, false),
+        };
+        AnalysisCache::finish(
+            original_nodes,
+            original_edges,
+            target,
+            gcc_fraction,
+            gcc_applied,
+            metrics,
+            opts,
+        )
+    }
+
+    /// Shared tail of [`AnalysisCache::build`]/[`AnalysisCache::build_owned`]:
+    /// unions the metrics' deps and computes each shared pass once.
+    fn finish(
+        original_nodes: usize,
+        original_edges: usize,
+        target: Cow<'g, Graph>,
+        gcc_fraction: f64,
+        gcc_applied: bool,
+        metrics: &[AnyMetric],
+        opts: &AnalyzeOptions,
+    ) -> Self {
         let deps: Vec<Dep> = {
             let mut d: Vec<Dep> = metrics.iter().flat_map(|m| m.deps()).copied().collect();
             d.sort_unstable();
             d.dedup();
             d
         };
-        let (target, gcc_fraction, gcc_applied) = match opts.gcc {
-            GccPolicy::Extract => {
-                let (gcc, _) = traversal::giant_component(g);
-                let fraction = if g.node_count() == 0 {
-                    1.0
-                } else {
-                    gcc.node_count() as f64 / g.node_count() as f64
-                };
-                (Cow::Owned(gcc), fraction, true)
-            }
-            GccPolicy::Whole => (Cow::Borrowed(g), 1.0, false),
-        };
         let exec = stream::plan(target.node_count(), target.edge_count(), opts);
         let mut cache = AnalysisCache {
-            original_nodes: g.node_count(),
-            original_edges: g.edge_count(),
+            original_nodes,
+            original_edges,
             target,
             gcc_fraction,
             gcc_applied,
@@ -194,6 +264,7 @@ impl<'g> AnalysisCache<'g> {
             sketch_bits: opts.sketch_bits,
             sketch_rounds: opts.sketch_rounds,
             exec,
+            epoch: opts.epoch,
             csr: None,
             triangles: None,
             traversal: None,
@@ -356,6 +427,14 @@ impl<'g> AnalysisCache<'g> {
     /// [`stream::plan`] for the selection rules.
     pub fn exec_plan(&self) -> ExecPlan {
         self.exec
+    }
+
+    /// The generation stamp this cache was built at
+    /// ([`AnalyzeOptions::epoch`]; `0` unless the builder set one).
+    /// A holder that mutates its graph must bump its epoch, at which
+    /// point `cache.epoch() != current_epoch` marks this cache stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn inner_threads(&self) -> usize {

@@ -1,0 +1,65 @@
+//! Minimal blocking client for the serve protocol: one request line
+//! out, one response line back. Used by `dk client` and by the
+//! integration tests / perf bench.
+
+use crate::protocol::MAX_REQUEST_BYTES;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected protocol client. Requests sent through one client are
+/// answered strictly in order (the server handles each connection
+/// sequentially).
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon's Unix socket.
+    pub fn connect(socket: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(socket)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads the one response line (without
+    /// its trailing newline). `request` must not contain a newline.
+    pub fn request(&mut self, request: &str) -> std::io::Result<String> {
+        if request.len() > MAX_REQUEST_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
+            ));
+        }
+        if request.contains('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "request must be a single line",
+            ));
+        }
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+/// Connects, sends one request, returns the response line.
+pub fn one_shot(socket: &Path, request: &str) -> std::io::Result<String> {
+    Client::connect(socket)?.request(request)
+}

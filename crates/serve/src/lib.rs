@@ -1,0 +1,66 @@
+//! # dk-serve — long-running analysis/generation daemon
+//!
+//! Re-measuring a large topology for every `dk metrics` invocation
+//! re-pays graph loading, GCC extraction, and CSR construction each
+//! time. `dk serve` keeps that state warm: a daemon holds a registry of
+//! **named graphs**, each owning a frozen snapshot plus a warm
+//! [`dk_metrics::AnalysisCache`], and answers analysis/generation
+//! requests over a line-delimited JSON protocol on a Unix socket.
+//!
+//! ```text
+//! dk serve  --socket /tmp/dk.sock [--memory-budget BYTES] [--threads N]
+//! dk client --socket /tmp/dk.sock '{"op":"stats"}'
+//! ```
+//!
+//! Three properties the tests enforce:
+//!
+//! * **Batched coalescing** — identical concurrent requests (same
+//!   graph, epoch, op, knobs) collapse onto one computation; sequential
+//!   repeats replay from a per-epoch memo ([`registry`]).
+//! * **Admission control** — requests are priced against the streamed
+//!   executor's byte model before any allocation; over-budget requests
+//!   get a structured `over_budget` error instead of an OOM, and
+//!   admitted ones carry the budget into the executor ([`registry`]).
+//! * **Determinism** — the same request stream with the same seeds
+//!   produces byte-identical response bodies for every `--threads`
+//!   value ([`server`]).
+//!
+//! # Protocol reference
+//!
+//! One request per line, one JSON object per request; one JSON object
+//! per response line. Requests over 1 MiB ([`protocol::MAX_REQUEST_BYTES`])
+//! are rejected and the connection closed. Successful responses carry
+//! `"ok":true` and echo `"op"`; failures are
+//! `{"ok":false,"error":{"code":…,"message":…}}` with codes
+//! `parse`, `bad_request`, `unknown_op`, `unknown_graph`,
+//! `unknown_metric`, `bad_knob`, `over_budget`, `io`, `oversized`.
+//!
+//! | op | request fields | response (beyond `ok`/`op`) |
+//! |----|----------------|------------------------------|
+//! | `load` | `graph`, `path` | `graph`, `epoch`, `n`, `m` |
+//! | `metric` | `graph`, `metrics?` (list or `cheap`/`default`/`all`), `no_gcc?`, `samples?`, `sketch_bits?`, `shards?`, `memory_budget?` | `graph`, `result:{epoch, graph_summary, values}` |
+//! | `compare` | `a`, `b`, + the `metric` knobs | `distances:{d1,d2,d3}`, `a`/`b` sides with `result` fragments |
+//! | `attack` | `graph`, `strategy?`, `seed?`, `checkpoints?` (array in `0..=1`), `samples?`, `no_gcc?` | `graph`, `epoch`, `report` (the `dk attack` JSON) |
+//! | `rewire` | `graph`, `d` (0..=3), `attempts?`, `seed?` | `graph`, new `epoch`, `accepted`, `attempts`, `n`, `m` |
+//! | `generate-into` | `graph` (dest), `from` (source), `d`, `algo?` (default `pseudograph`), `seed?` | `graph`, `from`, `algo`, `d`, new `epoch`, `n`, `m` |
+//! | `stats` | — | `graphs` (sorted by name), `counters` |
+//! | `shutdown` | — | — (daemon exits after responding) |
+//!
+//! Metric values in `values` use a **tagged** encoding that separates
+//! "undefined on this graph" from "computed but not finite" — see
+//! [`protocol::tagged_value`]. `load`, `rewire`, and `generate-into`
+//! bump the entry's **epoch**, atomically invalidating its warm cache
+//! and memoized responses; `stats` counters reflect scheduling and are
+//! the one response exempt from the byte-identity contract.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::{one_shot, Client};
+pub use protocol::{ReqError, MAX_REQUEST_BYTES};
+pub use registry::{Counters, Registry};
+pub use server::{handle_line, run, Server, ServerConfig};
