@@ -39,7 +39,7 @@
 //! |----|----------------|------------------------------|
 //! | `load` | `graph`, `path` | `graph`, `epoch`, `n`, `m` |
 //! | `metric` | `graph`, `metrics?` (list or `cheap`/`default`/`all`), `no_gcc?`, `samples?`, `sketch_bits?`, `shards?`, `memory_budget?` | `graph`, `result:{epoch, graph_summary, values}` |
-//! | `compare` | `a`, `b`, + the `metric` knobs | `distances:{d1,d2,d3}`, `a`/`b` sides with `result` fragments |
+//! | `compare` | `a`, `b`, + the `metric` knobs | `distances:{d1,d2,d3,epoch_a,epoch_b}`, `a`/`b` sides with `result` fragments (both sides and the distances are computed from one snapshot per graph, captured up front) |
 //! | `attack` | `graph`, `strategy?`, `seed?`, `checkpoints?` (array in `0..=1`), `samples?`, `no_gcc?` | `graph`, `epoch`, `report` (the `dk attack` JSON) |
 //! | `rewire` | `graph`, `d` (0..=3), `attempts?`, `seed?` | `graph`, new `epoch`, `accepted`, `attempts`, `n`, `m` |
 //! | `generate-into` | `graph` (dest), `from` (source), `d`, `algo?` (default `pseudograph`), `seed?` | `graph`, `from`, `algo`, `d`, new `epoch`, `n`, `m` |
@@ -50,8 +50,11 @@
 //! "undefined on this graph" from "computed but not finite" — see
 //! [`protocol::tagged_value`]. `load`, `rewire`, and `generate-into`
 //! bump the entry's **epoch**, atomically invalidating its warm cache
-//! and memoized responses; `stats` counters reflect scheduling and are
-//! the one response exempt from the byte-identity contract.
+//! and memoized responses; `rewire` and `generate-into` are priced
+//! through the same admission gate as analysis ops (the mutable
+//! clone / generated graph is the footprint), so an over-budget daemon
+//! rejects them structurally too. `stats` counters reflect scheduling
+//! and are the one response exempt from the byte-identity contract.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -18,10 +18,14 @@
 //! Identical concurrent work — same `(graph, epoch, op, knobs)` key —
 //! collapses onto one computation: the first requester inserts a
 //! [`Flight`] and computes; later arrivals find the flight, park on its
-//! condvar, and are counted in [`Counters::coalesced`]. Completed
-//! responses are memoized per entry (keyed by the same string), so
-//! *sequential* repeats are also free ([`Counters::memo_hits`]) until
-//! the next mutation clears the memo.
+//! condvar, and are counted in [`Counters::coalesced`]. The flight
+//! table is registry-global, so every key embeds the graph *name* as
+//! well as the observed epoch — two same-epoch graphs must never share
+//! a flight. A computation that panics still resolves its flight (with
+//! a structured `io` error) on unwind, so followers are never wedged.
+//! Completed responses are memoized per entry (keyed by the same
+//! string), so *sequential* repeats are also free
+//! ([`Counters::memo_hits`]) until the next mutation clears the memo.
 //!
 //! # Admission
 //!
@@ -101,8 +105,8 @@ pub struct GraphState {
     pub graph: Arc<Graph>,
     /// Warm cache from the most recent metric pass, if still valid.
     pub warm: Option<WarmCache>,
-    /// Completed response bodies keyed by `(epoch, op, knobs)` strings;
-    /// cleared on mutation.
+    /// Completed response bodies keyed by `(graph, epoch, op, knobs)`
+    /// strings; cleared on mutation.
     pub memo: DetHashMap<String, String>,
 }
 
@@ -207,7 +211,8 @@ impl Registry {
     }
 
     /// Runs `compute` under the coalescing/memo discipline for `key`
-    /// (which must already embed the observed epoch):
+    /// (which must already embed the graph name and the observed
+    /// epoch — the flight table is registry-global):
     ///
     /// 1. memo hit on `slot` → replay the stored response;
     /// 2. identical flight in progress → park, count as coalesced,
@@ -253,6 +258,34 @@ impl Registry {
                 .unwrap_or_else(|| Err(ReqError::new("io", "in-flight computation vanished")));
         }
         Counters::bump(&self.counters.computed);
+        // resolve-on-drop guard: if `compute` panics, the unwind still
+        // publishes an error result, wakes parked followers, and frees
+        // the key — otherwise the flight would wedge forever (current
+        // followers *and* every future identical request).
+        struct Resolve<'a> {
+            reg: &'a Registry,
+            flight: &'a Flight,
+            key: &'a str,
+        }
+        impl Drop for Resolve<'_> {
+            fn drop(&mut self) {
+                let mut result = lock(&self.flight.result);
+                if result.is_none() {
+                    *result = Some(Err(ReqError::new(
+                        "io",
+                        "the computation serving this request panicked",
+                    )));
+                }
+                drop(result);
+                self.flight.done.notify_all();
+                lock(&self.reg.flights).remove(self.key);
+            }
+        }
+        let resolve = Resolve {
+            reg: self,
+            flight: &flight,
+            key,
+        };
         let outcome = compute();
         if let Ok(body) = &outcome {
             let mut state = lock(slot);
@@ -261,8 +294,7 @@ impl Registry {
             }
         }
         *lock(&flight.result) = Some(outcome.clone());
-        flight.done.notify_all();
-        lock(&self.flights).remove(key);
+        drop(resolve);
         outcome
     }
 
@@ -434,6 +466,55 @@ mod tests {
         assert_eq!(b, "slow-body");
         assert_eq!(Counters::get(&reg.counters.computed), 1);
         assert_eq!(Counters::get(&reg.counters.coalesced), 1);
+    }
+
+    /// Panic safety: a leader that panics inside `compute` must still
+    /// resolve the flight — parked followers get a structured `io`
+    /// error, and the key is freed so the next request recomputes
+    /// instead of parking on a wedged flight forever.
+    #[test]
+    fn panicking_compute_does_not_wedge_the_flight() {
+        let reg = Arc::new(registry_with("g", path_graph(3)));
+        let slot = reg.slot("g").expect("loaded");
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let leader = {
+            let reg = reg.clone();
+            let slot = slot.clone();
+            thread::spawn(move || {
+                reg.coalesce(&slot, 1, "g=g;e1:metric:boom", move || {
+                    let _ = release_rx.recv();
+                    panic!("computation exploded");
+                })
+            })
+        };
+        while Counters::get(&reg.counters.computed) == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let follower = {
+            let reg = reg.clone();
+            let slot = slot.clone();
+            thread::spawn(move || {
+                reg.coalesce(&slot, 1, "g=g;e1:metric:boom", || {
+                    Err(ReqError::new("io", "follower must never compute"))
+                })
+            })
+        };
+        while Counters::get(&reg.counters.coalesced) == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        release_tx.send(()).expect("leader is waiting");
+        assert!(leader.join().is_err(), "leader panicked");
+        let err = follower
+            .join()
+            .expect("follower thread survives")
+            .expect_err("follower sees the failure");
+        assert_eq!(err.code, "io");
+        // nothing was memoized and the key is free again: recomputes
+        let fresh = reg
+            .coalesce(&slot, 1, "g=g;e1:metric:boom", || Ok("fresh".to_string()))
+            .expect("ok");
+        assert_eq!(fresh, "fresh");
+        assert_eq!(Counters::get(&reg.counters.computed), 2);
     }
 
     #[test]

@@ -34,7 +34,8 @@ use std::thread::JoinHandle;
 /// Knobs of one daemon instance.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Path of the Unix socket to bind (a stale file is replaced).
+    /// Path of the Unix socket to bind (a stale socket file is
+    /// replaced; a live daemon's socket or a non-socket file is not).
     pub socket: PathBuf,
     /// Server-wide memory budget for admission control.
     pub memory_budget: Option<u64>,
@@ -195,18 +196,54 @@ fn analyze_options(
     opts
 }
 
+/// Flight/memo key for a metric pass. The flight table is
+/// registry-global, so the key must embed the graph *name*: two
+/// freshly loaded graphs share an epoch, and without the name their
+/// identical-knob requests would coalesce onto one computation and one
+/// would receive the other's values.
+fn metric_key(name: &str, epoch: u64, knobs_key: &str) -> String {
+    format!("g={name};e{epoch}:metric:{knobs_key}")
+}
+
+/// One consistent view of a slot for an analysis pass: the observed
+/// epoch, the frozen snapshot, and the warm cache if it matches
+/// `knobs` — all read under a single lock acquisition.
+fn snapshot(
+    slot: &crate::registry::GraphSlot,
+    knobs: &MetricKnobs,
+) -> (
+    u64,
+    Arc<dk_graph::Graph>,
+    Option<Arc<AnalysisCache<'static>>>,
+) {
+    let state = lock(slot);
+    let warm = state
+        .warm
+        .as_ref()
+        .and_then(|w| (w.epoch == state.epoch && w.knobs == knobs.key).then(|| w.cache.clone()));
+    (state.epoch, state.graph.clone(), warm)
+}
+
 /// The memoizable per-graph analysis fragment
 /// (`{"epoch":…,"graph_summary":…,"values":…}`), produced under the
 /// coalescing discipline, reusing/refreshing the slot's warm cache.
 fn metric_fragment(reg: &Registry, name: &str, knobs: &MetricKnobs) -> Result<String, ReqError> {
     let slot = reg.slot(name)?;
-    let (epoch, graph, warm) = {
-        let state = lock(&slot);
-        let warm = state.warm.as_ref().and_then(|w| {
-            (w.epoch == state.epoch && w.knobs == knobs.key).then(|| w.cache.clone())
-        });
-        (state.epoch, state.graph.clone(), warm)
-    };
+    let (epoch, graph, warm) = snapshot(&slot, knobs);
+    metric_fragment_at(reg, name, &slot, epoch, graph, warm, knobs)
+}
+
+/// [`metric_fragment`] over an already-captured `(epoch, graph, warm)`
+/// snapshot, so `compare` can pin both sides once up front.
+fn metric_fragment_at(
+    reg: &Registry,
+    name: &str,
+    slot: &crate::registry::GraphSlot,
+    epoch: u64,
+    graph: Arc<dk_graph::Graph>,
+    warm: Option<Arc<AnalysisCache<'static>>>,
+    knobs: &MetricKnobs,
+) -> Result<String, ReqError> {
     let budget = reg.admit(
         graph.node_count(),
         graph.edge_count(),
@@ -214,8 +251,8 @@ fn metric_fragment(reg: &Registry, name: &str, knobs: &MetricKnobs) -> Result<St
         knobs.sketch_bits.map_or(8, |b| b as u32),
         knobs.memory_budget,
     )?;
-    let key = format!("e{epoch}:metric:{}", knobs.key);
-    reg.coalesce(&slot, epoch, &key, || {
+    let key = metric_key(name, epoch, &knobs.key);
+    reg.coalesce(slot, epoch, &key, || {
         let cache = match warm {
             Some(cache) => cache,
             None => {
@@ -225,7 +262,7 @@ fn metric_fragment(reg: &Registry, name: &str, knobs: &MetricKnobs) -> Result<St
                     &knobs.metrics,
                     &opts,
                 ));
-                let mut state = lock(&slot);
+                let mut state = lock(slot);
                 if state.epoch == epoch {
                     state.warm = Some(WarmCache {
                         knobs: knobs.key.clone(),
@@ -277,22 +314,20 @@ fn op_compare(reg: &Registry, req: &Req<'_>) -> Result<String, ReqError> {
     let a_name = req.str_field("a")?;
     let b_name = req.str_field("b")?;
     let knobs = parse_metric_knobs(req)?;
-    // per-graph batteries share flight/memo keys with the metric op —
-    // a compare racing a metric on the same graph coalesces with it
-    let frag_a = metric_fragment(reg, a_name, &knobs)?;
-    let frag_b = metric_fragment(reg, b_name, &knobs)?;
-    // dK-distances over the original snapshots, under their own key
     let slot_a = reg.slot(a_name)?;
     let slot_b = reg.slot(b_name)?;
-    let (ea, ga) = {
-        let s = lock(&slot_a);
-        (s.epoch, s.graph.clone())
-    };
-    let (eb, gb) = {
-        let s = lock(&slot_b);
-        (s.epoch, s.graph.clone())
-    };
-    let dist_key = format!("e{ea}:compare-dist:b={b_name};eb={eb}");
+    // one snapshot per side, captured up front: the metric fragments
+    // and the dK-distance block below describe the same (epoch, graph)
+    // pair even if a mutation lands mid-compare
+    let (ea, ga, warm_a) = snapshot(&slot_a, &knobs);
+    let (eb, gb, warm_b) = snapshot(&slot_b, &knobs);
+    // per-graph batteries share flight/memo keys with the metric op —
+    // a compare racing a metric on the same graph coalesces with it
+    let frag_a = metric_fragment_at(reg, a_name, &slot_a, ea, ga.clone(), warm_a, &knobs)?;
+    let frag_b = metric_fragment_at(reg, b_name, &slot_b, eb, gb.clone(), warm_b, &knobs)?;
+    // dK-distances over the same snapshots, under their own key (both
+    // names + both epochs: the flight table is registry-global)
+    let dist_key = format!("g={a_name};e{ea}:compare-dist:g={b_name};eb={eb}");
     let distances = reg.coalesce(&slot_a, ea, &dist_key, || {
         let d1 = Dist1K::from_graph(&ga).distance_sq(&Dist1K::from_graph(&gb));
         let d2 = Dist2K::from_graph(&ga).distance_sq(&Dist2K::from_graph(&gb));
@@ -301,6 +336,8 @@ fn op_compare(reg: &Registry, req: &Req<'_>) -> Result<String, ReqError> {
             ("d1".into(), json::number(d1)),
             ("d2".into(), json::number(d2)),
             ("d3".into(), json::number(d3)),
+            ("epoch_a".into(), ea.to_string()),
+            ("epoch_b".into(), eb.to_string()),
         ]))
     })?;
     let side = |name: &str, frag: String| {
@@ -340,8 +377,8 @@ fn op_attack(reg: &Registry, req: &Req<'_>) -> Result<String, ReqError> {
     // gate them on the same fixed-footprint floor as a metric pass
     reg.admit(graph.node_count(), graph.edge_count(), &[], 8, None)?;
     let key = format!(
-        "e{epoch}:attack:strategy={strategy};seed={seed};checkpoints={checkpoints:?};\
-         samples={samples:?};gcc={}",
+        "g={name};e{epoch}:attack:strategy={strategy};seed={seed};\
+         checkpoints={checkpoints:?};samples={samples:?};gcc={}",
         !no_gcc
     );
     let attack_opts = AttackOptions {
@@ -377,6 +414,9 @@ fn op_rewire(reg: &Registry, req: &Req<'_>) -> Result<String, ReqError> {
     let attempts = req.opt_u64("attempts")?;
     let slot = reg.slot(name)?;
     let graph = lock(&slot).graph.clone();
+    // the rewire works on a full mutable clone of the snapshot: price
+    // that footprint through the admission gate before allocating it
+    reg.admit(graph.node_count(), graph.edge_count(), &[], 8, None)?;
     let mut g = (*graph).clone();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
     let opts = RewireOptions {
@@ -412,6 +452,9 @@ fn op_generate_into(reg: &Registry, req: &Req<'_>) -> Result<String, ReqError> {
         let state = lock(&slot);
         state.graph.clone()
     };
+    // generation materializes a census and a graph on the source's
+    // scale: gate it on the same fixed-footprint floor as a metric pass
+    reg.admit(source.node_count(), source.edge_count(), &[], 8, None)?;
     let generated = if algo.needs_reference() {
         Generator::new(algo)
             .seed(seed)
@@ -493,10 +536,35 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `config.socket` (replacing a stale socket file) and spawns
-    /// the accept loop.
+    /// Binds `config.socket` and spawns the accept loop.
+    ///
+    /// A pre-existing file at the path is only removed when it is a
+    /// socket nobody answers on (a stale file left by a dead daemon):
+    /// if a live daemon accepts a connection the bind is refused with
+    /// `AddrInUse`, and a non-socket file is never deleted.
     pub fn spawn(config: &ServerConfig) -> std::io::Result<Server> {
-        let _ = std::fs::remove_file(&config.socket);
+        use std::os::unix::fs::FileTypeExt;
+        match std::fs::symlink_metadata(&config.socket) {
+            Ok(meta) if meta.file_type().is_socket() => {
+                if UnixStream::connect(&config.socket).is_ok() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!("a daemon is already listening on {:?}", config.socket),
+                    ));
+                }
+                std::fs::remove_file(&config.socket)?;
+            }
+            Ok(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    format!(
+                        "{:?} exists and is not a socket; refusing to replace it",
+                        config.socket
+                    ),
+                ));
+            }
+            Err(_) => {}
+        }
         let listener = UnixListener::bind(&config.socket)?;
         let registry = Arc::new(Registry::new(config.memory_budget, config.threads));
         let reg = registry.clone();
@@ -624,5 +692,67 @@ fn serve_connection(stream: UnixStream, reg: &Arc<Registry>, socket: &Path) {
         if oversized {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_graph::Graph;
+    use std::sync::mpsc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge((i - 1) as u32, i as u32).expect("valid edge");
+        }
+        g
+    }
+
+    /// Regression (review): flight/memo keys embed the graph name —
+    /// the flight table is registry-global, so without the name two
+    /// same-epoch graphs with identical knobs would coalesce onto one
+    /// computation and one would receive the other's response body.
+    #[test]
+    fn flight_keys_embed_the_graph_name() {
+        assert_ne!(metric_key("a", 1, "cheap"), metric_key("b", 1, "cheap"));
+        assert!(metric_key("a", 1, "cheap").starts_with("g=a;e1:"));
+    }
+
+    /// Behavioral half of the regression: while graph `a`'s flight is
+    /// open, an identical-knob request on graph `b` (same epoch) must
+    /// compute its own body instead of parking behind `a`'s.
+    #[test]
+    fn same_epoch_requests_on_different_graphs_do_not_coalesce() {
+        let reg = Arc::new(Registry::new(None, 1));
+        reg.install("a", path_graph(3));
+        reg.install("b", path_graph(5));
+        let slot_a = reg.slot("a").expect("loaded");
+        let slot_b = reg.slot("b").expect("loaded");
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let leader = {
+            let reg = reg.clone();
+            thread::spawn(move || {
+                reg.coalesce(&slot_a, 1, &metric_key("a", 1, "cheap"), move || {
+                    let _ = release_rx.recv();
+                    Ok("a-body".to_string())
+                })
+            })
+        };
+        while Counters::get(&reg.counters.computed) == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let body = reg
+            .coalesce(&slot_b, 1, &metric_key("b", 1, "cheap"), || {
+                Ok("b-body".to_string())
+            })
+            .expect("ok");
+        assert_eq!(body, "b-body", "graph b computed its own response");
+        assert_eq!(Counters::get(&reg.counters.coalesced), 0);
+        assert_eq!(Counters::get(&reg.counters.computed), 2);
+        release_tx.send(()).expect("leader is waiting");
+        assert_eq!(leader.join().expect("leader").expect("ok"), "a-body");
     }
 }

@@ -340,6 +340,31 @@ fn over_budget_requests_are_rejected_structurally() {
         &handle_line(&strict, r#"{"op":"metric","graph":"k"}"#),
         "over_budget",
     );
+    // mutation verbs are priced through the same gate: neither may
+    // clone the graph (rewire) or materialize a census (generate-into)
+    // once the budget cannot fit the footprint
+    assert_error(
+        &handle_line(&strict, r#"{"op":"rewire","graph":"k","d":1,"seed":7}"#),
+        "over_budget",
+    );
+    assert_error(
+        &handle_line(
+            &strict,
+            r#"{"op":"generate-into","graph":"x","from":"k","d":1,"seed":7}"#,
+        ),
+        "over_budget",
+    );
+    // the rejected rewire mutated nothing: the entry is still epoch 1
+    let stats = assert_ok(&handle_line(&strict, r#"{"op":"stats"}"#));
+    assert_eq!(
+        stats
+            .get("graphs")
+            .and_then(|g| g.get("k"))
+            .and_then(|g| g.get("epoch"))
+            .and_then(JsonValue::as_u64),
+        Some(1),
+        "rejected mutation must not bump the epoch"
+    );
     // a generous budget is admitted and forwarded to the executor
     let roomy = Registry::new(Some(1 << 30), 1);
     assert_ok(&handle_line(
@@ -457,6 +482,57 @@ fn malformed_requests_get_structured_errors() {
     // the daemon state survived the whole battery
     assert_ok(&handle_line(&reg, r#"{"op":"metric","graph":"k"}"#));
     let _ = std::fs::remove_file(&karate);
+}
+
+/// Binding discipline: a second daemon must not steal a live daemon's
+/// socket, a stale socket file (dead daemon) is replaced, and a
+/// non-socket file at the path is never deleted.
+#[test]
+fn spawn_refuses_to_steal_a_live_daemons_socket() {
+    let config = ServerConfig {
+        socket: tmp("livesock.sock"),
+        memory_budget: None,
+        threads: 1,
+    };
+    let server = Server::spawn(&config).expect("bind");
+    let err = match Server::spawn(&config) {
+        Err(e) => e,
+        Ok(_) => panic!("second daemon must refuse to bind"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    // the refusal left the first daemon fully operational
+    let mut client = Client::connect(&config.socket).expect("still alive");
+    assert_ok(&client.request(r#"{"op":"stats"}"#).expect("stats"));
+    server.stop();
+
+    // a stale socket file nobody accepts on is replaced
+    {
+        let _dead = std::os::unix::net::UnixListener::bind(&config.socket).expect("bind stale");
+        // listener dropped here; the socket file stays behind
+    }
+    assert!(config.socket.exists(), "stale socket file left on disk");
+    let revived = Server::spawn(&config).expect("stale socket replaced");
+    let mut client = Client::connect(&config.socket).expect("connect");
+    assert_ok(&client.request(r#"{"op":"stats"}"#).expect("stats"));
+    revived.stop();
+
+    // an unrelated regular file at the path survives untouched
+    let plain = tmp("livesock_plain");
+    std::fs::write(&plain, "precious").expect("write");
+    let clobber = ServerConfig {
+        socket: plain.clone(),
+        memory_budget: None,
+        threads: 1,
+    };
+    assert!(
+        Server::spawn(&clobber).is_err(),
+        "refuses to replace a non-socket file"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&plain).expect("still there"),
+        "precious"
+    );
+    let _ = std::fs::remove_file(&plain);
 }
 
 /// Oversized requests: structured error over the real socket, then the
