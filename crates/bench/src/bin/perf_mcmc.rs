@@ -163,6 +163,8 @@ fn mcmc_stage(args: &Args, bench: &str, original: &Graph, max_attempts: u64) -> 
         ("bench".into(), format!("\"{bench}\"")),
         ("n".into(), original.node_count().to_string()),
         ("m".into(), original.edge_count().to_string()),
+        // the chain is serial by construction (one rng, one graph)
+        ("threads".into(), "1".to_string()),
         ("scramble_attempts".into(), scramble.attempts.to_string()),
         ("scramble_accepted".into(), scramble.accepted.to_string()),
         ("scramble_s".into(), json::number(scramble_s)),
@@ -221,6 +223,7 @@ fn verify_large(args: &Args, threads: usize, original: &Graph, recovered: &Graph
     let fields = vec![
         ("bench".into(), "\"mcmc_2k_verify\"".to_string()),
         ("n".into(), original.node_count().to_string()),
+        ("threads".into(), threads.to_string()),
         ("battery".into(), format!("\"{battery}\"")),
         ("r_original".into(), json::number(r_orig)),
         ("r_recovered".into(), json::number(r_rec)),

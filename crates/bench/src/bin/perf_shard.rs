@@ -93,10 +93,19 @@ fn parse_args() -> Args {
 
 /// Process peak RSS in bytes (Linux `VmHWM`; `None` elsewhere).
 fn peak_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmHWM:")
+}
+
+/// Current process RSS in bytes (Linux `VmRSS`; `None` elsewhere).
+fn rss_now_bytes() -> Option<u64> {
+    proc_status_bytes("VmRSS:")
+}
+
+fn proc_status_bytes(key: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let kb: u64 = status
         .lines()
-        .find(|l| l.starts_with("VmHWM:"))?
+        .find(|l| l.starts_with(key))?
         .split_whitespace()
         .nth(1)?
         .parse()
@@ -220,12 +229,53 @@ fn large_stage(args: &Args, threads: usize) {
         plan.streamed,
         "10^6 nodes must auto-select the streamed route"
     );
-    let analyzer = Analyzer::new()
-        .metric_names(battery)
-        .expect("battery names are registered")
-        .threads(threads)
-        .sample_sources(SAMPLES);
-    let (analyze_s, report) = time_s(|| analyzer.analyze(&g));
+
+    // memory-model check: the per-worker accounting
+    // (`stream::per_worker_bytes`, Brandes scratch + the two
+    // direction-optimizing frontier bitmaps) must stay an upper bound on
+    // what a streamed pass actually adds to the process RSS
+    let (rss_model_mb, rss_probe_mb) = {
+        let csr = CsrGraph::from_graph(&g);
+        let before = rss_now_bytes();
+        let probe = std::hint::black_box(dk_metrics::sampled::sampled_traversal_streamed(
+            &csr,
+            SAMPLES,
+            plan.shards,
+            threads,
+        ));
+        drop(probe);
+        let n = g.node_count();
+        // workers × scratch + the O(n) global accumulator, plus slack
+        // for allocator overhead and the pass's own output vectors
+        let model = threads as u64 * stream::per_worker_bytes(n) + 8 * n as u64 + (64u64 << 20);
+        match (before, rss_now_bytes()) {
+            (Some(b), Some(a)) => {
+                let grown = a.saturating_sub(b);
+                assert!(
+                    grown <= model,
+                    "streamed pass grew RSS by {grown} B, over the {model} B model bound"
+                );
+                let mb = |x: u64| x as f64 / (1 << 20) as f64;
+                println!(
+                    "memory model: streamed sampled pass grew RSS by {:.0} MiB (model bound {:.0} MiB)",
+                    mb(grown),
+                    mb(model)
+                );
+                (Some(mb(model)), Some(mb(grown)))
+            }
+            _ => (None, None),
+        }
+    };
+
+    let mk = |relabel: bool| {
+        Analyzer::new()
+            .metric_names(battery)
+            .expect("battery names are registered")
+            .threads(threads)
+            .sample_sources(SAMPLES)
+            .relabel(relabel)
+    };
+    let (analyze_s, report) = time_s(|| mk(false).analyze(&g));
     let scalar = |name: &str| report.scalar(name).unwrap_or(f64::NAN);
     println!(
         "analyzed in {analyze_s:.1} s (streamed route, S = {}, workers = {}): \
@@ -236,6 +286,15 @@ fn large_stage(args: &Args, threads: usize) {
         scalar("betweenness_approx"),
         scalar("kcore_max"),
     );
+    // the locality-relabeled route must reproduce the report byte for
+    // byte — the permutation is an internal detail
+    let (relabel_s, relabel_report) = time_s(|| mk(true).analyze(&g));
+    assert_eq!(
+        report.to_json(),
+        relabel_report.to_json(),
+        "relabeled battery must be byte-identical to the external-id route"
+    );
+    println!("relabeled battery in {relabel_s:.1} s — report byte-identical");
     let peak = peak_rss_bytes();
     if let Some(p) = peak {
         println!("peak RSS {:.0} MiB", p as f64 / (1 << 20) as f64);
@@ -273,6 +332,10 @@ fn large_stage(args: &Args, threads: usize) {
         ),
         ("kcore_max".into(), json::number(scalar("kcore_max"))),
     ];
+    if let (Some(model), Some(probe)) = (rss_model_mb, rss_probe_mb) {
+        fields.push(("rss_model_mb".into(), json::number(model)));
+        fields.push(("rss_probe_mb".into(), json::number(probe)));
+    }
     if let Some(p) = peak {
         fields.push((
             "peak_rss_mb".into(),
@@ -281,6 +344,32 @@ fn large_stage(args: &Args, threads: usize) {
     }
     let out = args.out_dir.join("BENCH_metrics.json");
     append_json_line(&out, &json::object(fields)).expect("append to BENCH_metrics.json");
+
+    // the relabeled run gets its own line so the locality speedup stays
+    // traceable against the external-id history
+    let relabel_fields = vec![
+        ("bench".into(), "\"shard_large_relabel\"".to_string()),
+        ("n".into(), g.node_count().to_string()),
+        ("m".into(), g.edge_count().to_string()),
+        ("threads".into(), threads.to_string()),
+        ("samples".into(), SAMPLES.to_string()),
+        ("shards".into(), plan.shards.to_string()),
+        ("workers".into(), plan.workers.to_string()),
+        ("streamed".into(), "true".into()),
+        ("relabel".into(), "true".into()),
+        ("battery".into(), format!("\"{battery}\"")),
+        ("analyze_s".into(), json::number(relabel_s)),
+        ("byte_identical".into(), "true".into()),
+        (
+            "d_avg_approx".into(),
+            json::number(scalar("distance_approx")),
+        ),
+        (
+            "b_max_approx".into(),
+            json::number(scalar("betweenness_approx")),
+        ),
+    ];
+    append_json_line(&out, &json::object(relabel_fields)).expect("append to BENCH_metrics.json");
     println!("appended to {}", out.display());
 }
 

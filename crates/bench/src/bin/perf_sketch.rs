@@ -228,13 +228,16 @@ fn large_stage(args: &Args, threads: usize) {
         plan.streamed,
         "10^6 nodes must auto-select the streamed route"
     );
-    let analyzer = Analyzer::new()
-        .metric_names(battery)
-        .expect("battery names are registered")
-        .threads(threads)
-        .sample_sources(SAMPLES)
-        .sketch_bits(args.bits);
-    let (analyze_s, report) = time_s(|| analyzer.analyze(&g));
+    let mk = |relabel: bool| {
+        Analyzer::new()
+            .metric_names(battery)
+            .expect("battery names are registered")
+            .threads(threads)
+            .sample_sources(SAMPLES)
+            .sketch_bits(args.bits)
+            .relabel(relabel)
+    };
+    let (analyze_s, report) = time_s(|| mk(false).analyze(&g));
     let scalar = |name: &str| report.scalar(name).unwrap_or(f64::NAN);
     let d_sketch = scalar("avg_distance_sketch");
     let d_sampled = scalar("distance_approx");
@@ -248,6 +251,16 @@ fn large_stage(args: &Args, threads: usize) {
         args.bits,
         scalar("effective_diameter_sketch"),
     );
+    // the locality-relabeled route must reproduce the report byte for
+    // byte — hash seeding and N(t) sums are mapped through the
+    // permutation, the registers themselves are set-determined
+    let (relabel_s, relabel_report) = time_s(|| mk(true).analyze(&g));
+    assert_eq!(
+        report.to_json(),
+        relabel_report.to_json(),
+        "relabeled sketch battery must be byte-identical to the external-id route"
+    );
+    println!("relabeled battery in {relabel_s:.1} s — report byte-identical");
     let peak = peak_rss_bytes();
     if let Some(p) = peak {
         println!("peak RSS {:.0} MiB", p as f64 / (1 << 20) as f64);
@@ -286,6 +299,28 @@ fn large_stage(args: &Args, threads: usize) {
     }
     let out = args.out_dir.join("BENCH_metrics.json");
     append_json_line(&out, &json::object(fields)).expect("append to BENCH_metrics.json");
+
+    let relabel_fields = vec![
+        ("bench".into(), "\"sketch_large_relabel\"".to_string()),
+        ("n".into(), g.node_count().to_string()),
+        ("m".into(), g.edge_count().to_string()),
+        ("threads".into(), threads.to_string()),
+        ("bits".into(), args.bits.to_string()),
+        ("samples".into(), SAMPLES.to_string()),
+        ("shards".into(), plan.shards.to_string()),
+        ("workers".into(), plan.workers.to_string()),
+        ("streamed".into(), "true".into()),
+        ("relabel".into(), "true".into()),
+        ("battery".into(), format!("\"{battery}\"")),
+        ("analyze_s".into(), json::number(relabel_s)),
+        ("byte_identical".into(), "true".into()),
+        ("d_avg_sketch".into(), json::number(d_sketch)),
+        (
+            "effective_diameter_sketch".into(),
+            json::number(scalar("effective_diameter_sketch")),
+        ),
+    ];
+    append_json_line(&out, &json::object(relabel_fields)).expect("append to BENCH_metrics.json");
     println!("appended to {}", out.display());
 }
 

@@ -11,9 +11,9 @@
 //! dk rewire   <d> <graph.edges> -o <out.edges>    dK-randomizing rewiring
 //! dk explore  <s|s2|c> <min|max> <graph.edges> -o <out.edges>
 //! dk metrics  <graph.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
-//!             [--sketch-bits B] [--shards N] [--memory-budget B]
+//!             [--sketch-bits B] [--shards N] [--memory-budget B] [--relabel]
 //! dk compare  <a.edges> <b.edges> [--metrics LIST] [--format text|json] [--no-gcc] [--samples K]
-//!             [--sketch-bits B] [--shards N] [--memory-budget B]
+//!             [--sketch-bits B] [--shards N] [--memory-budget B] [--relabel]
 //! dk attack   <graph.edges> [--strategy S] [--checkpoints F,..] [--seed N] [--format text|json]
 //! dk census   <graph.edges>                       Table 5 census
 //! dk viz      <graph.edges>     -o <out.svg>      layout + SVG
@@ -234,6 +234,11 @@ pub struct MetricsOptions {
     /// `--memory-budget BYTES`: traversal working-memory cap (accepts
     /// K/M/G suffixes at parse time); opts into the streamed route.
     pub memory_budget: Option<u64>,
+    /// `--relabel`: route the traversal-shaped passes over a
+    /// degree-descending relabeled CSR snapshot for cache locality —
+    /// the permutation is inverted on every output surface, so the
+    /// report is byte-identical either way.
+    pub relabel: bool,
 }
 
 /// Parses a `--memory-budget` value: a positive integer byte count with
@@ -310,6 +315,9 @@ fn build_analyzer(
     if let Some(budget) = opts.memory_budget {
         analyzer = analyzer.memory_budget(budget);
     }
+    if opts.relabel {
+        analyzer = analyzer.relabel(true);
+    }
     Ok(analyzer)
 }
 
@@ -382,7 +390,9 @@ pub fn cmd_compare(
 /// `n·2^B` bytes), `--shards N` / `--memory-budget B` opt the
 /// traversal passes into the sharded streaming route (identical
 /// results, memory bounded by workers — auto-selected anyway past
-/// ~131k nodes), and `--format json` emits the machine-readable report.
+/// ~131k nodes), `--relabel` runs them over a degree-descending
+/// relabeled snapshot for cache locality (byte-identical output), and
+/// `--format json` emits the machine-readable report.
 pub fn cmd_metrics(graph_path: &Path, opts: &MetricsOptions) -> Result<String, GraphError> {
     if opts.metrics.as_deref() == Some("help") {
         return Ok(AnyMetric::listing());

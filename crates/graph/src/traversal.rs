@@ -11,6 +11,31 @@
 //! representation the analyzer-side all-source sweeps use). Neighbor
 //! order is identical in both representations, so results are
 //! bit-identical regardless of which one a caller traverses.
+//!
+//! ## Direction-optimizing BFS
+//!
+//! [`bfs_visit`] is a direction-optimizing (Beamer-style) kernel: each
+//! level is expanded either **top-down** (scan the frontier, probe its
+//! neighbors) or **bottom-up** (scan the unvisited nodes, probe their
+//! neighbors for a frontier parent, stopping at the first hit). The
+//! switching heuristic is purely integer-valued — no timing, no
+//! randomness: with `mf` the edge endpoints on the current frontier,
+//! `mu` the endpoints on still-unvisited nodes, and `nf` the frontier
+//! size, a top-down level switches down when `mf · ALPHA > mu`
+//! ([`DOBFS_ALPHA`]) and a bottom-up level switches back up when
+//! `nf · BETA < n` ([`DOBFS_BETA`]). Every quantity is a deterministic
+//! function of the graph and the source, so the traversal — including
+//! which direction each level ran in — is reproducible across runs,
+//! thread counts, and representations.
+//!
+//! **Visit-order contract:** top-down levels emit `visit` callbacks in
+//! the classic FIFO discovery order (identical to the historical
+//! queue-based kernel — discovery order equals pop order in a
+//! level-synchronous BFS); bottom-up levels emit them in **ascending
+//! node id**. Both orders agree on the *set* of `(node, level)` pairs,
+//! so every reducer built on this kernel (distance histograms,
+//! eccentricities, reach counts) is order-insensitive within a level
+//! and produces bit-identical results on either path.
 
 use crate::csr::{AdjacencyView, CsrGraph};
 use crate::graph::{Graph, NodeId};
@@ -19,50 +44,169 @@ use std::collections::VecDeque;
 /// Distance sentinel for unreachable nodes.
 pub const UNREACHABLE: u32 = u32::MAX;
 
-/// Single-source BFS into caller-provided buffers — the hot loop of the
-/// sharded streaming traversals in `dk-metrics`, where one worker runs
-/// thousands of BFS sweeps reusing the same `O(n)` scratch instead of
-/// allocating per source.
+/// Top-down → bottom-up switch: take the bottom-up path when the
+/// frontier carries more than `1/ALPHA` of the unexplored edge
+/// endpoints (`mf · ALPHA > mu`). The classic direction-optimizing
+/// constant (Beamer et al., SC'12).
+pub const DOBFS_ALPHA: u64 = 14;
+
+/// Bottom-up → top-down switch: return to the top-down path when the
+/// frontier shrinks below `n / BETA` nodes (`nf · BETA < n`).
+pub const DOBFS_BETA: u64 = 24;
+
+/// Reusable per-worker scratch for [`bfs_visit`]: the distance array,
+/// the frontier/next queues, and the two frontier bitmaps the
+/// bottom-up direction reads and writes. One allocation per worker,
+/// reused across thousands of sources by the sharded streaming
+/// traversals in `dk-metrics` — `4n + 4n + 4n + 2·(n/8)` bytes, the
+/// figure `dk_metrics::stream::per_worker_bytes` charges.
+#[derive(Debug, Default)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+    front_bits: Vec<u64>,
+    next_bits: Vec<u64>,
+}
+
+impl BfsScratch {
+    /// Scratch sized for an `n`-node graph (resized on demand by
+    /// [`bfs_visit`], so any starting size is valid).
+    pub fn new(n: usize) -> Self {
+        let mut s = BfsScratch::default();
+        s.resize(n);
+        s
+    }
+
+    /// Distances written by the most recent [`bfs_visit`] call
+    /// (unreachable nodes hold [`UNREACHABLE`]).
+    pub fn dist(&self) -> &[u32] {
+        &self.dist
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.dist.resize(n, UNREACHABLE);
+        let words = n.div_ceil(64);
+        self.front_bits.resize(words, 0);
+        self.next_bits.resize(words, 0);
+    }
+}
+
+#[inline]
+fn bit_test(bits: &[u64], i: NodeId) -> bool {
+    bits[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+}
+
+#[inline]
+fn bit_set(bits: &mut [u64], i: NodeId) {
+    bits[(i / 64) as usize] |= 1u64 << (i % 64);
+}
+
+/// Single-source direction-optimizing BFS into caller-provided scratch
+/// — the hot loop of the sharded streaming traversals in `dk-metrics`,
+/// where one worker runs thousands of BFS sweeps reusing the same
+/// `O(n)` scratch instead of allocating per source.
 ///
-/// Resets `dist` to [`UNREACHABLE`], runs the BFS, and calls
-/// `visit(node, distance)` for every node **in pop (visit) order** — the
-/// order is identical for [`Graph`] and [`CsrGraph`], so reducers built
-/// on this kernel (distance histograms) are representation-independent.
+/// Resets the scratch, runs the BFS, and calls `visit(node, distance)`
+/// exactly once for every reached node: in FIFO discovery order on
+/// top-down levels (identical to the historical queue-based kernel)
+/// and in ascending node id on bottom-up levels — see the
+/// [module docs](self) for the switching heuristic and the determinism
+/// argument. The visit order is identical for [`Graph`] and
+/// [`CsrGraph`], so reducers built on this kernel (distance
+/// histograms) are representation-independent.
 /// Returns `(reached, depth)`: the number of reached nodes and the
 /// greatest finite distance (the source's eccentricity within its
 /// component — the streamed diameter reducer max-merges this).
 ///
 /// # Panics
-/// Panics if `source` is out of range or `dist` is not `n` long.
+/// Panics if `source` is out of range.
 pub fn bfs_visit<V: AdjacencyView + ?Sized>(
     g: &V,
     source: NodeId,
-    dist: &mut [u32],
-    queue: &mut VecDeque<NodeId>,
+    scratch: &mut BfsScratch,
     mut visit: impl FnMut(NodeId, u32),
 ) -> (u64, u32) {
-    assert_eq!(dist.len(), g.node_count(), "dist buffer sized to the graph");
-    assert!(
-        (source as usize) < g.node_count(),
-        "BFS source out of range"
-    );
+    let n = g.node_count();
+    assert!((source as usize) < n, "BFS source out of range");
+    scratch.resize(n);
+    let BfsScratch {
+        dist,
+        frontier,
+        next,
+        front_bits,
+        next_bits,
+    } = scratch;
     dist.fill(UNREACHABLE);
-    queue.clear();
     dist[source as usize] = 0;
-    queue.push_back(source);
-    let mut reached = 0u64;
+    visit(source, 0);
+    frontier.clear();
+    frontier.push(source);
+    let mut reached = 1u64;
     let mut depth = 0u32;
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
-        reached += 1;
-        depth = depth.max(du);
-        visit(u, du);
-        for &v in g.neighbors(u) {
-            if dist[v as usize] == UNREACHABLE {
-                dist[v as usize] = du + 1;
-                queue.push_back(v);
+    // `mu`: edge endpoints on unvisited nodes; `mf`: endpoints on the
+    // current frontier. Both integers, so the per-level direction
+    // decision is a pure function of (graph, source).
+    let mut mu = g.edge_endpoints() - g.degree(source) as u64;
+    let mut mf = g.degree(source) as u64;
+    let mut bottom_up = false;
+    // whether `front_bits` currently mirrors `frontier` (only
+    // maintained across consecutive bottom-up levels)
+    let mut bits_valid = false;
+    while !frontier.is_empty() {
+        bottom_up = if bottom_up {
+            frontier.len() as u64 * DOBFS_BETA >= n as u64
+        } else {
+            mf * DOBFS_ALPHA > mu
+        };
+        next.clear();
+        let mut mf_next = 0u64;
+        let d = depth + 1;
+        if bottom_up {
+            if !bits_valid {
+                front_bits.fill(0);
+                for &u in frontier.iter() {
+                    bit_set(front_bits, u);
+                }
             }
+            next_bits.fill(0);
+            for v in 0..n as NodeId {
+                if dist[v as usize] != UNREACHABLE {
+                    continue;
+                }
+                for &u in g.neighbors(v) {
+                    if bit_test(front_bits, u) {
+                        dist[v as usize] = d;
+                        visit(v, d);
+                        next.push(v);
+                        bit_set(next_bits, v);
+                        mf_next += g.degree(v) as u64;
+                        break;
+                    }
+                }
+            }
+            std::mem::swap(front_bits, next_bits);
+            bits_valid = true;
+        } else {
+            for &u in frontier.iter() {
+                for &v in g.neighbors(u) {
+                    if dist[v as usize] == UNREACHABLE {
+                        dist[v as usize] = d;
+                        visit(v, d);
+                        next.push(v);
+                        mf_next += g.degree(v) as u64;
+                    }
+                }
+            }
+            bits_valid = false;
         }
+        reached += next.len() as u64;
+        if !next.is_empty() {
+            depth = d;
+        }
+        mu -= mf_next;
+        mf = mf_next;
+        std::mem::swap(frontier, next);
     }
     (reached, depth)
 }
@@ -75,10 +219,9 @@ pub fn bfs_visit<V: AdjacencyView + ?Sized>(
 /// # Panics
 /// Panics if `source` is out of range.
 pub fn bfs_distances<V: AdjacencyView + ?Sized>(g: &V, source: NodeId) -> Vec<u32> {
-    let mut dist = vec![UNREACHABLE; g.node_count()];
-    let mut queue = VecDeque::new();
-    bfs_visit(g, source, &mut dist, &mut queue, |_, _| {});
-    dist
+    let mut scratch = BfsScratch::new(g.node_count());
+    bfs_visit(g, source, &mut scratch, |_, _| {});
+    scratch.dist
 }
 
 /// Connected components as a label vector plus component count.
@@ -201,9 +344,8 @@ pub fn gcc_fraction<V: AdjacencyView + ?Sized>(g: &V) -> f64 {
 /// Eccentricity of `source`: the greatest BFS distance to any reachable
 /// node. Returns `None` if some node is unreachable from `source`.
 pub fn eccentricity<V: AdjacencyView + ?Sized>(g: &V, source: NodeId) -> Option<u32> {
-    let mut dist = vec![UNREACHABLE; g.node_count()];
-    let mut queue = VecDeque::new();
-    let (reached, depth) = bfs_visit(g, source, &mut dist, &mut queue, |_, _| {});
+    let mut scratch = BfsScratch::new(g.node_count());
+    let (reached, depth) = bfs_visit(g, source, &mut scratch, |_, _| {});
     (reached as usize == g.node_count()).then_some(depth)
 }
 
@@ -304,16 +446,68 @@ mod tests {
     #[test]
     fn bfs_visit_reports_reach_depth_and_visit_order() {
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
-        let mut dist = vec![0u32; 5];
-        let mut queue = VecDeque::new();
+        let mut scratch = BfsScratch::new(5);
         let mut visits = Vec::new();
-        let (reached, depth) = bfs_visit(&g, 0, &mut dist, &mut queue, |v, d| visits.push((v, d)));
+        let (reached, depth) = bfs_visit(&g, 0, &mut scratch, |v, d| visits.push((v, d)));
         assert_eq!((reached, depth), (3, 2));
         assert_eq!(visits, vec![(0, 0), (1, 1), (2, 2)]);
-        assert_eq!(dist, vec![0, 1, 2, UNREACHABLE, UNREACHABLE]);
+        assert_eq!(scratch.dist(), &[0, 1, 2, UNREACHABLE, UNREACHABLE]);
         // buffers are reusable across sources: the kernel resets them
-        let (reached, depth) = bfs_visit(&g, 3, &mut dist, &mut queue, |_, _| {});
+        let (reached, depth) = bfs_visit(&g, 3, &mut scratch, |_, _| {});
         assert_eq!((reached, depth), (2, 1));
+    }
+
+    /// The direction-optimizing kernel must agree with a plain
+    /// queue-based oracle on (dist, reached, depth) and on the visited
+    /// `(node, level)` *set* — the kernel's documented contract — for
+    /// graphs dense enough to actually trigger the bottom-up path.
+    #[test]
+    fn bfs_visit_matches_queue_oracle_across_shapes() {
+        fn oracle<V: AdjacencyView + ?Sized>(
+            g: &V,
+            s: NodeId,
+        ) -> (Vec<u32>, u64, u32, Vec<(NodeId, u32)>) {
+            let n = g.node_count();
+            let mut dist = vec![UNREACHABLE; n];
+            let mut queue = VecDeque::new();
+            let mut visits = Vec::new();
+            dist[s as usize] = 0;
+            queue.push_back(s);
+            let (mut reached, mut depth) = (0u64, 0u32);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u as usize];
+                reached += 1;
+                depth = depth.max(du);
+                visits.push((u, du));
+                for &v in g.neighbors(u) {
+                    if dist[v as usize] == UNREACHABLE {
+                        dist[v as usize] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            (dist, reached, depth, visits)
+        }
+        for g in [
+            builders::complete(9),
+            builders::karate_club(),
+            builders::star(12),
+            builders::cycle(30),
+            Graph::from_edges(7, [(0, 1), (2, 3), (3, 4), (4, 2), (5, 6)]).unwrap(),
+        ] {
+            let csr = CsrGraph::from_graph(&g);
+            let mut scratch = BfsScratch::new(g.node_count());
+            for s in 0..g.node_count() as NodeId {
+                let (dist, reached, depth, mut visits) = oracle(&g, s);
+                let mut got = Vec::new();
+                let (r, d) = bfs_visit(&csr, s, &mut scratch, |v, dd| got.push((v, dd)));
+                assert_eq!((r, d), (reached, depth), "source {s}");
+                assert_eq!(scratch.dist(), dist.as_slice(), "source {s}");
+                visits.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, visits, "visit set differs from oracle, source {s}");
+            }
+        }
     }
 
     #[test]

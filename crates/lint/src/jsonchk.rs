@@ -4,9 +4,12 @@
 //! the `perf_*` bench binaries (`dk_bench::append_json_line`); nothing
 //! in the workspace ever *read* it back until the serve daemon arrived,
 //! which is exactly how a log format rots. `dk-lint --bench-log`
-//! re-parses every line and checks the one schema invariant every
+//! re-parses every line and checks the schema invariants every
 //! consumer of the log relies on: each line is a JSON **object**
-//! carrying a `"bench"` key that names the emitting benchmark.
+//! carrying a `"bench"` key that names the emitting benchmark and a
+//! `"threads"` key recording the worker count the numbers were
+//! measured at — without it, multi-core perf lines are untraceable
+//! against the 1-core history ROADMAP quotes.
 //!
 //! The recursive-descent parser that used to live here was promoted to
 //! the dependency-free `dk-json` crate (PR 9) so the serve protocol
@@ -30,7 +33,8 @@ pub fn parse_line(line: &str) -> Result<Vec<String>, String> {
 }
 
 /// Validates a whole JSON-lines log: every non-empty line parses and
-/// carries the `"bench"` key. Returns `(line_number, message)` pairs.
+/// carries the `"bench"` and `"threads"` keys. Returns
+/// `(line_number, message)` pairs.
 pub fn check_bench_log(contents: &str) -> Vec<(usize, String)> {
     let mut problems = Vec::new();
     let mut seen_any = false;
@@ -41,11 +45,17 @@ pub fn check_bench_log(contents: &str) -> Vec<(usize, String)> {
         seen_any = true;
         match parse_line(line) {
             Err(e) => problems.push((idx + 1, format!("not valid JSON: {e}"))),
-            Ok(keys) if !keys.iter().any(|k| k == "bench") => problems.push((
-                idx + 1,
-                "JSON line lacks the \"bench\" key naming the emitting benchmark".to_string(),
-            )),
-            Ok(_) => {}
+            Ok(keys) => {
+                for (key, why) in [
+                    ("bench", "naming the emitting benchmark"),
+                    ("threads", "recording the measured worker count"),
+                ] {
+                    if !keys.iter().any(|k| k == key) {
+                        problems
+                            .push((idx + 1, format!("JSON line lacks the \"{key}\" key {why}")));
+                    }
+                }
+            }
         }
     }
     if !seen_any {
@@ -104,15 +114,27 @@ mod tests {
 
     #[test]
     fn bench_log_check_flags_each_problem_line() {
-        let log = "{\"bench\":\"a\"}\n\n{\"other\":1}\nnot json\n{\"bench\":\"b\"}\n";
+        let log = "{\"bench\":\"a\",\"threads\":1}\n\n{\"other\":1}\nnot json\n{\"bench\":\"b\",\"threads\":4}\n";
         let problems = check_bench_log(log);
-        assert_eq!(problems.len(), 2);
+        // line 3 lacks both required keys, line 4 is malformed
+        assert_eq!(problems.len(), 3);
         assert_eq!(problems[0].0, 3);
-        assert_eq!(problems[1].0, 4);
+        assert!(problems[0].1.contains("\"bench\""));
+        assert_eq!(problems[1].0, 3);
+        assert!(problems[1].1.contains("\"threads\""));
+        assert_eq!(problems[2].0, 4);
         assert_eq!(
             check_bench_log(""),
             vec![(1, "bench log is empty".to_string())]
         );
-        assert!(check_bench_log("{\"bench\":\"x\"}\n").is_empty());
+        assert!(check_bench_log("{\"bench\":\"x\",\"threads\":1}\n").is_empty());
+    }
+
+    #[test]
+    fn bench_log_requires_the_threads_key() {
+        // the pre-PR-10 line shape: "bench" present, "threads" missing
+        let problems = check_bench_log("{\"bench\":\"mcmc_2k\",\"n\":20000}\n");
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].1.contains("\"threads\""));
     }
 }

@@ -177,6 +177,16 @@ impl Analyzer {
         self
     }
 
+    /// Routes the traversal-shaped passes over a degree-descending
+    /// relabeled CSR snapshot for cache locality (CLI `--relabel`). The
+    /// permutation is inverted on every output surface, so every
+    /// reported value is bit-identical to the unrelabeled route — this
+    /// knob only changes memory-access order inside the passes.
+    pub fn relabel(mut self, on: bool) -> Self {
+        self.opts.relabel = on;
+        self
+    }
+
     /// Overrides the route policy for the traversal passes (default
     /// [`ExecMode::Auto`]: stream when `shards`/`memory_budget` are set
     /// or the analyzed graph exceeds

@@ -8,7 +8,7 @@
 
 use crate::distance::{default_threads, DistanceDistribution};
 use crate::stream::{run_sharded, run_sharded_fold, DEFAULT_SHARDS};
-use dk_graph::{AdjacencyView, CsrGraph, Graph, NodeId};
+use dk_graph::{AdjacencyView, CsrGraph, Graph, NodeId, Relabeling};
 use std::collections::VecDeque;
 
 /// Joint result of the fused all-source traversal: Brandes' BFS already
@@ -101,6 +101,43 @@ pub fn betweenness_and_distances_streamed(
         n,
         brandes_over_sources_streamed(g, &sources, shards, threads),
     )
+}
+
+/// The fused pass over a **relabeled** snapshot
+/// ([`CsrGraph::from_graph_relabeled`]), returning results in
+/// **external** id space — bit-identical to the unpermuted sharded /
+/// streamed routes at the same shard count.
+///
+/// Why the bits survive the permutation: Brandes' kernel never branches
+/// on an id's *value* (only on distances, σ counts, and adjacency
+/// order), and the relabeled snapshot preserves adjacency order under
+/// renaming, so the sweep from `to_new[s]` performs the identical f64
+/// operations in the identical order as the sweep from `s` on the plain
+/// snapshot. Sources are listed in **external** order (`to_new[0],
+/// to_new[1], …`), keeping the per-node accumulation order across
+/// sources unchanged, and shard boundaries depend only on the source
+/// *count* — the raw `bc` vector (internal id space) is then
+/// inverse-permuted before leaving.
+pub fn betweenness_and_distances_relabeled(
+    g: &CsrGraph,
+    relab: &Relabeling,
+    shards: usize,
+    threads: usize,
+    streamed: bool,
+) -> FusedTraversal {
+    let n = g.node_count();
+    if n == 0 {
+        return FusedTraversal::empty();
+    }
+    // external source order, mapped into internal ids
+    let sources: Vec<NodeId> = relab.forward().to_vec();
+    let mut sums = if streamed {
+        brandes_over_sources_streamed(g, &sources, shards, threads)
+    } else {
+        brandes_over_sources_sharded(g, &sources, shards, threads)
+    };
+    sums.bc = relab.invert_values(&sums.bc);
+    finish_fused(n, sums)
 }
 
 /// The fused pass over `Graph`'s `Vec<Vec<_>>` adjacency directly, with
@@ -215,10 +252,33 @@ impl BrandesSums {
     }
 }
 
+/// Per-node forward state packed into one 16-byte slot (`repr(C)`: the
+/// i32 distance at offset 0, the f64 path count at offset 8) so each
+/// neighbor probe in the hot loops — "is `v` on a shortest path?" plus
+/// the `sigma`/`delta` accumulate that follows — lands on one cache
+/// line instead of two. The kernel is memory-latency-bound at 10⁶
+/// nodes, so halving the random lines touched per edge is the single
+/// biggest lever; the arithmetic itself is untouched (same f64 adds in
+/// the same order → bit-identical to the split-array layout).
+#[derive(Clone, Copy)]
+#[repr(C)]
+struct PathState {
+    dist: i32,
+    sigma: f64,
+}
+
+const UNSEEN: PathState = PathState {
+    dist: -1,
+    sigma: 0.0,
+};
+
 /// One shard's worth of Brandes sources: BFS + dependency
 /// back-propagation per source in `range`, accumulated into one compact
-/// [`BrandesSums`] partial. The per-source buffers (`dist`, `sigma`,
-/// `delta`, `order`, queue) are worker scratch reused across the shard.
+/// [`BrandesSums`] partial. The per-source buffers (`state`, `delta`,
+/// `order`) are worker scratch reused across the shard; `order` doubles
+/// as the FIFO queue (discovered nodes are appended and scanned by
+/// cursor), so the vector left behind IS the BFS visit order the
+/// reverse dependency sweep needs — one push per node, no ring buffer.
 fn brandes_shard<V: AdjacencyView + ?Sized>(
     g: &V,
     sources: &[NodeId],
@@ -227,40 +287,43 @@ fn brandes_shard<V: AdjacencyView + ?Sized>(
     let n = g.node_count();
     let mut out = BrandesSums::zero(n);
     // reusable per-source buffers
-    let mut dist = vec![-1i32; n];
-    let mut sigma = vec![0.0f64; n];
+    let mut state = vec![UNSEEN; n];
     let mut delta = vec![0.0f64; n];
     let mut order: Vec<NodeId> = Vec::with_capacity(n);
-    let mut queue: VecDeque<NodeId> = VecDeque::new();
     for idx in range {
         let s = sources[idx as usize];
-        for i in 0..n {
-            dist[i] = -1;
-            sigma[i] = 0.0;
-            delta[i] = 0.0;
-        }
+        state.fill(UNSEEN);
+        delta.fill(0.0);
         order.clear();
-        queue.clear();
-        dist[s as usize] = 0;
-        sigma[s as usize] = 1.0;
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
-            order.push(u);
-            let du = dist[u as usize];
+        state[s as usize] = PathState {
+            dist: 0,
+            sigma: 1.0,
+        };
+        order.push(s);
+        let mut cursor = 0usize;
+        while let Some(&u) = order.get(cursor) {
+            cursor += 1;
+            let du = state[u as usize].dist;
             let dx = du as usize;
             out.depth = out.depth.max(du as u32);
             if out.counts.len() <= dx {
                 out.counts.resize(dx + 1, 0);
             }
             out.counts[dx] += 1;
+            // sigma[u] is final once u is scanned — every contribution
+            // comes from the previous BFS level, all scanned before u —
+            // so hoist the read out of the neighbor loop (the aliasing
+            // the compiler can't rule out never happens: a neighbor at
+            // depth du+1 is never u itself)
+            let su = state[u as usize].sigma;
             for &v in g.neighbors(u) {
-                let vi = v as usize;
-                if dist[vi] < 0 {
-                    dist[vi] = du + 1;
-                    queue.push_back(v);
+                let st = &mut state[v as usize];
+                if st.dist < 0 {
+                    st.dist = du + 1;
+                    order.push(v);
                 }
-                if dist[vi] == du + 1 {
-                    sigma[vi] += sigma[u as usize];
+                if st.dist == du + 1 {
+                    st.sigma += su;
                 }
             }
         }
@@ -268,12 +331,13 @@ fn brandes_shard<V: AdjacencyView + ?Sized>(
         // dependency accumulation in reverse BFS order
         for &w in order.iter().rev() {
             let wi = w as usize;
-            let coeff = (1.0 + delta[wi]) / sigma[wi];
-            let dw = dist[wi];
+            let coeff = (1.0 + delta[wi]) / state[wi].sigma;
+            let dw = state[wi].dist;
             for &v in g.neighbors(w) {
                 let vi = v as usize;
-                if dist[vi] + 1 == dw {
-                    delta[vi] += sigma[vi] * coeff;
+                let st = state[vi];
+                if st.dist + 1 == dw {
+                    delta[vi] += st.sigma * coeff;
                 }
             }
             if w != s {
@@ -562,6 +626,37 @@ mod tests {
         assert!((series[0].1).abs() < 1e-12);
         assert_eq!(series[1].0, 5);
         assert!((series[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeled_route_is_bit_identical() {
+        // external-order sources + label-equivariant sweeps + inverse
+        // permutation: the locality relabeling must not perturb a single
+        // bit of the fused report.
+        for g in [
+            builders::karate_club(),
+            builders::grid(4, 5),
+            builders::star(8),
+            Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap(),
+        ] {
+            let csr = CsrGraph::from_graph(&g);
+            let (rcsr, relab) = CsrGraph::from_graph_relabeled(&g);
+            for streamed in [false, true] {
+                let plain = if streamed {
+                    betweenness_and_distances_streamed(&csr, 3, 2)
+                } else {
+                    betweenness_and_distances_sharded(&csr, 3, 2)
+                };
+                let rel = betweenness_and_distances_relabeled(&rcsr, &relab, 3, 2, streamed);
+                assert_eq!(plain.betweenness, rel.betweenness, "streamed = {streamed}");
+                assert_eq!(plain.distances, rel.distances, "streamed = {streamed}");
+                assert_eq!(plain.max_depth, rel.max_depth);
+            }
+        }
+        let (e, r) = CsrGraph::from_graph_relabeled(&Graph::new());
+        assert!(betweenness_and_distances_relabeled(&e, &r, 2, 1, false)
+            .betweenness
+            .is_empty());
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! * **Triangles** are censused once for `c_mean`/`c_k`/`transitivity`.
 //! * **Sampled traversal** ([`crate::sampled`]) runs once from
 //!   [`AnalyzeOptions::samples`] pivots for the `*_approx` metrics.
+//!   When no sampled-*betweenness* reader is selected the cache
+//!   prepares the cheaper [`Dep::SampledDistances`] pass instead: the
+//!   same pivots walked by the direction-optimizing
+//!   [`dk_graph::traversal::bfs_visit`] kernel, skipping Brandes'
+//!   σ/δ bookkeeping entirely (distance histograms are visit-order
+//!   independent, so the reported scalars are bit-identical).
 //! * **Neighborhood sketches** ([`crate::sketch`]) iterate once at
 //!   [`AnalyzeOptions::sketch_bits`] register bits for the `*_sketch`
 //!   metrics — every round a sharded pass over the same CSR snapshot.
@@ -27,6 +33,13 @@
 //!   parallelizes over BFS source shards via the deterministic
 //!   scheduler); passes execute sequentially so an explicit `threads`
 //!   cap is never oversubscribed.
+//! * **Locality relabeling is opt-in and invisible**: under
+//!   [`AnalyzeOptions::relabel`] the traversal-shaped passes read a
+//!   private degree-descending snapshot
+//!   ([`CsrGraph::from_graph_relabeled`]); sources are mapped into the
+//!   permuted id space and every per-node output is inverse-permuted on
+//!   the way out, so all reported values stay bit-identical to the
+//!   unrelabeled route.
 //! * **Large graphs stream**: once the analyzed graph exceeds
 //!   [`stream::AUTO_STREAM_NODES`] (or when
 //!   [`AnalyzeOptions::shards`]/[`AnalyzeOptions::memory_budget`] opt
@@ -44,7 +57,7 @@
 use crate::betweenness;
 use crate::distance::{default_threads, DistanceDistribution};
 use crate::metric::{AnyMetric, Dep};
-use crate::sampled::{self, SampledTraversal};
+use crate::sampled::{self, SampledDistances, SampledTraversal};
 use crate::sketch::{self, HyperAnf};
 use crate::stream::{self, ExecMode, ExecPlan};
 use crate::{clustering, spectral};
@@ -103,6 +116,15 @@ pub struct AnalyzeOptions {
     /// (never below one worker). Setting it opts into the streamed route
     /// under [`ExecMode::Auto`].
     pub memory_budget: Option<u64>,
+    /// Route the traversal-shaped passes (fused traversal, sampled,
+    /// sketch) over a **degree-descending relabeled** CSR snapshot
+    /// ([`CsrGraph::from_graph_relabeled`]) for cache locality. The
+    /// permutation is carried explicitly and inverted on every output
+    /// surface, so all reported values stay bit-identical to the
+    /// unrelabeled route; the relabeled snapshot is private to those
+    /// passes and never reaches [`AnalysisCache::csr`], triangles,
+    /// k-core, spectral, or the attack sweep. Default `false`.
+    pub relabel: bool,
     /// Route policy for the traversal passes — see [`stream::plan`].
     pub exec: ExecMode,
     /// Generation stamp of the graph this analysis reads. Long-lived
@@ -125,6 +147,7 @@ impl Default for AnalyzeOptions {
             sketch_rounds: sketch::DEFAULT_SKETCH_ROUNDS,
             shards: None,
             memory_budget: None,
+            relabel: false,
             exec: ExecMode::Auto,
             epoch: 0,
         }
@@ -143,6 +166,7 @@ enum DepOut {
     Triangles(Vec<usize>),
     Traversal(TraversalData),
     Sampled(SampledTraversal),
+    SampledDistances(SampledDistances),
     Sketch(HyperAnf),
     Spectral(Option<SpectralExtremes>),
 }
@@ -172,6 +196,7 @@ pub struct AnalysisCache<'g> {
     triangles: Option<Vec<usize>>,
     traversal: Option<TraversalData>,
     sampled: Option<SampledTraversal>,
+    sampled_distances: Option<SampledDistances>,
     sketch: Option<HyperAnf>,
     /// `Some(None)` = computed but undefined (disconnected / too small).
     spectral: Option<Option<SpectralExtremes>>,
@@ -269,6 +294,7 @@ impl<'g> AnalysisCache<'g> {
             triangles: None,
             traversal: None,
             sampled: None,
+            sampled_distances: None,
             sketch: None,
             spectral: None,
         };
@@ -278,6 +304,7 @@ impl<'g> AnalysisCache<'g> {
             Triangles,
             Traversal { betweenness: bool },
             Sampled,
+            SampledDistances,
             Sketch,
             Spectral,
         }
@@ -292,7 +319,13 @@ impl<'g> AnalysisCache<'g> {
             jobs.push(Job::Traversal { betweenness: false });
         }
         if deps.contains(&Dep::Sampled) {
+            // the fused pivot pass hands back the distance histogram for
+            // free, so a separate distance-only job would be redundant
             jobs.push(Job::Sampled);
+        } else if deps.contains(&Dep::SampledDistances) {
+            // no sampled-betweenness reader: the distance-only pass rides
+            // the direction-optimizing BFS instead of the Brandes kernel
+            jobs.push(Job::SampledDistances);
         }
         if deps.contains(&Dep::Sketch) {
             jobs.push(Job::Sketch);
@@ -311,6 +344,21 @@ impl<'g> AnalysisCache<'g> {
 
         let target = cache.target.as_ref();
         let csr = needs_csr.then(|| CsrGraph::from_graph(target));
+        // Opt-in locality relabeling: the traversal-shaped passes read a
+        // private degree-descending snapshot whose permutation is
+        // inverted on every output surface (sources mapped in, per-node
+        // vectors mapped out), keeping all reported values bit-identical.
+        // Triangles/spectral/[`AnalysisCache::csr`] keep the external
+        // snapshot — its sorted-neighbor contract does not survive
+        // relabeling.
+        let relabeled = (opts.relabel
+            && jobs.iter().any(|j| {
+                matches!(
+                    j,
+                    Job::Traversal { .. } | Job::Sampled | Job::SampledDistances | Job::Sketch
+                )
+            }))
+        .then(|| CsrGraph::from_graph_relabeled(target));
         let plan = cache.exec;
         // Passes run one after another; the heavy ones (traversal) use
         // the *full* worker budget internally, parallelizing over BFS
@@ -321,18 +369,24 @@ impl<'g> AnalysisCache<'g> {
         let outs = jobs.iter().map(|job| match *job {
             Job::Triangles => DepOut::Triangles(clustering::triangles_per_node(snap())),
             Job::Traversal { betweenness: true } => {
-                let fused = if plan.streamed {
-                    betweenness::betweenness_and_distances_streamed(
+                let fused = match &relabeled {
+                    Some((rcsr, relab)) => betweenness::betweenness_and_distances_relabeled(
+                        rcsr,
+                        relab,
+                        plan.shards,
+                        plan.workers,
+                        plan.streamed,
+                    ),
+                    None if plan.streamed => betweenness::betweenness_and_distances_streamed(
                         snap(),
                         plan.shards,
                         plan.workers,
-                    )
-                } else {
-                    betweenness::betweenness_and_distances_sharded(
+                    ),
+                    None => betweenness::betweenness_and_distances_sharded(
                         snap(),
                         plan.shards,
                         plan.workers,
-                    )
+                    ),
                 };
                 DepOut::Traversal(TraversalData {
                     distances: fused.distances,
@@ -343,34 +397,87 @@ impl<'g> AnalysisCache<'g> {
                 })
             }
             Job::Traversal { betweenness: false } => DepOut::Traversal(TraversalData {
-                distances: if plan.streamed {
-                    DistanceDistribution::from_csr_streamed(snap(), plan.shards, plan.workers)
-                } else {
-                    DistanceDistribution::from_csr_sharded(snap(), plan.shards, plan.workers)
+                distances: {
+                    // histogram/eccentricity reducers are label-
+                    // independent, so the plain entry points over the
+                    // relabeled snapshot are already bit-identical
+                    let dg = relabeled.as_ref().map(|(r, _)| r).unwrap_or_else(snap);
+                    if plan.streamed {
+                        DistanceDistribution::from_csr_streamed(dg, plan.shards, plan.workers)
+                    } else {
+                        DistanceDistribution::from_csr_sharded(dg, plan.shards, plan.workers)
+                    }
                 },
                 betweenness: None,
             }),
-            Job::Sampled => DepOut::Sampled(if plan.streamed {
-                sampled::sampled_traversal_streamed(snap(), opts.samples, plan.shards, plan.workers)
-            } else {
-                sampled::sampled_traversal_sharded(snap(), opts.samples, plan.shards, plan.workers)
+            Job::Sampled => DepOut::Sampled(match &relabeled {
+                Some((rcsr, relab)) => sampled::sampled_traversal_relabeled(
+                    rcsr,
+                    relab,
+                    opts.samples,
+                    plan.shards,
+                    plan.workers,
+                    plan.streamed,
+                ),
+                None if plan.streamed => sampled::sampled_traversal_streamed(
+                    snap(),
+                    opts.samples,
+                    plan.shards,
+                    plan.workers,
+                ),
+                None => sampled::sampled_traversal_sharded(
+                    snap(),
+                    opts.samples,
+                    plan.shards,
+                    plan.workers,
+                ),
             }),
-            Job::Sketch => DepOut::Sketch(if plan.streamed {
-                sketch::hyper_anf_streamed(
+            Job::SampledDistances => DepOut::SampledDistances(match &relabeled {
+                Some((rcsr, relab)) => sampled::sampled_distances_relabeled(
+                    rcsr,
+                    relab,
+                    opts.samples,
+                    plan.shards,
+                    plan.workers,
+                    plan.streamed,
+                ),
+                None if plan.streamed => sampled::sampled_distances_streamed(
+                    snap(),
+                    opts.samples,
+                    plan.shards,
+                    plan.workers,
+                ),
+                None => sampled::sampled_distances_sharded(
+                    snap(),
+                    opts.samples,
+                    plan.shards,
+                    plan.workers,
+                ),
+            }),
+            Job::Sketch => DepOut::Sketch(match &relabeled {
+                Some((rcsr, relab)) => sketch::hyper_anf_relabeled(
+                    rcsr,
+                    relab,
+                    opts.sketch_bits,
+                    opts.sketch_rounds,
+                    plan.shards,
+                    plan.workers,
+                    plan.streamed,
+                ),
+                None if plan.streamed => sketch::hyper_anf_streamed(
                     snap(),
                     opts.sketch_bits,
                     opts.sketch_rounds,
                     plan.shards,
                     plan.workers,
-                )
-            } else {
-                sketch::hyper_anf_sharded(
+                ),
+                None => sketch::hyper_anf_sharded(
                     snap(),
                     opts.sketch_bits,
                     opts.sketch_rounds,
                     plan.shards,
                     plan.workers,
-                )
+                ),
             }),
             Job::Spectral => DepOut::Spectral(if target.node_count() >= 2 {
                 spectral::spectral_extremes_with(target, opts.lanczos_iter).ok()
@@ -383,6 +490,7 @@ impl<'g> AnalysisCache<'g> {
                 DepOut::Triangles(t) => cache.triangles = Some(t),
                 DepOut::Traversal(t) => cache.traversal = Some(t),
                 DepOut::Sampled(s) => cache.sampled = Some(s),
+                DepOut::SampledDistances(s) => cache.sampled_distances = Some(s),
                 DepOut::Sketch(s) => cache.sketch = Some(s),
                 DepOut::Spectral(s) => cache.spectral = Some(s),
             }
@@ -477,6 +585,29 @@ impl<'g> AnalysisCache<'g> {
                 self.inner_threads(),
             )),
         }
+    }
+
+    /// The sampled K-pivot distance histogram — the
+    /// direction-optimizing BFS route. Reads the distance-only pass when
+    /// that is what was prepared, falls back to the fused sampled
+    /// traversal's histogram (identical integers by construction) when
+    /// the Brandes pass ran instead, and computes on demand otherwise.
+    pub fn sampled_distances(&self) -> Cow<'_, SampledDistances> {
+        if let Some(d) = &self.sampled_distances {
+            return Cow::Borrowed(d);
+        }
+        if let Some(s) = &self.sampled {
+            return Cow::Owned(SampledDistances {
+                distances: s.distances.clone(),
+                sources: s.sources,
+                max_depth: s.max_depth,
+            });
+        }
+        Cow::Owned(sampled::sampled_distances_csr(
+            self.csr().as_ref(),
+            self.samples,
+            self.inner_threads(),
+        ))
     }
 
     /// The HyperANF sketch iteration (cached or computed on demand with
@@ -633,6 +764,84 @@ mod tests {
         let g = builders::cycle(8);
         let cache = AnalysisCache::build(&g, &metrics("d_avg"), &AnalyzeOptions::default());
         assert!(cache.traversal.as_ref().unwrap().betweenness.is_none());
+    }
+
+    #[test]
+    fn relabel_option_is_invisible_in_every_cached_dep() {
+        let g = builders::karate_club();
+        // b_max_approx keeps the fused Brandes pivot pass in the battery
+        // next to the distance-only pass d_avg_approx now rides
+        let names = "c_mean,d_avg,b_max,d_avg_approx,b_max_approx,avg_distance_sketch";
+        let base = AnalyzeOptions {
+            threads: 2,
+            samples: 8,
+            ..Default::default()
+        };
+        for exec in [ExecMode::InMemory, ExecMode::Streamed] {
+            let plain = AnalysisCache::build(&g, &metrics(names), &AnalyzeOptions { exec, ..base });
+            let rel = AnalysisCache::build(
+                &g,
+                &metrics(names),
+                &AnalyzeOptions {
+                    relabel: true,
+                    exec,
+                    ..base
+                },
+            );
+            assert_eq!(plain.distances(), rel.distances(), "{exec:?}");
+            assert_eq!(plain.betweenness(), rel.betweenness(), "{exec:?}");
+            assert_eq!(plain.sampled(), rel.sampled(), "{exec:?}");
+            assert_eq!(
+                plain.sampled_distances(),
+                rel.sampled_distances(),
+                "{exec:?}"
+            );
+            assert_eq!(plain.sketch(), rel.sketch(), "{exec:?}");
+            assert_eq!(plain.triangles(), rel.triangles(), "{exec:?}");
+            // the public CSR snapshot stays external either way
+            assert_eq!(plain.csr().as_ref(), rel.csr().as_ref(), "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn distance_only_battery_skips_brandes_and_matches_the_fused_value() {
+        // d_avg_approx without a sampled-betweenness reader prepares the
+        // direction-optimized distance-only pass (no fused pivot pass in
+        // the cache) — and reports the exact same scalar, relabeled or not
+        let g = builders::karate_club();
+        let base = AnalyzeOptions {
+            threads: 2,
+            samples: 8,
+            ..Default::default()
+        };
+        let metric = AnyMetric::get("d_avg_approx").unwrap();
+        for exec in [ExecMode::InMemory, ExecMode::Streamed] {
+            let both = AnalysisCache::build(
+                &g,
+                &metrics("d_avg_approx,b_max_approx"),
+                &AnalyzeOptions { exec, ..base },
+            );
+            assert!(both.sampled.is_some());
+            assert!(both.sampled_distances.is_none());
+            for relabel in [false, true] {
+                let dist_only = AnalysisCache::build(
+                    &g,
+                    &metrics("d_avg_approx"),
+                    &AnalyzeOptions {
+                        relabel,
+                        exec,
+                        ..base
+                    },
+                );
+                assert!(dist_only.sampled.is_none(), "{exec:?}");
+                assert!(dist_only.sampled_distances.is_some(), "{exec:?}");
+                assert_eq!(
+                    metric.compute(&dist_only),
+                    metric.compute(&both),
+                    "{exec:?}, relabel = {relabel}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! [`crate::sampled`].
 
 use crate::stream::{run_sharded, run_sharded_fold, DEFAULT_SHARDS};
+use dk_graph::traversal::BfsScratch;
 use dk_graph::{traversal, AdjacencyView, CsrGraph, Graph, NodeId};
-use std::collections::VecDeque;
 
 /// Exact distance distribution of a graph.
 #[derive(Clone, Debug, PartialEq)]
@@ -118,16 +118,18 @@ impl DistanceDistribution {
 
     /// One shard's worth of BFS sources folded into a compact partial:
     /// the per-distance visit counts and the unreached-pair tally. The
-    /// worker-local scratch (`dist`, queue) is `O(n)` and reused across
-    /// the shard's sources.
+    /// worker-local scratch ([`BfsScratch`]: distances, frontiers, and
+    /// the direction-optimizing bitmaps) is `O(n)` and reused across
+    /// the shard's sources. The histogram reducer only counts
+    /// `(node, level)` pairs, so it is insensitive to the within-level
+    /// visit-order difference between the top-down and bottom-up paths.
     fn bfs_shard<V: AdjacencyView + ?Sized>(g: &V, range: std::ops::Range<u32>) -> (Vec<u64>, u64) {
         let n = g.node_count();
         let mut counts: Vec<u64> = Vec::new();
         let mut unreachable = 0u64;
-        let mut dist = vec![u32::MAX; n];
-        let mut queue = VecDeque::new();
+        let mut scratch = BfsScratch::new(n);
         for s in range {
-            let (reached, _depth) = traversal::bfs_visit(g, s, &mut dist, &mut queue, |_, du| {
+            let (reached, _depth) = traversal::bfs_visit(g, s, &mut scratch, |_, du| {
                 let dx = du as usize;
                 if counts.len() <= dx {
                     counts.resize(dx + 1, 0);

@@ -80,18 +80,21 @@
 //! | cost | route | traversal working memory |
 //! |------|-------|--------------------------|
 //! | `trivial`, `linear` | single pass over the snapshot | O(n + m) |
-//! | `sampled` | K pivots through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** |
+//! | `sampled` | K pivots through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** + 2·n/8-byte frontier bitmaps per worker |
 //! | `sketch` | ≤ diameter rounds of register unions through the shard executor | **n·2^b bytes** per register file (×2 per round: Jacobi double buffer), error 1.04/√2^b |
 //! | `incremental` | reverse union-find percolation sweep over the snapshot ([`crate::attack`]) | O(n) forest + trajectory |
-//! | `all-pairs` | n sources through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** |
+//! | `all-pairs` | n sources through the shard executor | in-memory O(shards·n); streamed **O(workers·n)** + 2·n/8-byte frontier bitmaps per worker |
 //! | `spectral` | Lanczos (dense below cutoff) | O(n) iteration vectors |
 //!
 //! The streamed route is auto-selected above
 //! [`AUTO_STREAM_NODES`](crate::stream::AUTO_STREAM_NODES) analyzed
 //! nodes and forced by `Analyzer::shards`/`Analyzer::memory_budget`
 //! (CLI `--shards`/`--memory-budget`); per-source vectors are worker
-//! scratch only, so per-worker buffers stay O(n) in total, and results
-//! are bit-identical to the in-memory route at equal shard counts.
+//! scratch only, so per-worker buffers stay O(n) in total — the
+//! [`stream::per_worker_bytes`](crate::stream::per_worker_bytes) model
+//! charges `40n` bytes of Brandes scratch plus the two `n/8`-byte
+//! direction-optimizing frontier bitmaps — and results are
+//! bit-identical to the in-memory route at equal shard counts.
 
 use crate::cache::AnalysisCache;
 use crate::{betweenness, clustering, jdd, kcore, likelihood, richclub};
@@ -216,6 +219,14 @@ pub enum Dep {
     /// Sampled K-pivot traversal (Brandes–Pich) — the `*_approx`
     /// metrics' shared pass.
     Sampled,
+    /// Sampled K-pivot **distance histogram only** — the
+    /// direction-optimizing BFS route ([`crate::sampled`]'s
+    /// `sampled_distances_*` family). Declared by sampled metrics that
+    /// never read σ/δ path counts, so a battery without a sampled
+    /// *betweenness* metric skips the Brandes machinery entirely;
+    /// subsumed by [`Dep::Sampled`] when one rides along (the fused
+    /// pass's integer histogram is identical by construction).
+    SampledDistances,
     /// HyperANF neighborhood-sketch iteration ([`crate::sketch`]) — the
     /// `*_sketch` metrics' shared pass (implies [`Dep::Csr`]).
     Sketch,
@@ -242,7 +253,7 @@ impl Dep {
     pub fn rides_shard_executor(self) -> bool {
         matches!(
             self,
-            Dep::Distances | Dep::Betweenness | Dep::Sampled | Dep::Sketch
+            Dep::Distances | Dep::Betweenness | Dep::Sampled | Dep::SampledDistances | Dep::Sketch
         )
     }
 }
@@ -478,12 +489,12 @@ static REGISTRY: &[Def] = &[
         description: "sampled estimate of d̄ (K pivot sources, Brandes–Pich)",
         kind: Kind::Scalar,
         cost: Cost::Sampled,
-        deps: &[Dep::Sampled],
+        deps: &[Dep::SampledDistances],
         compute: |cx| {
             if cx.graph().node_count() <= 1 {
                 MetricValue::Undefined
             } else {
-                scalar(cx.sampled().distances.mean())
+                scalar(cx.sampled_distances().distances.mean())
             }
         },
     },

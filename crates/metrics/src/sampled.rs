@@ -32,7 +32,9 @@ use crate::betweenness::{
     brandes_over_sources, brandes_over_sources_sharded, brandes_over_sources_streamed, BrandesSums,
 };
 use crate::distance::DistanceDistribution;
-use dk_graph::{AdjacencyView, CsrGraph, NodeId};
+use crate::stream::{run_sharded, run_sharded_fold, DEFAULT_SHARDS};
+use dk_graph::traversal::BfsScratch;
+use dk_graph::{traversal, AdjacencyView, CsrGraph, NodeId, Relabeling};
 
 /// Result of one sampled traversal: the shared pass behind the
 /// `distance_approx` and `betweenness_approx` registry metrics.
@@ -177,6 +179,243 @@ pub fn sampled_traversal_sharded(
     let pivots = sample_pivots(n, k.max(1));
     let sums = brandes_over_sources_sharded(g, &pivots, shards, threads);
     finish_sampled(n, pivots.len(), sums)
+}
+
+/// The Brandes–Pich pass over a **relabeled** snapshot
+/// ([`CsrGraph::from_graph_relabeled`]), returning results in
+/// **external** id space — bit-identical to the plain sharded/streamed
+/// routes at the same shard count.
+///
+/// The pivot *identities* are computed in external id space
+/// ([`sample_pivots`] strides over external ids exactly as the
+/// unpermuted route does) and only then mapped through the permutation
+/// — striding over internal ids would silently select a different
+/// pivot set whenever the permutation lands, changing every `--samples
+/// K` report. The estimated betweenness is inverse-permuted before it
+/// leaves; histogram/eccentricity reducers are label-independent.
+pub fn sampled_traversal_relabeled(
+    g: &CsrGraph,
+    relab: &Relabeling,
+    k: usize,
+    shards: usize,
+    threads: usize,
+    streamed: bool,
+) -> SampledTraversal {
+    let n = g.node_count();
+    if n == 0 {
+        return SampledTraversal::empty();
+    }
+    let pivots: Vec<NodeId> = sample_pivots(n, k.max(1))
+        .into_iter()
+        .map(|e| relab.to_new(e))
+        .collect();
+    let sums = if streamed {
+        brandes_over_sources_streamed(g, &pivots, shards, threads)
+    } else {
+        brandes_over_sources_sharded(g, &pivots, shards, threads)
+    };
+    let mut out = finish_sampled(n, pivots.len(), sums);
+    out.betweenness = relab.invert_values(&out.betweenness);
+    out
+}
+
+/// The distance-only half of the sampled pass: the pivot distance
+/// histogram without the Brandes σ/δ machinery — what the registry's
+/// `distance_approx` reads when no sampled *betweenness* metric rides
+/// along ([`crate::metric::Dep::SampledDistances`]).
+///
+/// Splitting it off matters because plain BFS is free to
+/// direction-optimize: [`traversal::bfs_visit`] switches to bottom-up
+/// scans on the wide mid-BFS levels of scale-free graphs, skipping most
+/// edge probes — several times faster than the Brandes forward pass,
+/// which must follow discovery order for its σ accumulation and can
+/// never take that route. The histogram reducer only counts
+/// `(node, level)` pairs, so the within-level visit-order difference
+/// between the two kernels is invisible: `distances`, `sources`, and
+/// `max_depth` are **bit-identical** to the corresponding
+/// [`SampledTraversal`] fields from the fused pass over the same pivots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampledDistances {
+    /// Distance rows of the pivot sources only — same conventions (and
+    /// caveats) as [`SampledTraversal::distances`].
+    pub distances: DistanceDistribution,
+    /// Number of pivot sources actually traversed (`min(K, n)`).
+    pub sources: usize,
+    /// Greatest finite distance discovered from any pivot.
+    pub max_depth: u32,
+}
+
+impl SampledDistances {
+    fn empty() -> Self {
+        SampledDistances {
+            distances: DistanceDistribution {
+                counts: vec![],
+                nodes: 0,
+                unreachable_pairs: 0,
+            },
+            sources: 0,
+            max_depth: 0,
+        }
+    }
+}
+
+/// One shard's worth of pivot BFS sources folded into a compact partial
+/// (histogram counts, unreached tally, depth max) — the
+/// direction-optimizing analogue of the Brandes shard, reusing one
+/// [`BfsScratch`] across the shard's sources.
+fn distance_shard<V: AdjacencyView + ?Sized>(
+    g: &V,
+    sources: &[NodeId],
+    range: std::ops::Range<u32>,
+) -> (Vec<u64>, u64, u32) {
+    let n = g.node_count();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut unreachable = 0u64;
+    let mut depth = 0u32;
+    let mut scratch = BfsScratch::new(n);
+    for idx in range {
+        let s = sources[idx as usize];
+        let (reached, d) = traversal::bfs_visit(g, s, &mut scratch, |_, du| {
+            let dx = du as usize;
+            if counts.len() <= dx {
+                counts.resize(dx + 1, 0);
+            }
+            counts[dx] += 1;
+        });
+        unreachable += n as u64 - reached;
+        depth = depth.max(d);
+    }
+    (counts, unreachable, depth)
+}
+
+/// Shard-order merge of the distance partials — all integer reducers,
+/// so any shard/thread layout gives identical sums.
+fn merge_distance_shard(acc: &mut (Vec<u64>, u64, u32), p: (Vec<u64>, u64, u32)) {
+    let (counts, unreachable, depth) = acc;
+    if counts.len() < p.0.len() {
+        counts.resize(p.0.len(), 0);
+    }
+    for (x, v) in p.0.into_iter().enumerate() {
+        counts[x] += v;
+    }
+    *unreachable += p.1;
+    *depth = (*depth).max(p.2);
+}
+
+fn finish_sampled_distances(
+    n: usize,
+    pivot_count: usize,
+    (counts, unreachable, depth): (Vec<u64>, u64, u32),
+) -> SampledDistances {
+    SampledDistances {
+        distances: DistanceDistribution {
+            counts,
+            nodes: n,
+            unreachable_pairs: unreachable,
+        },
+        sources: pivot_count,
+        max_depth: depth,
+    }
+}
+
+/// Distance-only pivot pass at the default shard count — the on-demand
+/// entry the analyzer cache falls back to.
+pub fn sampled_distances_csr(g: &CsrGraph, k: usize, threads: usize) -> SampledDistances {
+    sampled_distances_sharded(g, k, DEFAULT_SHARDS, threads)
+}
+
+/// In-memory distance-only pivot pass with an explicit shard count —
+/// the equivalence oracle for [`sampled_distances_streamed`].
+pub fn sampled_distances_sharded(
+    g: &CsrGraph,
+    k: usize,
+    shards: usize,
+    threads: usize,
+) -> SampledDistances {
+    let n = g.node_count();
+    if n == 0 {
+        return SampledDistances::empty();
+    }
+    let pivots = sample_pivots(n, k.max(1));
+    let threads = threads.clamp(1, pivots.len().max(1));
+    let partials = run_sharded(pivots.len() as u32, shards, threads, |range| {
+        distance_shard(g, &pivots, range)
+    });
+    let mut acc = (Vec::new(), 0u64, 0u32);
+    for p in partials {
+        merge_distance_shard(&mut acc, p);
+    }
+    finish_sampled_distances(n, pivots.len(), acc)
+}
+
+/// **Streaming** distance-only pivot pass: workers stream their pivot
+/// shards through the direction-optimizing BFS into compact integer
+/// reducers — `O(workers · n)` scratch in flight, identical results to
+/// [`sampled_distances_sharded`] for every shard and thread count.
+pub fn sampled_distances_streamed(
+    g: &CsrGraph,
+    k: usize,
+    shards: usize,
+    threads: usize,
+) -> SampledDistances {
+    let n = g.node_count();
+    if n == 0 {
+        return SampledDistances::empty();
+    }
+    let pivots = sample_pivots(n, k.max(1));
+    let threads = threads.clamp(1, pivots.len().max(1));
+    let acc = run_sharded_fold(
+        pivots.len() as u32,
+        shards,
+        threads,
+        |range| distance_shard(g, &pivots, range),
+        (Vec::new(), 0u64, 0u32),
+        merge_distance_shard,
+    );
+    finish_sampled_distances(n, pivots.len(), acc)
+}
+
+/// Distance-only pivot pass over a **relabeled** snapshot — the pivot
+/// identities come from external id space exactly as in
+/// [`sampled_traversal_relabeled`]; the histogram/depth reducers are
+/// label-independent, so no inverse mapping is needed on the way out.
+pub fn sampled_distances_relabeled(
+    g: &CsrGraph,
+    relab: &Relabeling,
+    k: usize,
+    shards: usize,
+    threads: usize,
+    streamed: bool,
+) -> SampledDistances {
+    let n = g.node_count();
+    if n == 0 {
+        return SampledDistances::empty();
+    }
+    let pivots: Vec<NodeId> = sample_pivots(n, k.max(1))
+        .into_iter()
+        .map(|e| relab.to_new(e))
+        .collect();
+    let threads = threads.clamp(1, pivots.len().max(1));
+    let acc = if streamed {
+        run_sharded_fold(
+            pivots.len() as u32,
+            shards,
+            threads,
+            |range| distance_shard(g, &pivots, range),
+            (Vec::new(), 0u64, 0u32),
+            merge_distance_shard,
+        )
+    } else {
+        let partials = run_sharded(pivots.len() as u32, shards, threads, |range| {
+            distance_shard(g, &pivots, range)
+        });
+        let mut acc = (Vec::new(), 0u64, 0u32);
+        for p in partials {
+            merge_distance_shard(&mut acc, p);
+        }
+        acc
+    };
+    finish_sampled_distances(n, pivots.len(), acc)
 }
 
 /// As [`sampled_traversal_csr`], generic over the adjacency view.
@@ -345,6 +584,78 @@ mod tests {
                 sampled_traversal_csr(&csr, k, 1)
             );
         }
+    }
+
+    #[test]
+    fn relabeled_route_is_bit_identical() {
+        // same pivots (external id space), same per-source arithmetic,
+        // inverse-permuted outputs: the relabeled snapshot must be
+        // invisible in the report, bit for bit.
+        for g in [
+            builders::karate_club(),
+            builders::grid(5, 6),
+            builders::star(9),
+            dk_graph::Graph::from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap(),
+        ] {
+            let csr = dk_graph::CsrGraph::from_graph(&g);
+            let (rcsr, relab) = dk_graph::CsrGraph::from_graph_relabeled(&g);
+            for k in [1, 8, g.node_count() + 3] {
+                for streamed in [false, true] {
+                    let plain = if streamed {
+                        sampled_traversal_streamed(&csr, k, 3, 2)
+                    } else {
+                        sampled_traversal_sharded(&csr, k, 3, 2)
+                    };
+                    let rel = sampled_traversal_relabeled(&rcsr, &relab, k, 3, 2, streamed);
+                    assert_eq!(plain, rel, "k = {k}, streamed = {streamed}");
+                }
+            }
+        }
+        let (e, r) = dk_graph::CsrGraph::from_graph_relabeled(&dk_graph::Graph::new());
+        assert_eq!(
+            sampled_traversal_relabeled(&e, &r, 8, 2, 1, false).sources,
+            0
+        );
+    }
+
+    #[test]
+    fn sampled_distances_match_the_fused_pass_bit_for_bit() {
+        // the direction-optimizing distance-only kernel and the Brandes
+        // fused kernel must agree on every integer reducer — histogram,
+        // unreached tally, depth — for the same pivots, on every route
+        for g in [
+            builders::karate_club(),
+            builders::grid(5, 6),
+            builders::star(9),
+            dk_graph::Graph::from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap(),
+        ] {
+            let csr = dk_graph::CsrGraph::from_graph(&g);
+            let (rcsr, relab) = dk_graph::CsrGraph::from_graph_relabeled(&g);
+            for k in [1, 8, g.node_count() + 3] {
+                let fused = sampled_traversal_sharded(&csr, k, 3, 2);
+                let check = |d: &SampledDistances, route: &str| {
+                    assert_eq!(d.distances, fused.distances, "k = {k}, {route}");
+                    assert_eq!(d.sources, fused.sources, "k = {k}, {route}");
+                    assert_eq!(d.max_depth, fused.max_depth, "k = {k}, {route}");
+                };
+                check(&sampled_distances_sharded(&csr, k, 3, 2), "sharded");
+                check(&sampled_distances_streamed(&csr, k, 3, 2), "streamed");
+                check(&sampled_distances_csr(&csr, k, 1), "csr");
+                for streamed in [false, true] {
+                    check(
+                        &sampled_distances_relabeled(&rcsr, &relab, k, 3, 2, streamed),
+                        "relabeled",
+                    );
+                }
+            }
+        }
+        let empty = dk_graph::CsrGraph::from_graph(&dk_graph::Graph::new());
+        assert_eq!(sampled_distances_streamed(&empty, 8, 2, 1).sources, 0);
+        let (e, r) = dk_graph::CsrGraph::from_graph_relabeled(&dk_graph::Graph::new());
+        assert_eq!(
+            sampled_distances_relabeled(&e, &r, 8, 2, 1, true).sources,
+            0
+        );
     }
 
     #[test]

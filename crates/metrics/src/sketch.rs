@@ -56,7 +56,7 @@
 //! `O(workers · shard)` partial blocks — see [`sketch_bytes`].
 
 use crate::stream::{run_sharded, run_sharded_fold};
-use dk_graph::CsrGraph;
+use dk_graph::{CsrGraph, Relabeling};
 use std::ops::Range;
 
 /// Smallest supported register-bit count (`m = 16` registers).
@@ -208,11 +208,47 @@ impl HllSketch {
     }
 }
 
-/// Elementwise register max — the union kernel shared by [`HllSketch`]
-/// and the HyperANF round.
+/// Byte-wise unsigned max of two `u64`s holding 8 packed `u8` registers
+/// — the SWAR (SIMD-within-a-register) core of [`union_registers`], on
+/// stable Rust with no `std::simd`. With `H` the per-byte high-bit
+/// mask: the low-7-bit comparison `(x | H) − (y & !H)` can never borrow
+/// across byte lanes (each lane computes `low7(x) + 128 − low7(y) ≥ 1`),
+/// and its surviving high bit says `low7(x) ≥ low7(y)`; combining with
+/// the high bits themselves gives a per-byte `x ≥ y` flag, widened to a
+/// per-byte select mask by the `· 0xFF` carry-free multiply.
 #[inline]
-fn union_registers(dst: &mut [u8], src: &[u8]) {
-    for (d, s) in dst.iter_mut().zip(src) {
+fn swar_max8(x: u64, y: u64) -> u64 {
+    const H: u64 = 0x8080_8080_8080_8080;
+    let xh = x & H;
+    let yh = y & H;
+    let low_ge = ((x | H).wrapping_sub(y & !H)) & H;
+    let ge = (xh & !yh) | (!(xh ^ yh) & low_ge);
+    let mask = (ge >> 7).wrapping_mul(0xFF);
+    (x & mask) | (y & !mask)
+}
+
+/// Elementwise register max — the union kernel shared by [`HllSketch`]
+/// and the HyperANF round. Registers are processed 8 at a time via
+/// [`swar_max8`] (register files are `2^b ≥ 16` bytes, so the scalar
+/// tail only runs for ad-hoc slices); equality with the scalar
+/// byte-loop oracle on arbitrary register files is locked down by
+/// `proptests::swar_union_matches_scalar_oracle`. Exposed for that
+/// oracle; semantically it is exactly the per-byte
+/// `if *d < *s { *d = *s }` loop.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn union_registers(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "union of mismatched register files");
+    let mut dc = dst.chunks_exact_mut(8);
+    let mut sc = src.chunks_exact(8);
+    for (d, s) in (&mut dc).zip(&mut sc) {
+        let x = u64::from_le_bytes(d.try_into().expect("8-byte chunk"));
+        let y = u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&swar_max8(x, y).to_le_bytes());
+    }
+    for (d, s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
         if *d < *s {
             *d = *s;
         }
@@ -245,6 +281,28 @@ impl NodeSketches {
         NodeSketches { bits, nodes, regs }
     }
 
+    /// Round-zero file for a **relabeled** snapshot: internal node `v`
+    /// is seeded from its *external* id `to_old[v]`, so the register
+    /// contents — which are determined by the *set* of hashed external
+    /// ids a ball contains, not by internal labels — are bitwise equal
+    /// to the unpermuted route's after the permutation is inverted.
+    /// Part of the [`dk_graph::csr`] permutation-inversion contract:
+    /// hashing internal ids here would silently change every estimate.
+    pub fn init_mapped(bits: u32, to_old: &[u32]) -> Self {
+        assert!(
+            (MIN_SKETCH_BITS..=MAX_SKETCH_BITS).contains(&bits),
+            "sketch bits {bits} outside {MIN_SKETCH_BITS}..={MAX_SKETCH_BITS}"
+        );
+        let m = 1usize << bits;
+        let nodes = to_old.len();
+        let mut regs = vec![0u8; nodes * m];
+        for (v, &old) in to_old.iter().enumerate() {
+            let (index, rank) = index_and_rank(node_hash(u64::from(old)), bits);
+            regs[v * m + index] = rank;
+        }
+        NodeSketches { bits, nodes, regs }
+    }
+
     /// Node `v`'s register slice.
     #[inline]
     pub fn node(&self, v: u32) -> &[u8] {
@@ -263,6 +321,16 @@ impl NodeSketches {
     /// it reads already are: they are integer max-merges).
     pub fn sum_estimates(&self) -> f64 {
         (0..self.nodes as u32).map(|v| self.estimate_node(v)).sum()
+    }
+
+    /// As [`NodeSketches::sum_estimates`], over a relabeled file:
+    /// summed in **external** node order (`to_new[old]` for
+    /// `old = 0, 1, …`), so the floating-point sum adds the exact same
+    /// terms in the exact same order as the unpermuted route — the
+    /// second half of the permutation-inversion contract (seeding via
+    /// [`NodeSketches::init_mapped`] is the first).
+    pub fn sum_estimates_mapped(&self, to_new: &[u32]) -> f64 {
+        to_new.iter().map(|&v| self.estimate_node(v)).sum()
     }
 }
 
@@ -402,6 +470,26 @@ pub fn hyper_anf_csr(g: &CsrGraph, bits: u32, max_rounds: usize, threads: usize)
     hyper_anf_sharded(g, bits, max_rounds, crate::stream::DEFAULT_SHARDS, threads)
 }
 
+/// HyperANF over a **relabeled** snapshot ([`CsrGraph::from_graph_relabeled`]):
+/// counters are seeded from external ids ([`NodeSketches::init_mapped`])
+/// and the per-round `N(t)` sums run in external node order
+/// ([`NodeSketches::sum_estimates_mapped`]), so the result is
+/// bit-identical to [`hyper_anf_sharded`]/[`hyper_anf_streamed`] on the
+/// unpermuted snapshot — the iteration itself only max-merges per-node
+/// register sets, which no relabeling can observe. `streamed` picks the
+/// fold route exactly as the plain entry points do.
+pub fn hyper_anf_relabeled(
+    g: &CsrGraph,
+    relab: &Relabeling,
+    bits: u32,
+    max_rounds: usize,
+    shards: usize,
+    threads: usize,
+    streamed: bool,
+) -> HyperAnf {
+    hyper_anf_impl(g, bits, max_rounds, shards, threads, streamed, Some(relab))
+}
+
 /// **In-memory** HyperANF with an explicit shard count: every round
 /// collects its shard blocks, then merges them in shard order — the
 /// equivalence oracle for [`hyper_anf_streamed`]. Since registers are
@@ -414,7 +502,7 @@ pub fn hyper_anf_sharded(
     shards: usize,
     threads: usize,
 ) -> HyperAnf {
-    hyper_anf_impl(g, bits, max_rounds, shards, threads, false)
+    hyper_anf_impl(g, bits, max_rounds, shards, threads, false, None)
 }
 
 /// **Streaming** HyperANF: each round's shard blocks fold into the next
@@ -430,7 +518,7 @@ pub fn hyper_anf_streamed(
     shards: usize,
     threads: usize,
 ) -> HyperAnf {
-    hyper_anf_impl(g, bits, max_rounds, shards, threads, true)
+    hyper_anf_impl(g, bits, max_rounds, shards, threads, true, None)
 }
 
 fn hyper_anf_impl(
@@ -440,6 +528,7 @@ fn hyper_anf_impl(
     shards: usize,
     threads: usize,
     streamed: bool,
+    relab: Option<&Relabeling>,
 ) -> HyperAnf {
     let n = g.node_count();
     if n == 0 {
@@ -450,8 +539,15 @@ fn hyper_anf_impl(
         };
     }
     let threads = threads.clamp(1, n);
-    let mut cur = NodeSketches::init(n, bits);
-    let mut neighborhood = vec![cur.sum_estimates()];
+    let sum = |s: &NodeSketches| match relab {
+        Some(r) => s.sum_estimates_mapped(r.forward()),
+        None => s.sum_estimates(),
+    };
+    let mut cur = match relab {
+        Some(r) => NodeSketches::init_mapped(bits, r.backward()),
+        None => NodeSketches::init(n, bits),
+    };
+    let mut neighborhood = vec![sum(&cur)];
     let mut converged = false;
     for _round in 1..=max_rounds.max(1) {
         let work = |range: Range<u32>| union_shard(g, &cur, range);
@@ -484,7 +580,7 @@ fn hyper_anf_impl(
             regs: next,
         };
         let prev = *neighborhood.last().expect("N(0) recorded");
-        neighborhood.push(cur.sum_estimates().max(prev));
+        neighborhood.push(sum(&cur).max(prev));
     }
     HyperAnf {
         bits,
@@ -626,6 +722,51 @@ mod tests {
                 assert_eq!(hyper_anf_sharded(&csr, 7, 64, shards, threads), oracle);
             }
         }
+    }
+
+    #[test]
+    fn relabeled_route_is_bit_identical() {
+        // external-id seeding + external-order sums make the relabeled
+        // iteration reproduce the plain route bit for bit, on both fold
+        // routes — the sketch half of the permutation-inversion contract
+        for g in [
+            builders::karate_club(),
+            builders::grid(4, 5),
+            builders::star(9),
+            Graph::from_edges(5, [(0, 1), (2, 3), (3, 4)]).unwrap(),
+        ] {
+            let plain = hyper_anf_sharded(&CsrGraph::from_graph(&g), 7, 64, 3, 2);
+            let (rel, relab) = CsrGraph::from_graph_relabeled(&g);
+            for streamed in [false, true] {
+                assert_eq!(
+                    hyper_anf_relabeled(&rel, &relab, 7, 64, 3, 2, streamed),
+                    plain,
+                    "streamed = {streamed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swar_union_agrees_with_scalar_loop() {
+        // deterministic pseudo-random register files, including the
+        // byte-boundary cases 0x00/0x7F/0x80/0xFF in both operands
+        let mut a: Vec<u8> = (0..64u64).map(|i| (node_hash(i) & 0xFF) as u8).collect();
+        let b: Vec<u8> = (0..64u64)
+            .map(|i| (node_hash(i + 1000) & 0xFF) as u8)
+            .collect();
+        for (i, v) in [0x00, 0x7F, 0x80, 0xFF].into_iter().enumerate() {
+            a[i] = v;
+            a[i + 4] = 0x80;
+        }
+        let mut expect = a.clone();
+        for (d, s) in expect.iter_mut().zip(&b) {
+            if *d < *s {
+                *d = *s;
+            }
+        }
+        union_registers(&mut a, &b);
+        assert_eq!(a, expect);
     }
 
     #[test]

@@ -166,8 +166,13 @@ pub enum ExecMode {
 /// count.
 pub fn per_worker_bytes(n: usize) -> u64 {
     // bc 8 + sigma 8 + delta 8 + dist 4 + order 4 + queue 4 = 36 B/node;
-    // round up for allocator slack and the histogram
-    40 * n as u64
+    // round up for allocator slack and the histogram. The
+    // direction-optimizing BFS scratch adds two n-bit frontier bitmaps
+    // (`front_bits`/`next_bits` in
+    // [`BfsScratch`](dk_graph::traversal::BfsScratch)) — charge them
+    // explicitly so a budget-capped worker count stays an upper bound
+    // for the distance-only pass too.
+    40 * n as u64 + 2 * (n as u64).div_ceil(8)
 }
 
 /// Route-independent bytes every traversal pass holds regardless of the

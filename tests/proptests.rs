@@ -144,6 +144,26 @@ proptest! {
         }
     }
 
+    /// The word-packed SWAR union kernel (8 registers per `u64`, PR 10)
+    /// equals the scalar per-byte `if d < s { d = s }` loop on
+    /// arbitrary register files — including lengths that exercise both
+    /// the 8-byte fast path and the scalar remainder, and bytes on both
+    /// sides of the 0x80 sign-bit boundary the SWAR compare splits on.
+    #[test]
+    fn swar_union_matches_scalar_oracle(
+        pairs in proptest::collection::vec((0u8..=255, 0u8..=255), 0..200)
+    ) {
+        let (mut dst, src): (Vec<u8>, Vec<u8>) = pairs.into_iter().unzip();
+        let mut oracle = dst.clone();
+        for (d, s) in oracle.iter_mut().zip(&src) {
+            if *d < *s {
+                *d = *s;
+            }
+        }
+        dk_repro::metrics::sketch::union_registers(&mut dst, &src);
+        prop_assert_eq!(dst, oracle);
+    }
+
     /// Sketch union-merge is a semilattice: associative, commutative,
     /// and idempotent — the algebra HyperANF's correctness rests on
     /// (register files may be unioned in any grouping or order without

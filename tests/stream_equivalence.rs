@@ -160,6 +160,35 @@ fn analyzer_streamed_report_identical_to_in_memory_oracle() {
 }
 
 #[test]
+fn analyzer_relabel_report_identical_across_routes_and_threads() {
+    // the locality relabeling (PR 10) must be invisible in the report:
+    // relabel-on vs relabel-off, on both routes, at every thread count,
+    // over every shard-executor metric the registry knows about
+    let names = traversal_metric_names();
+    for g in zoo() {
+        for exec in [ExecMode::InMemory, ExecMode::Streamed] {
+            let oracle = Analyzer::new()
+                .metric_names(&names)
+                .unwrap()
+                .exec_mode(exec)
+                .threads(1)
+                .analyze(&g);
+            for threads in [1, 4] {
+                let relabeled = Analyzer::new()
+                    .metric_names(&names)
+                    .unwrap()
+                    .exec_mode(exec)
+                    .relabel(true)
+                    .threads(threads)
+                    .analyze(&g);
+                assert_eq!(oracle, relabeled, "exec = {exec:?}, threads = {threads}");
+                assert_eq!(oracle.to_json(), relabeled.to_json());
+            }
+        }
+    }
+}
+
+#[test]
 fn analyzer_default_route_unchanged_by_streaming_optin() {
     // shards at the default count + a generous memory budget must not
     // change a byte of the default (auto, in-memory at this size) report
